@@ -1,0 +1,121 @@
+//! Property-based differential tests for the adaptive methods: results
+//! must stay exact no matter how the structure reorganizes mid-stream.
+
+use proptest::prelude::*;
+use rum_adaptive::{AdaptiveMerger, CrackConfig, CrackedColumn, IntervalSet};
+use rum_core::{AccessMethod, Record};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum AOp {
+    Insert(u16, u32),
+    Update(u16, u32),
+    Delete(u16),
+    Get(u16),
+    Range(u16, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = AOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| AOp::Insert(k, v)),
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| AOp::Update(k, v)),
+        any::<u16>().prop_map(AOp::Delete),
+        any::<u16>().prop_map(AOp::Get),
+        (any::<u16>(), any::<u8>()).prop_map(|(lo, s)| AOp::Range(lo, s)),
+    ]
+}
+
+fn run(method: &mut dyn AccessMethod, base: &[Record], ops: &[AOp]) {
+    let mut model: BTreeMap<u64, u64> = base.iter().map(|r| (r.key, r.value)).collect();
+    method.bulk_load(base).unwrap();
+    for op in ops {
+        match *op {
+            AOp::Insert(k, v) => {
+                method.insert(k as u64, v as u64).unwrap();
+                model.insert(k as u64, v as u64);
+            }
+            AOp::Update(k, v) => {
+                assert_eq!(
+                    method.update(k as u64, v as u64).unwrap(),
+                    model.contains_key(&(k as u64))
+                );
+                model.entry(k as u64).and_modify(|x| *x = v as u64);
+            }
+            AOp::Delete(k) => {
+                assert_eq!(
+                    method.delete(k as u64).unwrap(),
+                    model.remove(&(k as u64)).is_some()
+                );
+            }
+            AOp::Get(k) => {
+                assert_eq!(method.get(k as u64).unwrap(), model.get(&(k as u64)).copied());
+            }
+            AOp::Range(lo, span) => {
+                let (lo, hi) = (lo as u64, lo as u64 + span as u64);
+                let got = method.range(lo, hi).unwrap();
+                let expect: Vec<Record> = model
+                    .range(lo..=hi)
+                    .map(|(&k, &v)| Record::new(k, v))
+                    .collect();
+                assert_eq!(got, expect);
+            }
+        }
+        assert_eq!(method.len(), model.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cracking_matches_model(
+        base_keys in proptest::collection::btree_set(0u16..500, 0..200),
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        stochastic in any::<bool>(),
+        threshold in 4usize..64,
+    ) {
+        let base: Vec<Record> = base_keys
+            .iter()
+            .map(|&k| Record::new(k as u64, k as u64))
+            .collect();
+        let mut c = CrackedColumn::with_config(CrackConfig {
+            stochastic,
+            pending_threshold: threshold,
+            seed: 1,
+        });
+        run(&mut c, &base, &ops);
+    }
+
+    #[test]
+    fn adaptive_merging_matches_model(
+        base_keys in proptest::collection::btree_set(0u16..500, 0..200),
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        run_size in 16usize..128,
+    ) {
+        let base: Vec<Record> = base_keys
+            .iter()
+            .map(|&k| Record::new(k as u64, k as u64))
+            .collect();
+        let mut m = AdaptiveMerger::new(run_size);
+        run(&mut m, &base, &ops);
+    }
+
+    #[test]
+    fn interval_set_covers_exactly_what_was_added(
+        intervals in proptest::collection::vec((0u64..1000, 0u64..60), 1..60),
+        probes in proptest::collection::vec(0u64..1100, 1..60),
+    ) {
+        let mut s = IntervalSet::new();
+        let mut model = vec![false; 1100];
+        for &(lo, span) in &intervals {
+            let hi = (lo + span).min(1099);
+            s.add(lo, hi);
+            for m in model.iter_mut().take(hi as usize + 1).skip(lo as usize) {
+                *m = true;
+            }
+        }
+        for &p in &probes {
+            prop_assert_eq!(s.contains(p), model[p as usize], "point {}", p);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//! * per-run Bloom filters in the LSM (on/off) for miss-heavy reads,
+//! * WAH compression vs. plain bitmaps for AND/OR,
+//! * cracking vs. never-indexing for repeated range queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rum_adaptive::CrackedColumn;
+use rum_bench::dataset;
+use rum_bitmap::WahVec;
+use rum_core::AccessMethod;
+use rum_lsm::{LsmConfig, LsmTree};
+
+fn bench_bloom_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lsm_bloom_miss");
+    g.sample_size(10);
+    for bits in [0.0f64, 10.0] {
+        let mut t = LsmTree::with_config(LsmConfig {
+            bloom_bits_per_key: bits,
+            memtable_records: 1024,
+            ..Default::default()
+        });
+        for k in 0..30_000u64 {
+            let key = (k.wrapping_mul(7919)) % 30_000;
+            t.insert(2 * key, 1).unwrap();
+        }
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(bits as u64), &bits, |b, _| {
+            b.iter(|| {
+                i = (i + 7919) % 30_000;
+                std::hint::black_box(t.get(2 * i + 1).unwrap()) // always a miss
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_wah_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_wah_or");
+    g.sample_size(20);
+    let n = 1 << 20;
+    let sparse_a: Vec<u64> = (0..n).step_by(997).collect();
+    let sparse_b: Vec<u64> = (0..n).step_by(1499).collect();
+    let wa = WahVec::from_positions(&sparse_a, n);
+    let wb = WahVec::from_positions(&sparse_b, n);
+    g.bench_function("wah_compressed", |b| {
+        b.iter(|| std::hint::black_box(wa.or(&wb).count_ones()))
+    });
+    // Plain bitset baseline.
+    let mut pa = vec![0u64; (n as usize) / 64];
+    for &p in &sparse_a {
+        pa[(p / 64) as usize] |= 1 << (p % 64);
+    }
+    let mut pb = vec![0u64; (n as usize) / 64];
+    for &p in &sparse_b {
+        pb[(p / 64) as usize] |= 1 << (p % 64);
+    }
+    g.bench_function("plain_bitset", |b| {
+        b.iter(|| {
+            let ones: u64 = pa
+                .iter()
+                .zip(&pb)
+                .map(|(&x, &y)| (x | y).count_ones() as u64)
+                .sum();
+            std::hint::black_box(ones)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cracking_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_cracking_range");
+    g.sample_size(10);
+    let n = 1 << 16;
+    let data = dataset(n);
+
+    let mut cracked = CrackedColumn::new();
+    cracked.bulk_load(&data).unwrap();
+    // Warm it with 100 queries so it has partially converged.
+    for q in 0..100u64 {
+        let lo = (q * 1237) % (2 * n as u64 - 300);
+        cracked.range(lo, lo + 256).unwrap();
+    }
+    let mut i = 0u64;
+    g.bench_function("cracked_warm", |b| {
+        b.iter(|| {
+            i = (i + 1237) % (2 * n as u64 - 300);
+            std::hint::black_box(cracked.range(i, i + 256).unwrap().len())
+        })
+    });
+
+    let mut heap = rum_columns::UnsortedColumn::new();
+    heap.bulk_load(&data).unwrap();
+    let mut j = 0u64;
+    g.bench_function("heap_scan", |b| {
+        b.iter(|| {
+            j = (j + 1237) % (2 * n as u64 - 300);
+            std::hint::black_box(heap.range(j, j + 256).unwrap().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bloom_ablation,
+    bench_wah_ablation,
+    bench_cracking_ablation
+);
+criterion_main!(benches);

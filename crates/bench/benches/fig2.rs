@@ -1,0 +1,42 @@
+//! Wall-clock benchmark of the Figure 2 mechanism: zipfian point reads
+//! through a small vs. large buffer over simulated storage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rum_bench::dataset;
+use rum_btree::{BTree, BTreeConfig};
+use rum_core::workload::Zipfian;
+use rum_core::AccessMethod;
+use rum_storage::{DeviceProfile, HierarchySpec, MemoryHierarchy};
+
+fn bench_fig2(c: &mut Criterion) {
+    let n = 1 << 14;
+    let data = dataset(n);
+    let mut g = c.benchmark_group("fig2_buffer_size");
+    g.sample_size(10);
+    for buffer_pages in [16usize, 1024] {
+        let h = MemoryHierarchy::new(HierarchySpec::buffer_and_storage(
+            buffer_pages,
+            DeviceProfile::SSD,
+        ));
+        let mut tree = BTree::with_device(h, BTreeConfig::default());
+        tree.bulk_load(&data).unwrap();
+        let zipf = Zipfian::new(n, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(buffer_pages),
+            &buffer_pages,
+            |b, _| {
+                b.iter(|| {
+                    let k = 2 * zipf.sample(&mut rng) as u64;
+                    std::hint::black_box(tree.get(k).unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Wall-clock benchmarks along the Figure 3 tuning axes: B+-tree node
+//! size (reads) and LSM size ratio (writes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rum_bench::dataset;
+use rum_btree::{BTree, BTreeConfig};
+use rum_core::AccessMethod;
+use rum_lsm::{CompactionPolicy, LsmConfig, LsmTree};
+
+fn bench_fig3(c: &mut Criterion) {
+    let n = 1 << 15;
+    let data = dataset(n);
+
+    let mut g = c.benchmark_group("fig3_btree_node_size_get");
+    g.sample_size(10);
+    for node_size in [512usize, 4096, 32768] {
+        let mut t = BTree::with_config(BTreeConfig {
+            node_size,
+            ..Default::default()
+        });
+        t.bulk_load(&data).unwrap();
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(node_size), &node_size, |b, _| {
+            b.iter(|| {
+                i = (i + 7919) % n as u64;
+                std::hint::black_box(t.get(2 * i).unwrap())
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig3_lsm_ratio_insert");
+    g.sample_size(10);
+    for (ratio, policy, tag) in [
+        (2usize, CompactionPolicy::Levelling, "T2-lvl"),
+        (8, CompactionPolicy::Levelling, "T8-lvl"),
+        (8, CompactionPolicy::Tiering, "T8-tier"),
+    ] {
+        let mut t = LsmTree::with_config(LsmConfig {
+            size_ratio: ratio,
+            policy,
+            memtable_records: 1024,
+            ..Default::default()
+        });
+        let mut k = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(tag), &ratio, |b, _| {
+            b.iter(|| {
+                k += 1;
+                t.insert(k, 1).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Wall-clock benchmarks of the §2 extreme designs (Props 1–3): the
+//! operation each structure minimizes, timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rum_columns::{AppendLog, DenseArray, DirectAddressArray};
+use rum_core::{AccessMethod, Record};
+
+fn bench_props(c: &mut Criterion) {
+    let mut g = c.benchmark_group("props");
+    g.sample_size(20);
+
+    // Prop 1: direct-address point read (the minimal-RO operation).
+    let mut daa = DirectAddressArray::new();
+    for k in 0..65_536u64 {
+        daa.insert(k, k).unwrap();
+    }
+    let mut i = 0u64;
+    g.bench_function("p1_direct_address_get", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 65_536;
+            std::hint::black_box(daa.get(i).unwrap())
+        })
+    });
+
+    // Prop 2: append-log insert (the minimal-UO operation).
+    let mut log = AppendLog::new();
+    let mut k = 0u64;
+    g.bench_function("p2_append_log_insert", |b| {
+        b.iter(|| {
+            k += 1;
+            log.insert(k, 1).unwrap();
+        })
+    });
+
+    // Prop 3: dense-array full scan (the price of minimal MO).
+    let mut arr = DenseArray::new();
+    let recs: Vec<Record> = (0..65_536u64).map(|k| Record::new(k, k)).collect();
+    arr.bulk_load(&recs).unwrap();
+    g.bench_function("p3_dense_array_miss_scan", |b| {
+        b.iter(|| std::hint::black_box(arr.get(u64::MAX).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_props);
+criterion_main!(benches);

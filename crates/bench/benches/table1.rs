@@ -1,0 +1,60 @@
+//! Wall-clock benchmarks of the Table 1 operations: point query, range
+//! query, and insert for each of the six methods at N = 2^16.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rum_bench::{dataset, table1::methods, table1::Table1Params};
+
+fn bench_table1(c: &mut Criterion) {
+    let n = 1 << 16;
+    let data = dataset(n);
+    let params = Table1Params::default();
+
+    let mut g = c.benchmark_group("table1_point");
+    g.sample_size(10);
+    for (name, factory) in methods(params) {
+        let mut m = factory();
+        m.bulk_load(&data).unwrap();
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, _| {
+            b.iter(|| {
+                i = (i + 7919) % n as u64;
+                std::hint::black_box(m.get(2 * i).unwrap())
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table1_range_m512");
+    g.sample_size(10);
+    for (name, factory) in methods(params) {
+        let mut m = factory();
+        m.bulk_load(&data).unwrap();
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, _| {
+            b.iter(|| {
+                i = (i + 4093) % (n as u64 - 512);
+                std::hint::black_box(m.range(2 * i, 2 * i + 1022).unwrap().len())
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table1_insert");
+    g.sample_size(10);
+    for (name, factory) in methods(params) {
+        // Sorted-column inserts shift half the column; keep iterations low.
+        let mut m = factory();
+        m.bulk_load(&data).unwrap();
+        let mut k = 2 * n as u64 + 1;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, _| {
+            b.iter(|| {
+                k += 2;
+                m.insert(k, 1).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

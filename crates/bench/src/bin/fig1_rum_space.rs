@@ -1,0 +1,22 @@
+//! Regenerates Figure 1 of the paper: every access method in the standard
+//! suite, measured on one mixed workload and placed in the RUM triangle.
+//!
+//! Usage: `cargo run --release -p rum-bench --bin fig1_rum_space [--quick]`
+
+use rum_bench::fig1;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, ops) = if quick { (1 << 13, 1 << 11) } else { (1 << 15, 1 << 13) };
+    let placements = fig1::run(n, ops, 0x0F16_0001);
+    println!("{}", fig1::render(&placements));
+    println!("=== Shape checks (the paper's qualitative placement) ===");
+    let mut all_ok = true;
+    for (desc, ok) in fig1::shape_checks(&placements) {
+        println!("  [{}] {desc}", if ok { "PASS" } else { "FAIL" });
+        all_ok &= ok;
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

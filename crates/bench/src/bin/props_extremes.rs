@@ -1,0 +1,16 @@
+//! Regenerates §2 of the paper: Propositions 1–3.
+//!
+//! Usage: `cargo run --release -p rum-bench --bin props_extremes`
+
+fn main() {
+    println!("{}", rum_bench::props::report());
+    println!("=== Verdicts ===");
+    let mut all_ok = true;
+    for (desc, ok) in rum_bench::props::verdicts() {
+        println!("  [{}] {desc}", if ok { "PASS" } else { "FAIL" });
+        all_ok &= ok;
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Figure 2 of the paper: "RUM overheads in memory hierarchies."
+//!
+//! "The RO_n read and the UO_n update overheads at memory level n can be
+//! reduced by storing more data, updates, or meta-data, at the previous
+//! level n−1, which results, at least, in a higher MO_{n−1}."
+//!
+//! A B+-tree runs over a two-level hierarchy (DRAM buffer above a storage
+//! device). The buffer's capacity — its MO at level n−1 — is swept; the
+//! storage level's reads (RO_n) and writes (UO_n) fall monotonically as
+//! the buffer grows.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rum_btree::{BTree, BTreeConfig};
+use rum_core::workload::{value_for, Zipfian};
+use rum_core::AccessMethod;
+use rum_storage::{BlockDevice, DeviceProfile, HierarchySpec, MemoryHierarchy};
+
+/// One measured hierarchy configuration.
+#[derive(Clone, Debug)]
+pub struct Fig2Row {
+    /// Buffer capacity in pages — MO spent at level n−1.
+    pub buffer_pages: usize,
+    /// Level n−1 (buffer) reads absorbed.
+    pub buffer_reads: u64,
+    /// Level n (storage) reads — RO_n.
+    pub storage_reads: u64,
+    /// Level n (storage) writes — UO_n.
+    pub storage_writes: u64,
+    /// Total simulated time, milliseconds.
+    pub sim_ms: f64,
+}
+
+/// Run the sweep: `n` records, a zipfian read/update workload of
+/// `operations` ops, buffer capacity swept over `buffer_sweep`.
+pub fn run(
+    n: usize,
+    operations: usize,
+    buffer_sweep: &[usize],
+    storage: DeviceProfile,
+) -> Vec<Fig2Row> {
+    let records = crate::dataset(n);
+    buffer_sweep
+        .iter()
+        .map(|&buffer_pages| {
+            let hierarchy =
+                MemoryHierarchy::new(HierarchySpec::buffer_and_storage(buffer_pages, storage));
+            let mut tree = BTree::with_device(hierarchy, BTreeConfig::default());
+            tree.bulk_load(&records).expect("load");
+            // Quiesce load traffic so the measurement is the workload's.
+            tree.device_mut().sync().expect("sync");
+            for lvl in 0..tree.device().levels() {
+                tree.device().level_stats(lvl).reset();
+            }
+
+            let zipf = Zipfian::new(n, 0.9);
+            let mut rng = StdRng::seed_from_u64(0x0F16_0002);
+            for i in 0..operations {
+                let key = 2 * zipf.sample(&mut rng) as u64;
+                if i % 10 == 0 {
+                    tree.update(key, value_for(key, i as u64)).expect("update");
+                } else {
+                    tree.get(key).expect("get");
+                }
+            }
+            tree.device_mut().sync().expect("sync");
+
+            let h = tree.device();
+            Fig2Row {
+                buffer_pages,
+                buffer_reads: h.level_stats(0).reads(),
+                storage_reads: h.level_stats(1).reads(),
+                storage_writes: h.level_stats(1).writes(),
+                sim_ms: h.total_sim_ns() as f64 / 1e6,
+            }
+        })
+        .collect()
+}
+
+/// Render the sweep as a table.
+pub fn render(rows: &[Fig2Row], n: usize, operations: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== Figure 2: two-level hierarchy, B+-tree of N={n}, {operations} zipfian ops (90% read / 10% update) ===\n"
+    ));
+    out.push_str(&format!(
+        "{:>12} {:>14} {:>14} {:>15} {:>10}\n",
+        "buffer(pg)", "buffer reads", "storage reads", "storage writes", "sim(ms)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>12} {:>14} {:>14} {:>15} {:>10.2}\n",
+            r.buffer_pages, r.buffer_reads, r.storage_reads, r.storage_writes, r.sim_ms
+        ));
+    }
+    out
+}
+
+/// Figure 2's claim, checked: storage-level reads and writes fall
+/// monotonically (within tolerance) as the buffer grows.
+pub fn shape_checks(rows: &[Fig2Row]) -> Vec<(String, bool)> {
+    let mut checks = Vec::new();
+    let reads_monotone = rows
+        .windows(2)
+        .all(|w| w[1].storage_reads <= w[0].storage_reads);
+    let writes_monotone = rows
+        .windows(2)
+        .all(|w| w[1].storage_writes <= w[0].storage_writes + w[0].storage_writes / 10);
+    checks.push((
+        "MO at level n−1 buys down RO at level n (storage reads fall)".into(),
+        reads_monotone,
+    ));
+    checks.push((
+        "MO at level n−1 buys down UO at level n (storage writes fall)".into(),
+        writes_monotone,
+    ));
+    checks.push((
+        "the largest buffer absorbs ≥90% of the smallest buffer's storage reads".into(),
+        (rows.last().expect("rows").storage_reads as f64)
+            < 0.1 * rows.first().expect("rows").storage_reads.max(1) as f64,
+    ));
+    checks.push((
+        "simulated time falls as the buffer grows".into(),
+        rows.last().unwrap().sim_ms < rows.first().unwrap().sim_ms,
+    ));
+    checks
+}

@@ -1,0 +1,359 @@
+//! Table 1 of the paper: empirical I/O cost (page accesses) of the six
+//! access methods, swept over dataset sizes, against the analytic
+//! complexity the paper lists.
+//!
+//! The paper's asymptotics, with `B = 256` records/page:
+//!
+//! | method | point | range(m) | insert/update/delete | size |
+//! |---|---|---|---|---|
+//! | B+-Tree | `log_B N` | `log_B N + m/B` | `log_B N` | `N/B` |
+//! | Perfect Hash | `1` | `N/B` | `1` | `N/B` |
+//! | ZoneMaps | `N/P/B` | `N/P/B + m/B` | `N/P/B` | `N/P/B` |
+//! | Levelled LSM | `log_T(N/B)·log_B N` | `... + m·T/(T−1)/B` | `T/B·log_T(N/B)` | `N·T/(T−1)` |
+//! | Sorted column | `log₂ N` | `log₂ N + m/B` | `N/B/2` | `1` (no aux) |
+//! | Unsorted column | `N/B/2` | `N/B` | `1` | `1` (no aux) |
+
+use rum_btree::BTree;
+use rum_columns::{SortedColumn, UnsortedColumn};
+use rum_core::{AccessMethod, RECORDS_PER_PAGE};
+use rum_hash::StaticHash;
+use rum_lsm::{LsmConfig, LsmTree};
+use rum_sparse::{ZoneMapConfig, ZoneMappedColumn};
+
+use crate::{
+    dataset, fmt_cell, insert_cost, load_cost, log_b, point_query_cost, range_query_cost,
+    update_cost,
+};
+
+/// Experiment parameters (the parameter table atop the paper's Table 1).
+#[derive(Clone, Copy, Debug)]
+pub struct Table1Params {
+    /// Range-query result size `m` in records.
+    pub m: usize,
+    /// ZoneMap partition size `P` in records.
+    pub partition: usize,
+    /// LSM size ratio `T`.
+    pub size_ratio: usize,
+    /// LSM memtable (`MEM`) in records.
+    pub memtable: usize,
+}
+
+impl Default for Table1Params {
+    fn default() -> Self {
+        Table1Params {
+            m: 512,
+            partition: 16 * RECORDS_PER_PAGE,
+            size_ratio: 4,
+            memtable: 4096,
+        }
+    }
+}
+
+/// One measured row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    pub method: String,
+    pub n: usize,
+    /// Pages written during bulk creation.
+    pub load_pages: u64,
+    /// Total physical footprint in pages.
+    pub size_pages: f64,
+    pub mo: f64,
+    /// Mean page accesses per operation.
+    pub point_pages: f64,
+    pub range_pages: f64,
+    pub insert_pages: f64,
+    pub update_pages: f64,
+}
+
+/// The six methods of Table 1 as boxed factories.
+pub fn methods(p: Table1Params) -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn AccessMethod>>)> {
+    vec![
+        ("B+-Tree", Box::new(|| Box::new(BTree::new()) as Box<dyn AccessMethod>)),
+        (
+            "Perfect Hash",
+            Box::new(|| Box::new(StaticHash::new()) as Box<dyn AccessMethod>),
+        ),
+        (
+            "ZoneMaps",
+            Box::new(move || {
+                Box::new(ZoneMappedColumn::with_config(ZoneMapConfig {
+                    partition_records: p.partition,
+                    blind_appends: true,
+                })) as Box<dyn AccessMethod>
+            }),
+        ),
+        (
+            "Levelled LSM",
+            Box::new(move || {
+                // No Bloom filters: the paper's Table 1 cost formula
+                // predates per-run filters (their effect is measured in
+                // the Figure 3 sweep and the ablation benches instead).
+                Box::new(LsmTree::with_config(LsmConfig {
+                    memtable_records: p.memtable,
+                    size_ratio: p.size_ratio,
+                    bloom_bits_per_key: 0.0,
+                    ..Default::default()
+                })) as Box<dyn AccessMethod>
+            }),
+        ),
+        (
+            "Sorted column",
+            Box::new(|| Box::new(SortedColumn::new()) as Box<dyn AccessMethod>),
+        ),
+        (
+            // Blind appends: the paper's O(1) heap insert (no uniqueness
+            // scan; the workload only inserts fresh keys).
+            "Unsorted column",
+            Box::new(|| Box::new(UnsortedColumn::blind_appends()) as Box<dyn AccessMethod>),
+        ),
+    ]
+}
+
+/// Number of inserts to average over, per method. Structures with
+/// amortized write paths (LSM) need enough inserts to cross flush and
+/// compaction boundaries; structures with deterministic per-op cost
+/// (sorted column: half the column shifts!) get few.
+fn insert_samples(method: &str, p: &Table1Params) -> usize {
+    match method {
+        "Levelled LSM" => 4 * p.memtable,
+        "Sorted column" => 8,
+        _ => 64,
+    }
+}
+
+/// Measure one method at one dataset size.
+pub fn measure(
+    name: &str,
+    factory: &dyn Fn() -> Box<dyn AccessMethod>,
+    n: usize,
+    p: &Table1Params,
+) -> Table1Row {
+    let mut m = factory();
+    let data = dataset(n);
+    let (load_pages, _load_size_pages, _load_mo) = load_cost(m.as_mut(), &data);
+    if name == "Levelled LSM" {
+        // Drive the LSM into steady state: a pristine bulk-loaded tree is
+        // one perfect run (reads as cheap as a sorted column), which is
+        // not the multi-level shape Table 1 describes. Churn a slice of
+        // the keys so several levels hold live data.
+        let churn = (2 * p.memtable).min(n / 2);
+        update_cost(m.as_mut(), n, churn);
+        // Flush the memtable: the paper's LSM read model probes runs, not
+        // a warm write buffer (memtable hits would undercut even hashing).
+        m.flush().expect("flush");
+        m.tracker().reset();
+    }
+    let point = point_query_cost(m.as_mut(), n, 64);
+    let range = range_query_cost(m.as_mut(), n, p.m, 16);
+    let update = update_cost(m.as_mut(), n, 32);
+    let insert = insert_cost(m.as_mut(), n, insert_samples(name, p));
+    // Footprint measured at the END of the run: for history-dependent
+    // structures (the LSM) the pristine bulk-loaded state undersells the
+    // space the method actually occupies in steady state.
+    let profile = m.space_profile();
+    let size_pages = profile.total_bytes() as f64 / rum_core::PAGE_SIZE as f64;
+    let mo = profile.space_amplification();
+    Table1Row {
+        method: name.to_string(),
+        n,
+        load_pages,
+        size_pages,
+        mo,
+        point_pages: point.pages,
+        range_pages: range.pages,
+        insert_pages: insert.pages,
+        update_pages: update.pages,
+    }
+}
+
+/// Run the full sweep.
+pub fn run(ns: &[usize], params: Table1Params) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for &n in ns {
+        for (name, factory) in methods(params) {
+            eprintln!("[table1] measuring {name} @ N={n} ...");
+            let t0 = std::time::Instant::now();
+            rows.push(measure(name, factory.as_ref(), n, &params));
+            eprintln!("[table1]   done in {:.1}s", t0.elapsed().as_secs_f32());
+        }
+    }
+    rows
+}
+
+/// Analytic expectation (in page accesses) for a method/op, straight from
+/// the paper's formulas — printed beside the measurements.
+pub fn analytic(method: &str, op: &str, n: usize, p: &Table1Params) -> f64 {
+    let nf = n as f64;
+    let b = RECORDS_PER_PAGE as f64;
+    let m = p.m as f64;
+    let pt = p.partition as f64;
+    let t = p.size_ratio as f64;
+    let pages = nf / b;
+    let _zones = nf / pt;
+    let lsm_levels = (pages / (p.memtable as f64 / b)).ln() / t.ln();
+    match (method, op) {
+        ("B+-Tree", "point") => log_b(nf),
+        ("B+-Tree", "range") => log_b(nf) + m / b,
+        ("B+-Tree", "insert") => log_b(nf) + 1.0,
+        ("Perfect Hash", "point") => 1.0,
+        ("Perfect Hash", "range") => pages / 0.5, // table sized at 50% load
+        ("Perfect Hash", "insert") => 1.0,
+        ("ZoneMaps", "point") => pt / b, // one partition (clustered best case)
+        ("ZoneMaps", "range") => pt / b + m / b,
+        ("ZoneMaps", "insert") => 2.0, // scan-free append + metadata
+        ("Levelled LSM", "point") => lsm_levels.max(1.0),
+        ("Levelled LSM", "range") => lsm_levels.max(1.0) + (m / b) * t / (t - 1.0),
+        ("Levelled LSM", "insert") => (t / b) * lsm_levels.max(1.0) * 2.0,
+        ("Sorted column", "point") => (pages).log2().max(1.0),
+        ("Sorted column", "range") => (pages).log2().max(1.0) + m / b,
+        ("Sorted column", "insert") => pages, // read+write half the column
+        ("Unsorted column", "point") => pages / 2.0,
+        ("Unsorted column", "range") => pages,
+        ("Unsorted column", "insert") => 2.0, // blind append: RMW the tail page
+        _ => f64::NAN,
+    }
+}
+
+/// Render measured-vs-analytic tables, one per dataset size.
+pub fn render(rows: &[Table1Row], params: &Table1Params) -> String {
+    let mut out = String::new();
+    let mut ns: Vec<usize> = rows.iter().map(|r| r.n).collect();
+    ns.sort_unstable();
+    ns.dedup();
+    for n in ns {
+        out.push_str(&format!(
+            "\n=== Table 1 @ N = {n} (B = {}, m = {}, P = {}, T = {}) ===\n",
+            RECORDS_PER_PAGE, params.m, params.partition, params.size_ratio
+        ));
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>10} {:>8} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>10}\n",
+            "method",
+            "load(pgW)",
+            "size(pg)",
+            "MO",
+            "point",
+            "(theory)",
+            "range",
+            "(theory)",
+            "insert",
+            "(theory)",
+            "update"
+        ));
+        for r in rows.iter().filter(|r| r.n == n) {
+            out.push_str(&format!(
+                "{:<16} {:>10} {} {:>8.3} | {} {} | {} {} | {} {} | {}\n",
+                r.method,
+                r.load_pages,
+                fmt_cell(r.size_pages),
+                r.mo,
+                fmt_cell(r.point_pages),
+                fmt_cell(analytic(&r.method, "point", n, params)),
+                fmt_cell(r.range_pages),
+                fmt_cell(analytic(&r.method, "range", n, params)),
+                fmt_cell(r.insert_pages),
+                fmt_cell(analytic(&r.method, "insert", n, params)),
+                fmt_cell(r.update_pages),
+            ));
+        }
+    }
+    out
+}
+
+/// The paper's qualitative claims about Table 1, checked against the
+/// measurements. Every claim is a (description, holds?) pair.
+pub fn shape_checks(rows: &[Table1Row]) -> Vec<(String, bool)> {
+    let mut ns: Vec<usize> = rows.iter().map(|r| r.n).collect();
+    ns.sort_unstable();
+    ns.dedup();
+    let small = *ns.first().expect("at least one N");
+    let large = *ns.last().expect("at least one N");
+    let get = |method: &str, n: usize| -> &Table1Row {
+        rows.iter()
+            .find(|r| r.method == method && r.n == n)
+            .expect("row")
+    };
+    let growth = |method: &str, f: fn(&Table1Row) -> f64| f(get(method, large)) / f(get(method, small)).max(1e-9);
+    let n_ratio = large as f64 / small as f64;
+
+    let mut checks = Vec::new();
+    checks.push((
+        "hash point query is O(1): flat across N".into(),
+        growth("Perfect Hash", |r| r.point_pages) < 1.5,
+    ));
+    checks.push((
+        "B+-tree point query grows ≤ +2 pages over the sweep (log_B N)".into(),
+        get("B+-Tree", large).point_pages - get("B+-Tree", small).point_pages <= 2.0,
+    ));
+    checks.push((
+        "unsorted column point query grows ~linearly with N".into(),
+        growth("Unsorted column", |r| r.point_pages) > n_ratio * 0.4,
+    ));
+    checks.push((
+        "sorted column point query grows ≪ linearly (log₂ N)".into(),
+        growth("Sorted column", |r| r.point_pages) < 4.0,
+    ));
+    checks.push((
+        "Hash Indexes offer the fastest point queries".into(),
+        ["B+-Tree", "ZoneMaps", "Levelled LSM", "Sorted column", "Unsorted column"]
+            .iter()
+            .all(|m| get("Perfect Hash", large).point_pages <= get(m, large).point_pages),
+    ));
+    checks.push((
+        "B+-Trees offer the fastest range queries (vs hash/zonemap/columns)".into(),
+        ["Perfect Hash", "ZoneMaps", "Unsorted column"]
+            .iter()
+            .all(|m| get("B+-Tree", large).range_pages <= get(m, large).range_pages * 1.05),
+    ));
+    checks.push((
+        "\"LSM can support efficient range queries\": within 1.5x of the B+-tree".into(),
+        get("Levelled LSM", large).range_pages
+            <= get("B+-Tree", large).range_pages * 1.5
+            && get("Levelled LSM", large).range_pages * 1.5
+                >= get("B+-Tree", large).range_pages,
+    ));
+    checks.push((
+        // Small epsilon: at test-scale N the LSM's single bloom-free run
+        // ties the zonemap's footprint to within page slack.
+        "ZoneMaps have the smallest index size (lowest MO of the indexed methods)".into(),
+        ["B+-Tree", "Perfect Hash", "Levelled LSM"]
+            .iter()
+            .all(|m| get("ZoneMaps", large).mo <= get(m, large).mo + 0.01),
+    ));
+    checks.push((
+        "LSM inserts are far cheaper than B+-tree inserts (amortized)".into(),
+        get("Levelled LSM", large).insert_pages * 4.0 < get("B+-Tree", large).insert_pages,
+    ));
+    checks.push((
+        "hash range query is a full scan (grows ~linearly)".into(),
+        growth("Perfect Hash", |r| r.range_pages) > n_ratio * 0.4,
+    ));
+    checks.push((
+        "sorted column insert shifts ~half the column (linear in N)".into(),
+        growth("Sorted column", |r| r.insert_pages) > n_ratio * 0.4,
+    ));
+    checks.push((
+        "unsorted column append insert is cheap and flat (O(1))".into(),
+        get("Unsorted column", large).insert_pages <= 3.0
+            && get("Unsorted column", small).insert_pages <= 3.0,
+    ));
+    checks.push((
+        "zonemap append insert is cheap (sparse-index maintenance only)".into(),
+        get("ZoneMaps", large).insert_pages <= 4.0,
+    ));
+    checks.push((
+        // Tolerance covers last-page slack, which shrinks with N.
+        "sorted/unsorted columns carry no auxiliary space (MO ≈ 1)".into(),
+        get("Sorted column", large).mo < 1.05 && get("Unsorted column", large).mo < 1.05,
+    ));
+    checks.push((
+        "there is no single winner across all columns".into(),
+        {
+            // The point-query winner must lose a different column.
+            let point_winner = "Perfect Hash";
+            get(point_winner, large).range_pages > get("B+-Tree", large).range_pages
+                && get(point_winner, large).mo > get("Sorted column", large).mo
+        },
+    ));
+    checks
+}

@@ -1,0 +1,265 @@
+//! B+-tree node layout: fixed-size byte buffers of `node_size` bytes.
+//!
+//! ```text
+//! internal: [tag:u8][pad:u8][count:u16][pad:u32]
+//!           [keys: count × u64][children: (count+1) × u64]
+//! leaf:     [tag:u8][pad:u8][count:u16][pad:u32][next: u64]
+//!           [records: count × 16B]
+//! ```
+
+use rum_core::{Key, Record, Result, RumError, RECORD_SIZE};
+
+/// Identifier of a node within a [`NodeStore`](crate::store::NodeStore).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    pub const INVALID: NodeId = NodeId(u64::MAX);
+
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        *self != NodeId::INVALID
+    }
+}
+
+const TAG_INTERNAL: u8 = 1;
+const TAG_LEAF: u8 = 2;
+const HEADER: usize = 8;
+const LEAF_HEADER: usize = 16; // header + next pointer
+
+/// Maximum keys an internal node of `node_size` bytes can hold.
+pub const fn internal_capacity(node_size: usize) -> usize {
+    // HEADER + cap*8 (keys) + (cap+1)*8 (children) <= node_size
+    (node_size - HEADER - 8) / 16
+}
+
+/// Maximum records a leaf of `node_size` bytes can hold.
+pub const fn leaf_capacity(node_size: usize) -> usize {
+    (node_size - LEAF_HEADER) / RECORD_SIZE
+}
+
+/// A decoded B+-tree node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Node {
+    Internal {
+        /// Separator keys; `children[i]` covers keys `< keys[i]`,
+        /// `children[len]` covers the rest.
+        keys: Vec<Key>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        /// Records sorted by strictly ascending key.
+        records: Vec<Record>,
+        /// Right sibling for range scans.
+        next: NodeId,
+    },
+}
+
+impl Node {
+    pub fn empty_leaf() -> Node {
+        Node::Leaf {
+            records: Vec::new(),
+            next: NodeId::INVALID,
+        }
+    }
+
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Entry count (keys for internal, records for leaf).
+    pub fn count(&self) -> usize {
+        match self {
+            Node::Internal { keys, .. } => keys.len(),
+            Node::Leaf { records, .. } => records.len(),
+        }
+    }
+
+    /// Serialize into a `node_size` buffer.
+    pub fn encode(&self, node_size: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; node_size];
+        match self {
+            Node::Internal { keys, children } => {
+                if keys.len() > internal_capacity(node_size) {
+                    return Err(RumError::Corrupt(format!(
+                        "internal node with {} keys exceeds capacity {}",
+                        keys.len(),
+                        internal_capacity(node_size)
+                    )));
+                }
+                if children.len() != keys.len() + 1 {
+                    return Err(RumError::Corrupt(format!(
+                        "internal node: {} keys but {} children",
+                        keys.len(),
+                        children.len()
+                    )));
+                }
+                buf[0] = TAG_INTERNAL;
+                buf[2..4].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                let cap = internal_capacity(node_size);
+                for (i, k) in keys.iter().enumerate() {
+                    let off = HEADER + i * 8;
+                    buf[off..off + 8].copy_from_slice(&k.to_le_bytes());
+                }
+                let child_base = HEADER + cap * 8;
+                for (i, c) in children.iter().enumerate() {
+                    let off = child_base + i * 8;
+                    buf[off..off + 8].copy_from_slice(&c.0.to_le_bytes());
+                }
+            }
+            Node::Leaf { records, next } => {
+                if records.len() > leaf_capacity(node_size) {
+                    return Err(RumError::Corrupt(format!(
+                        "leaf with {} records exceeds capacity {}",
+                        records.len(),
+                        leaf_capacity(node_size)
+                    )));
+                }
+                buf[0] = TAG_LEAF;
+                buf[2..4].copy_from_slice(&(records.len() as u16).to_le_bytes());
+                buf[8..16].copy_from_slice(&next.0.to_le_bytes());
+                for (i, r) in records.iter().enumerate() {
+                    let off = LEAF_HEADER + i * RECORD_SIZE;
+                    r.encode_into(&mut buf[off..off + RECORD_SIZE]);
+                }
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Deserialize from a `node_size` buffer.
+    pub fn decode(buf: &[u8]) -> Result<Node> {
+        let node_size = buf.len();
+        let count = u16::from_le_bytes(buf[2..4].try_into().unwrap()) as usize;
+        match buf[0] {
+            TAG_INTERNAL => {
+                let cap = internal_capacity(node_size);
+                if count > cap {
+                    return Err(RumError::Corrupt(format!(
+                        "internal count {count} exceeds capacity {cap}"
+                    )));
+                }
+                let keys = (0..count)
+                    .map(|i| {
+                        let off = HEADER + i * 8;
+                        Key::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+                    })
+                    .collect();
+                let child_base = HEADER + cap * 8;
+                let children = (0..=count)
+                    .map(|i| {
+                        let off = child_base + i * 8;
+                        NodeId(u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()))
+                    })
+                    .collect();
+                Ok(Node::Internal { keys, children })
+            }
+            TAG_LEAF => {
+                if count > leaf_capacity(node_size) {
+                    return Err(RumError::Corrupt(format!(
+                        "leaf count {count} exceeds capacity {}",
+                        leaf_capacity(node_size)
+                    )));
+                }
+                let next = NodeId(u64::from_le_bytes(buf[8..16].try_into().unwrap()));
+                let records = (0..count)
+                    .map(|i| {
+                        let off = LEAF_HEADER + i * RECORD_SIZE;
+                        Record::decode(&buf[off..off + RECORD_SIZE])
+                    })
+                    .collect();
+                Ok(Node::Leaf { records, next })
+            }
+            t => Err(RumError::Corrupt(format!("unknown node tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_at_page_size() {
+        assert_eq!(internal_capacity(4096), 255);
+        assert_eq!(leaf_capacity(4096), 255);
+        // Sub-page and multi-page nodes.
+        assert_eq!(leaf_capacity(512), 31);
+        assert_eq!(leaf_capacity(16384), 1023);
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let n = Node::Leaf {
+            records: (0..100).map(|k| Record::new(k, k * 3)).collect(),
+            next: NodeId(42),
+        };
+        let buf = n.encode(4096).unwrap();
+        assert_eq!(Node::decode(&buf).unwrap(), n);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let n = Node::Internal {
+            keys: vec![10, 20, 30],
+            children: vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)],
+        };
+        let buf = n.encode(4096).unwrap();
+        assert_eq!(Node::decode(&buf).unwrap(), n);
+    }
+
+    #[test]
+    fn roundtrip_at_odd_node_sizes() {
+        for size in [256usize, 512, 1000, 4096, 8192] {
+            let cap = leaf_capacity(size);
+            let n = Node::Leaf {
+                records: (0..cap as u64).map(|k| Record::new(k, k)).collect(),
+                next: NodeId::INVALID,
+            };
+            let buf = n.encode(size).unwrap();
+            assert_eq!(buf.len(), size);
+            assert_eq!(Node::decode(&buf).unwrap(), n);
+
+            let icap = internal_capacity(size);
+            let n = Node::Internal {
+                keys: (0..icap as u64).collect(),
+                children: (0..=icap as u64).map(NodeId).collect(),
+            };
+            assert_eq!(Node::decode(&n.encode(size).unwrap()).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn overflow_is_rejected() {
+        let n = Node::Leaf {
+            records: (0..300).map(|k| Record::new(k, k)).collect(),
+            next: NodeId::INVALID,
+        };
+        assert!(n.encode(4096).is_err());
+    }
+
+    #[test]
+    fn mismatched_children_rejected() {
+        let n = Node::Internal {
+            keys: vec![1, 2],
+            children: vec![NodeId(1), NodeId(2)], // should be 3
+        };
+        assert!(n.encode(4096).is_err());
+    }
+
+    #[test]
+    fn garbage_tag_rejected() {
+        let buf = vec![9u8; 4096];
+        assert!(Node::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn empty_leaf_roundtrip() {
+        let n = Node::empty_leaf();
+        let buf = n.encode(256).unwrap();
+        let d = Node::decode(&buf).unwrap();
+        assert_eq!(d, n);
+        assert_eq!(d.count(), 0);
+        assert!(d.is_leaf());
+    }
+}

@@ -1,0 +1,206 @@
+//! Node storage: maps logical nodes onto one or more 4 KiB pages.
+//!
+//! A node of `node_size` bytes occupies `ceil(node_size / PAGE_SIZE)`
+//! pages; every node access charges all of them — which is exactly how a
+//! larger node buys fewer levels (lower RO in probes) at the price of more
+//! bytes per touch (higher RO in bytes and higher UO per update). This is
+//! the node-size axis of the paper's §5 tunable B-tree.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rum_core::{CostTracker, DataClass, Result, RumError, PAGE_SIZE};
+use rum_storage::{BlockDevice, PageBuf, PageId, Pager};
+
+use crate::node::{Node, NodeId};
+
+/// Allocates, reads and writes nodes over a [`Pager`].
+pub struct NodeStore<D: BlockDevice> {
+    pager: Pager<D>,
+    node_size: usize,
+    pages_per_node: usize,
+    directory: HashMap<NodeId, Vec<PageId>>,
+    next_id: u64,
+}
+
+impl<D: BlockDevice> NodeStore<D> {
+    pub fn new(device: D, tracker: Arc<CostTracker>, node_size: usize) -> Self {
+        assert!(node_size >= 64, "node_size must be at least 64 bytes");
+        NodeStore {
+            pager: Pager::new(device, tracker),
+            node_size,
+            pages_per_node: node_size.div_ceil(PAGE_SIZE),
+            directory: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    pub fn node_size(&self) -> usize {
+        self.node_size
+    }
+
+    pub fn pager(&self) -> &Pager<D> {
+        &self.pager
+    }
+
+    pub fn pager_mut(&mut self) -> &mut Pager<D> {
+        &mut self.pager
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Physical bytes occupied (pages are the allocation unit, so sub-page
+    /// nodes still burn whole pages — their slack is real MO).
+    pub fn physical_bytes(&self) -> u64 {
+        self.pager.physical_bytes() + self.directory_bytes()
+    }
+
+    /// In-memory directory overhead.
+    pub fn directory_bytes(&self) -> u64 {
+        (self.directory.len() * (8 + self.pages_per_node * 8)) as u64
+    }
+
+    /// Allocate an empty node.
+    pub fn allocate(&mut self) -> Result<NodeId> {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        let pages = (0..self.pages_per_node)
+            .map(|_| self.pager.allocate())
+            .collect::<Result<Vec<_>>>()?;
+        self.directory.insert(id, pages);
+        Ok(id)
+    }
+
+    /// Free a node and its pages.
+    pub fn free(&mut self, id: NodeId) -> Result<()> {
+        let pages = self
+            .directory
+            .remove(&id)
+            .ok_or_else(|| RumError::Storage(format!("free of unknown node {id:?}")))?;
+        for p in pages {
+            self.pager.free(p)?;
+        }
+        Ok(())
+    }
+
+    /// Read and decode a node, charging `pages_per_node` page accesses of
+    /// `class` traffic.
+    pub fn read(&mut self, id: NodeId, class: DataClass) -> Result<Node> {
+        let pages = self
+            .directory
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| RumError::Storage(format!("read of unknown node {id:?}")))?;
+        let mut buf = Vec::with_capacity(self.pages_per_node * PAGE_SIZE);
+        for p in pages {
+            let pg = self.pager.read(p, class)?;
+            buf.extend_from_slice(&pg);
+        }
+        buf.truncate(self.node_size.max(PAGE_SIZE).min(buf.len()));
+        // Sub-page nodes decode from the node_size prefix.
+        Node::decode(&buf[..self.node_size.min(buf.len())])
+    }
+
+    /// Encode and write a node, charging `pages_per_node` page accesses.
+    pub fn write(&mut self, id: NodeId, class: DataClass, node: &Node) -> Result<()> {
+        let pages = self
+            .directory
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| RumError::Storage(format!("write of unknown node {id:?}")))?;
+        let mut buf = node.encode(self.node_size)?;
+        buf.resize(self.pages_per_node * PAGE_SIZE, 0);
+        for (i, p) in pages.iter().enumerate() {
+            let page = PageBuf::from_bytes(&buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
+            self.pager.write(*p, class, &page)?;
+        }
+        Ok(())
+    }
+
+    /// Free every node (used by bulk load).
+    pub fn clear(&mut self) -> Result<()> {
+        let ids: Vec<NodeId> = self.directory.keys().copied().collect();
+        for id in ids {
+            self.free(id)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rum_core::Record;
+    use rum_storage::MemDevice;
+
+    fn store(node_size: usize) -> NodeStore<MemDevice> {
+        NodeStore::new(MemDevice::new(), CostTracker::new(), node_size)
+    }
+
+    #[test]
+    fn node_roundtrip_single_page() {
+        let mut s = store(4096);
+        let id = s.allocate().unwrap();
+        let n = Node::Leaf {
+            records: (0..50).map(|k| Record::new(k, k)).collect(),
+            next: NodeId::INVALID,
+        };
+        s.write(id, DataClass::Base, &n).unwrap();
+        assert_eq!(s.read(id, DataClass::Base).unwrap(), n);
+    }
+
+    #[test]
+    fn node_roundtrip_multi_page() {
+        let mut s = store(16384); // 4 pages per node
+        let id = s.allocate().unwrap();
+        let n = Node::Leaf {
+            records: (0..1000).map(|k| Record::new(k, k * 7)).collect(),
+            next: NodeId(3),
+        };
+        s.write(id, DataClass::Base, &n).unwrap();
+        let before = s.pager().tracker().snapshot();
+        assert_eq!(s.read(id, DataClass::Base).unwrap(), n);
+        let d = s.pager().tracker().since(&before);
+        assert_eq!(d.page_reads, 4, "multi-page node charges all its pages");
+    }
+
+    #[test]
+    fn node_roundtrip_sub_page() {
+        let mut s = store(512);
+        let id = s.allocate().unwrap();
+        let n = Node::Internal {
+            keys: vec![5, 10],
+            children: vec![NodeId(1), NodeId(2), NodeId(3)],
+        };
+        s.write(id, DataClass::Aux, &n).unwrap();
+        assert_eq!(s.read(id, DataClass::Aux).unwrap(), n);
+        // A sub-page node still burns a whole page.
+        assert!(s.physical_bytes() >= 4096);
+    }
+
+    #[test]
+    fn free_releases_pages() {
+        let mut s = store(8192);
+        let id = s.allocate().unwrap();
+        assert_eq!(s.pager().live_pages(), 2);
+        s.free(id).unwrap();
+        assert_eq!(s.pager().live_pages(), 0);
+        assert!(s.read(id, DataClass::Base).is_err());
+        assert!(s.free(id).is_err());
+    }
+
+    #[test]
+    fn clear_frees_everything() {
+        let mut s = store(4096);
+        for _ in 0..10 {
+            s.allocate().unwrap();
+        }
+        assert_eq!(s.node_count(), 10);
+        s.clear().unwrap();
+        assert_eq!(s.node_count(), 0);
+        assert_eq!(s.pager().live_pages(), 0);
+    }
+}

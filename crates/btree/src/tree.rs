@@ -1,0 +1,714 @@
+//! The B+-tree proper.
+
+use std::sync::Arc;
+
+use rum_core::{
+    check_bulk_input, AccessMethod, CostTracker, DataClass, Key, Record, Result, RumError,
+    SpaceProfile, Value,
+};
+use rum_storage::{BlockDevice, MemDevice};
+
+use crate::node::{internal_capacity, leaf_capacity, Node, NodeId};
+use crate::store::NodeStore;
+
+/// How a full node splits on insert — the "split condition" knob of §5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// Split in the middle: robust for random inserts.
+    Half,
+    /// If the insert lands at the far right of the node, keep the left node
+    /// completely full and start a nearly-empty right node. Sequential
+    /// ingest then packs leaves at ~100% instead of ~50%, trading MO for
+    /// nothing — *if* the workload really is sequential.
+    RightHeavy,
+}
+
+/// Tuning knobs (§5: "dynamically tuned parameters, including tree height,
+/// node size, and split condition").
+#[derive(Clone, Copy, Debug)]
+pub struct BTreeConfig {
+    /// Node size in bytes. May be less than a page (the slack is honest MO)
+    /// or several pages (each node access charges them all).
+    pub node_size: usize,
+    /// Bulk-load fill factor in (0, 1]: lower leaves room for future
+    /// inserts (fewer splits — lower UO) at the price of more nodes
+    /// (higher MO and slightly higher RO).
+    pub fill_factor: f64,
+    pub split_policy: SplitPolicy,
+}
+
+impl Default for BTreeConfig {
+    fn default() -> Self {
+        BTreeConfig {
+            node_size: rum_core::PAGE_SIZE,
+            fill_factor: 1.0,
+            split_policy: SplitPolicy::Half,
+        }
+    }
+}
+
+/// A clustered B+-tree over any block device.
+pub struct BTree<D: BlockDevice = MemDevice> {
+    store: NodeStore<D>,
+    tracker: Arc<CostTracker>,
+    config: BTreeConfig,
+    root: NodeId,
+    height: usize,
+    len: usize,
+}
+
+impl BTree<MemDevice> {
+    /// A tree with default configuration over a fresh in-memory device.
+    pub fn new() -> Self {
+        Self::with_config(BTreeConfig::default())
+    }
+
+    /// A tree with the given configuration over a fresh in-memory device.
+    pub fn with_config(config: BTreeConfig) -> Self {
+        Self::with_device(MemDevice::new(), config)
+    }
+}
+
+impl Default for BTree<MemDevice> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<D: BlockDevice> BTree<D> {
+    /// A tree over a caller-supplied device (e.g. a
+    /// [`MemoryHierarchy`](rum_storage::MemoryHierarchy) for the Figure 2
+    /// experiment).
+    pub fn with_device(device: D, config: BTreeConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.fill_factor) && config.fill_factor > 0.0,
+            "fill_factor must be in (0, 1]"
+        );
+        assert!(
+            leaf_capacity(config.node_size) >= 2 && internal_capacity(config.node_size) >= 2,
+            "node_size {} too small for a B-tree node",
+            config.node_size
+        );
+        let tracker = CostTracker::new();
+        let mut store = NodeStore::new(device, Arc::clone(&tracker), config.node_size);
+        let root = store.allocate().expect("allocating the root leaf");
+        store
+            .write(root, DataClass::Base, &Node::empty_leaf())
+            .expect("writing the root leaf");
+        tracker.reset(); // construction is not workload traffic
+        BTree {
+            store,
+            tracker,
+            config,
+            root,
+            height: 1,
+            len: 0,
+        }
+    }
+
+    pub fn config(&self) -> &BTreeConfig {
+        &self.config
+    }
+
+    /// Rebind this tree's cost charges to `tracker` (used by composite
+    /// structures — e.g. the partitioned B-tree — that aggregate several
+    /// trees under one account).
+    pub fn adopt_tracker(mut self, tracker: Arc<CostTracker>) -> Self {
+        self.tracker = Arc::clone(&tracker);
+        self.store.pager_mut().set_tracker(tracker);
+        self
+    }
+
+    /// The underlying block device (e.g. to inspect per-level stats of a
+    /// [`MemoryHierarchy`](rum_storage::MemoryHierarchy)).
+    pub fn device(&self) -> &D {
+        self.store.pager().device()
+    }
+
+    /// Mutable access to the underlying block device.
+    pub fn device_mut(&mut self) -> &mut D {
+        self.store.pager_mut().device_mut()
+    }
+
+    /// Tree height in levels (a lone leaf is height 1).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of nodes (leaves + internals).
+    pub fn node_count(&self) -> usize {
+        self.store.node_count()
+    }
+
+    fn leaf_cap(&self) -> usize {
+        leaf_capacity(self.config.node_size)
+    }
+
+    fn internal_cap(&self) -> usize {
+        internal_capacity(self.config.node_size)
+    }
+
+    /// Child slot covering `key` in an internal node.
+    fn child_slot(keys: &[Key], key: Key) -> usize {
+        keys.partition_point(|&k| k <= key)
+    }
+
+    /// Descend to the leaf covering `key`, returning the path of internal
+    /// nodes `(id, keys, children, taken_slot)` and the leaf `(id, node)`.
+    #[allow(clippy::type_complexity)]
+    fn descend(
+        &mut self,
+        key: Key,
+    ) -> Result<(Vec<(NodeId, Vec<Key>, Vec<NodeId>, usize)>, NodeId, Vec<Record>, NodeId)> {
+        let mut path = Vec::with_capacity(self.height);
+        let mut cur = self.root;
+        let mut depth = 0usize;
+        loop {
+            // Leaves (the last level) are base data in this clustered
+            // organization; everything above is auxiliary.
+            let class = if depth + 1 >= self.height {
+                DataClass::Base
+            } else {
+                DataClass::Aux
+            };
+            match self.store.read(cur, class)? {
+                Node::Internal { keys, children } => {
+                    let slot = Self::child_slot(&keys, key);
+                    let next = children[slot];
+                    path.push((cur, keys, children, slot));
+                    cur = next;
+                    depth += 1;
+                }
+                Node::Leaf { records, next } => return Ok((path, cur, records, next)),
+            }
+        }
+    }
+
+    fn read_node(&mut self, id: NodeId, leaf_expected: bool) -> Result<Node> {
+        let class = if leaf_expected {
+            DataClass::Base
+        } else {
+            DataClass::Aux
+        };
+        self.store.read(id, class)
+    }
+
+    fn split_leaf(
+        &mut self,
+        records: Vec<Record>,
+        next: NodeId,
+        inserted_at_end: bool,
+    ) -> Result<(Vec<Record>, NodeId, Key, Vec<Record>)> {
+        let mid = match self.config.split_policy {
+            SplitPolicy::RightHeavy if inserted_at_end => records.len() - 1,
+            _ => records.len() / 2,
+        };
+        let right: Vec<Record> = records[mid..].to_vec();
+        let left: Vec<Record> = records[..mid].to_vec();
+        let sep = right[0].key;
+        let right_id = self.store.allocate()?;
+        self.store.write(
+            right_id,
+            DataClass::Base,
+            &Node::Leaf {
+                records: right.clone(),
+                next,
+            },
+        )?;
+        Ok((left, right_id, sep, right))
+    }
+
+    fn insert_inner(&mut self, key: Key, value: Value) -> Result<()> {
+        let (mut path, leaf_id, mut records, next) = self.descend(key)?;
+        match records.binary_search_by_key(&key, |r| r.key) {
+            Ok(i) => {
+                records[i].value = value;
+                self
+                    .store
+                    .write(leaf_id, DataClass::Base, &Node::Leaf { records, next })
+            }
+            Err(i) => {
+                records.insert(i, Record::new(key, value));
+                self.len += 1;
+                let inserted_at_end = i == records.len() - 1;
+                if records.len() <= self.leaf_cap() {
+                    return self
+                        .store
+                        .write(leaf_id, DataClass::Base, &Node::Leaf { records, next });
+                }
+                // Leaf split.
+                let (left, right_id, sep, _right) =
+                    self.split_leaf(records, next, inserted_at_end)?;
+                self.store.write(
+                    leaf_id,
+                    DataClass::Base,
+                    &Node::Leaf {
+                        records: left,
+                        next: right_id,
+                    },
+                )?;
+                // Propagate the separator upward.
+                let mut sep = sep;
+                let mut new_child = right_id;
+                while let Some((node_id, mut keys, mut children, slot)) = path.pop() {
+                    keys.insert(slot, sep);
+                    children.insert(slot + 1, new_child);
+                    if keys.len() <= self.internal_cap() {
+                        return self
+                            .store
+                            .write(node_id, DataClass::Aux, &Node::Internal { keys, children });
+                    }
+                    // Internal split.
+                    let mid = keys.len() / 2;
+                    let promoted = keys[mid];
+                    let right_keys: Vec<Key> = keys[mid + 1..].to_vec();
+                    let right_children: Vec<NodeId> = children[mid + 1..].to_vec();
+                    keys.truncate(mid);
+                    children.truncate(mid + 1);
+                    let right_internal = self.store.allocate()?;
+                    self.store.write(
+                        right_internal,
+                        DataClass::Aux,
+                        &Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        },
+                    )?;
+                    self.store
+                        .write(node_id, DataClass::Aux, &Node::Internal { keys, children })?;
+                    sep = promoted;
+                    new_child = right_internal;
+                }
+                // Root split: grow the tree.
+                let new_root = self.store.allocate()?;
+                self.store.write(
+                    new_root,
+                    DataClass::Aux,
+                    &Node::Internal {
+                        keys: vec![sep],
+                        children: vec![self.root, new_child],
+                    },
+                )?;
+                self.root = new_root;
+                self.height += 1;
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<D: BlockDevice> AccessMethod for BTree<D> {
+    fn name(&self) -> String {
+        "b+tree".into()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn tracker(&self) -> &Arc<CostTracker> {
+        &self.tracker
+    }
+
+    fn space_profile(&self) -> SpaceProfile {
+        SpaceProfile::from_physical(self.len, self.store.physical_bytes())
+    }
+
+    fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+        let (_, _, records, _) = self.descend(key)?;
+        Ok(records
+            .binary_search_by_key(&key, |r| r.key)
+            .ok()
+            .map(|i| records[i].value))
+    }
+
+    fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+        if lo > hi {
+            return Err(RumError::InvalidArgument(format!(
+                "inverted range {lo}..{hi}"
+            )));
+        }
+        let (_, _leaf_id, records, mut next) = self.descend(lo)?;
+        let mut out = Vec::new();
+        let start = records.partition_point(|r| r.key < lo);
+        for r in &records[start..] {
+            if r.key > hi {
+                return Ok(out);
+            }
+            out.push(*r);
+        }
+        // Follow the leaf chain.
+        while next.is_valid() {
+            match self.read_node(next, true)? {
+                Node::Leaf { records, next: n } => {
+                    for r in &records {
+                        if r.key > hi {
+                            return Ok(out);
+                        }
+                        out.push(*r);
+                    }
+                    next = n;
+                }
+                Node::Internal { .. } => {
+                    return Err(RumError::Corrupt("leaf chain points at internal".into()))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+        self.insert_inner(key, value)
+    }
+
+    fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+        let (_, leaf_id, mut records, next) = self.descend(key)?;
+        match records.binary_search_by_key(&key, |r| r.key) {
+            Ok(i) => {
+                records[i].value = value;
+                self.store
+                    .write(leaf_id, DataClass::Base, &Node::Leaf { records, next })?;
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        }
+    }
+
+    fn delete_impl(&mut self, key: Key) -> Result<bool> {
+        // Lazy deletion: the record is removed in place; nodes are never
+        // merged or freed (their slack shows up honestly in MO). Real
+        // systems defer leaf consolidation the same way.
+        let (_, leaf_id, mut records, next) = self.descend(key)?;
+        match records.binary_search_by_key(&key, |r| r.key) {
+            Ok(i) => {
+                records.remove(i);
+                self.len -= 1;
+                self.store
+                    .write(leaf_id, DataClass::Base, &Node::Leaf { records, next })?;
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        }
+    }
+
+    fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+        check_bulk_input(records)?;
+        self.store.clear()?;
+        self.len = records.len();
+
+        if records.is_empty() {
+            self.root = self.store.allocate()?;
+            self.store
+                .write(self.root, DataClass::Base, &Node::empty_leaf())?;
+            self.height = 1;
+            return Ok(());
+        }
+
+        // Pack leaves at the fill factor, left to right.
+        let per_leaf = ((self.leaf_cap() as f64 * self.config.fill_factor) as usize)
+            .clamp(1, self.leaf_cap());
+        let chunks: Vec<&[Record]> = records.chunks(per_leaf).collect();
+        let leaf_ids: Vec<NodeId> = (0..chunks.len())
+            .map(|_| self.store.allocate())
+            .collect::<Result<_>>()?;
+        let mut level: Vec<(Key, NodeId)> = Vec::with_capacity(chunks.len());
+        for (i, chunk) in chunks.iter().enumerate() {
+            let next = if i + 1 < leaf_ids.len() {
+                leaf_ids[i + 1]
+            } else {
+                NodeId::INVALID
+            };
+            self.store.write(
+                leaf_ids[i],
+                DataClass::Base,
+                &Node::Leaf {
+                    records: chunk.to_vec(),
+                    next,
+                },
+            )?;
+            level.push((chunk[0].key, leaf_ids[i]));
+        }
+
+        // Build internal levels bottom-up.
+        self.height = 1;
+        let per_internal = ((self.internal_cap() as f64 * self.config.fill_factor) as usize)
+            .clamp(2, self.internal_cap())
+            + 1; // children per node
+        while level.len() > 1 {
+            let mut next_level = Vec::with_capacity(level.len() / 2 + 1);
+            for group in level.chunks(per_internal) {
+                let id = self.store.allocate()?;
+                let keys: Vec<Key> = group[1..].iter().map(|&(k, _)| k).collect();
+                let children: Vec<NodeId> = group.iter().map(|&(_, c)| c).collect();
+                self.store
+                    .write(id, DataClass::Aux, &Node::Internal { keys, children })?;
+                next_level.push((group[0].0, id));
+            }
+            level = next_level;
+            self.height += 1;
+        }
+        self.root = level[0].1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rum_core::RECORDS_PER_PAGE;
+
+    fn loaded(n: u64) -> BTree {
+        let recs: Vec<Record> = (0..n).map(|k| Record::new(k * 2, k)).collect();
+        let mut t = BTree::new();
+        t.bulk_load(&recs).unwrap();
+        t
+    }
+
+    #[test]
+    fn crud_roundtrip() {
+        let mut t = BTree::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            t.insert(k, k * 10).unwrap();
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get(7).unwrap(), Some(70));
+        assert_eq!(t.get(6).unwrap(), None);
+        assert!(t.update(9, 99).unwrap());
+        assert!(!t.update(999, 0).unwrap());
+        assert_eq!(t.get(9).unwrap(), Some(99));
+        assert!(t.delete(5).unwrap());
+        assert!(!t.delete(5).unwrap());
+        assert_eq!(t.get(5).unwrap(), None);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn insert_is_upsert() {
+        let mut t = BTree::new();
+        t.insert(1, 1).unwrap();
+        t.insert(1, 2).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(1).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn grows_and_splits_correctly() {
+        let mut t = BTree::new();
+        let n = 3 * RECORDS_PER_PAGE as u64; // forces leaf splits + a root split
+        for k in 0..n {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.height() >= 2);
+        for k in 0..n {
+            assert_eq!(t.get(k).unwrap(), Some(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn reverse_and_random_insert_orders() {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let n = 2000u64;
+        for mode in 0..3 {
+            let mut keys: Vec<u64> = (0..n).collect();
+            match mode {
+                0 => {}
+                1 => keys.reverse(),
+                _ => keys.shuffle(&mut StdRng::seed_from_u64(3)),
+            }
+            let mut t = BTree::new();
+            for &k in &keys {
+                t.insert(k, k + 1).unwrap();
+            }
+            assert_eq!(t.len(), n as usize);
+            for k in 0..n {
+                assert_eq!(t.get(k).unwrap(), Some(k + 1), "mode {mode} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_scan_follows_leaf_chain() {
+        let mut t = loaded(2000); // keys 0,2,...,3998
+        let rs = t.range(100, 140).unwrap();
+        let keys: Vec<u64> = rs.iter().map(|r| r.key).collect();
+        assert_eq!(keys, (100..=140).step_by(2).collect::<Vec<_>>());
+        // Full scan.
+        assert_eq!(t.range(0, u64::MAX).unwrap().len(), 2000);
+        // Empty range.
+        assert!(t.range(1, 1).unwrap().is_empty());
+        // Inverted range errors.
+        assert!(t.range(10, 5).is_err());
+    }
+
+    #[test]
+    fn point_query_cost_is_height() {
+        let mut t = loaded(64 * RECORDS_PER_PAGE as u64);
+        let h = t.height() as u64;
+        let before = t.tracker().snapshot();
+        t.get(1234).unwrap();
+        let reads = t.tracker().since(&before).page_reads;
+        assert_eq!(reads, h, "one page per level");
+    }
+
+    #[test]
+    fn point_query_cost_grows_logarithmically() {
+        let probes = |n: u64| {
+            let mut t = loaded(n);
+            let before = t.tracker().snapshot();
+            for k in [0u64, n / 2, n - 1] {
+                t.get(k * 2).unwrap();
+            }
+            t.tracker().since(&before).page_reads as f64 / 3.0
+        };
+        let small = probes(1 << 10);
+        let large = probes(1 << 17);
+        // 128× more data costs only ~1 extra level.
+        assert!(large - small <= 2.0, "small {small}, large {large}");
+        assert!(large > small);
+    }
+
+    #[test]
+    fn insert_cost_is_one_leaf_write_typically() {
+        let mut t = loaded(32 * RECORDS_PER_PAGE as u64);
+        // Odd keys don't exist yet; leaves are 100% full so the very first
+        // insert splits, but a repeat insert into the fresh leaf does not.
+        t.insert(101, 0).unwrap();
+        let before = t.tracker().snapshot();
+        t.insert(103, 0).unwrap();
+        let d = t.tracker().since(&before);
+        assert_eq!(d.page_writes, 1, "non-splitting insert writes one leaf");
+    }
+
+    #[test]
+    fn bulk_load_with_fill_factor_leaves_slack() {
+        let recs: Vec<Record> = (0..4096u64).map(|k| Record::new(k, k)).collect();
+        let mut full = BTree::with_config(BTreeConfig {
+            fill_factor: 1.0,
+            ..Default::default()
+        });
+        full.bulk_load(&recs).unwrap();
+        let mut half = BTree::with_config(BTreeConfig {
+            fill_factor: 0.5,
+            ..Default::default()
+        });
+        half.bulk_load(&recs).unwrap();
+        assert!(half.node_count() > full.node_count());
+        assert!(
+            half.space_profile().space_amplification()
+                > full.space_profile().space_amplification()
+        );
+        // Both still answer queries.
+        assert_eq!(half.get(1000).unwrap(), Some(1000));
+        assert_eq!(full.get(1000).unwrap(), Some(1000));
+    }
+
+    #[test]
+    fn smaller_nodes_make_taller_trees() {
+        let recs: Vec<Record> = (0..20_000u64).map(|k| Record::new(k, k)).collect();
+        let mut small = BTree::with_config(BTreeConfig {
+            node_size: 512,
+            ..Default::default()
+        });
+        small.bulk_load(&recs).unwrap();
+        let mut big = BTree::with_config(BTreeConfig {
+            node_size: 16384,
+            ..Default::default()
+        });
+        big.bulk_load(&recs).unwrap();
+        assert!(small.height() > big.height());
+        assert_eq!(small.get(777).unwrap(), Some(777));
+        assert_eq!(big.get(777).unwrap(), Some(777));
+    }
+
+    #[test]
+    fn right_heavy_split_packs_sequential_ingest() {
+        let seq_mo = |policy: SplitPolicy| {
+            let mut t = BTree::with_config(BTreeConfig {
+                split_policy: policy,
+                ..Default::default()
+            });
+            for k in 0..10_000u64 {
+                t.insert(k, k).unwrap();
+            }
+            t.space_profile().space_amplification()
+        };
+        let half = seq_mo(SplitPolicy::Half);
+        let right = seq_mo(SplitPolicy::RightHeavy);
+        assert!(
+            right < half * 0.75,
+            "right-heavy ({right}) should pack much denser than half ({half})"
+        );
+    }
+
+    #[test]
+    fn model_check_random_ops() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut t = BTree::with_config(BTreeConfig {
+            node_size: 256, // tiny nodes stress splits
+            ..Default::default()
+        });
+        let mut model = std::collections::BTreeMap::new();
+        for step in 0..6000u64 {
+            let k = rng.gen_range(0..2000u64);
+            match rng.gen_range(0..5) {
+                0 | 1 => {
+                    t.insert(k, step).unwrap();
+                    model.insert(k, step);
+                }
+                2 => {
+                    assert_eq!(t.update(k, step).unwrap(), model.contains_key(&k));
+                    model.entry(k).and_modify(|v| *v = step);
+                }
+                3 => {
+                    assert_eq!(t.delete(k).unwrap(), model.remove(&k).is_some());
+                }
+                _ => {
+                    assert_eq!(t.get(k).unwrap(), model.get(&k).copied(), "step {step}");
+                }
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        // Final full-range comparison.
+        let all = t.range(0, u64::MAX).unwrap();
+        let expect: Vec<Record> = model.iter().map(|(&k, &v)| Record::new(k, v)).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let mut t = BTree::new();
+        assert_eq!(t.get(1).unwrap(), None);
+        assert!(t.range(0, 10).unwrap().is_empty());
+        assert!(!t.delete(1).unwrap());
+        assert_eq!(t.len(), 0);
+        t.bulk_load(&[]).unwrap();
+        assert_eq!(t.get(1).unwrap(), None);
+    }
+
+    #[test]
+    fn bulk_load_replaces_contents() {
+        let mut t = loaded(100);
+        let recs: Vec<Record> = (500..600u64).map(|k| Record::new(k, 1)).collect();
+        t.bulk_load(&recs).unwrap();
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get(0).unwrap(), None);
+        assert_eq!(t.get(550).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn works_over_a_memory_hierarchy() {
+        use rum_storage::{HierarchySpec, MemoryHierarchy};
+        let h = MemoryHierarchy::new(HierarchySpec::buffer_and_storage(
+            8,
+            rum_storage::DeviceProfile::SSD,
+        ));
+        let mut t = BTree::with_device(h, BTreeConfig::default());
+        for k in 0..5000u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in (0..5000u64).step_by(97) {
+            assert_eq!(t.get(k).unwrap(), Some(k));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based differential testing of the B+-tree against a model,
+//! across node sizes and operation interleavings.
+
+use proptest::prelude::*;
+use rum_btree::{BTree, BTreeConfig, SplitPolicy};
+use rum_core::{AccessMethod, Record};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum TreeOp {
+    Insert(u16, u64),
+    Update(u16, u64),
+    Delete(u16),
+    Get(u16),
+    Range(u16, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u64>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
+        (any::<u16>(), any::<u64>()).prop_map(|(k, v)| TreeOp::Update(k, v)),
+        any::<u16>().prop_map(TreeOp::Delete),
+        any::<u16>().prop_map(TreeOp::Get),
+        (any::<u16>(), 0u16..64).prop_map(|(lo, span)| TreeOp::Range(lo, span)),
+    ]
+}
+
+fn run_ops(config: BTreeConfig, ops: &[TreeOp]) {
+    let mut tree = BTree::with_config(config);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            TreeOp::Insert(k, v) => {
+                tree.insert(k as u64, v).unwrap();
+                model.insert(k as u64, v);
+            }
+            TreeOp::Update(k, v) => {
+                assert_eq!(
+                    tree.update(k as u64, v).unwrap(),
+                    model.contains_key(&(k as u64))
+                );
+                model.entry(k as u64).and_modify(|x| *x = v);
+            }
+            TreeOp::Delete(k) => {
+                assert_eq!(
+                    tree.delete(k as u64).unwrap(),
+                    model.remove(&(k as u64)).is_some()
+                );
+            }
+            TreeOp::Get(k) => {
+                assert_eq!(tree.get(k as u64).unwrap(), model.get(&(k as u64)).copied());
+            }
+            TreeOp::Range(lo, span) => {
+                let (lo, hi) = (lo as u64, lo as u64 + span as u64);
+                let got = tree.range(lo, hi).unwrap();
+                let expect: Vec<Record> = model
+                    .range(lo..=hi)
+                    .map(|(&k, &v)| Record::new(k, v))
+                    .collect();
+                assert_eq!(got, expect);
+            }
+        }
+        assert_eq!(tree.len(), model.len());
+    }
+    // Structural sanity at the end.
+    let all = tree.range(0, u64::MAX).unwrap();
+    assert!(all.windows(2).all(|w| w[0].key < w[1].key));
+    assert_eq!(all.len(), model.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_matches_model_default_nodes(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        run_ops(BTreeConfig::default(), &ops);
+    }
+
+    #[test]
+    fn tree_matches_model_tiny_nodes(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        // 256-byte nodes force frequent splits at every level.
+        run_ops(
+            BTreeConfig {
+                node_size: 256,
+                ..Default::default()
+            },
+            &ops,
+        );
+    }
+
+    #[test]
+    fn tree_matches_model_right_heavy(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        run_ops(
+            BTreeConfig {
+                node_size: 512,
+                split_policy: SplitPolicy::RightHeavy,
+                ..Default::default()
+            },
+            &ops,
+        );
+    }
+
+    #[test]
+    fn bulk_load_equals_insert_loading(
+        mut keys in proptest::collection::btree_set(any::<u32>(), 1..500),
+        fill in 0.4f64..1.0,
+    ) {
+        let records: Vec<Record> = keys
+            .iter()
+            .map(|&k| Record::new(k as u64, k as u64 + 1))
+            .collect();
+        let mut bulk = BTree::with_config(BTreeConfig {
+            fill_factor: fill,
+            ..Default::default()
+        });
+        bulk.bulk_load(&records).unwrap();
+        let mut incr = BTree::new();
+        for r in &records {
+            incr.insert(r.key, r.value).unwrap();
+        }
+        prop_assert_eq!(
+            bulk.range(0, u64::MAX).unwrap(),
+            incr.range(0, u64::MAX).unwrap()
+        );
+        keys.clear();
+    }
+}

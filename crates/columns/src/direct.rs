@@ -1,0 +1,299 @@
+//! The direct-address array — Proposition 1 of the paper.
+//!
+//! "In order to minimize RO we organize data in an array and we store each
+//! value in the block with blkid = value. ... RO is now minimal because we
+//! always know where to find a specific value (if it exists), and we only
+//! read useful data. On the other hand, the array is sparsely populated,
+//! with unbounded MO ... When we change a value we need to update two
+//! blocks: empty the old block and insert the new value in its new block,
+//! effectively increasing the worst case UO to two physical updates for one
+//! logical update."
+//!
+//! We address slots by *key* (our records are key/value pairs rather than
+//! bare values); [`relocate`](DirectAddressArray::relocate) is the paper's
+//! "change a value" operation that moves a record between slots and incurs
+//! the UO = 2.0 bound. Accounting is byte-granular: the whole point of this
+//! structure is that a lookup touches exactly one record-sized cell.
+
+use std::sync::Arc;
+
+use rum_core::{
+    check_bulk_input, AccessMethod, CostTracker, DataClass, Key, Record, Result, RumError,
+    SpaceProfile, Value, RECORD_SIZE,
+};
+
+const CELL: u64 = RECORD_SIZE as u64;
+
+/// One slot per key in `[0, universe)`; the universe grows to cover the
+/// largest key ever inserted — that growth *is* the unbounded MO.
+pub struct DirectAddressArray {
+    slots: Vec<Option<Value>>,
+    live: usize,
+    tracker: Arc<CostTracker>,
+    /// Hard cap on universe growth, to keep experiments from exhausting
+    /// host memory; hitting it returns `CapacityExceeded`.
+    max_universe: usize,
+}
+
+impl DirectAddressArray {
+    pub fn new() -> Self {
+        Self::with_max_universe(1 << 28)
+    }
+
+    /// Array that refuses to grow beyond `max_universe` slots.
+    pub fn with_max_universe(max_universe: usize) -> Self {
+        DirectAddressArray {
+            slots: Vec::new(),
+            live: 0,
+            tracker: CostTracker::new(),
+            max_universe,
+        }
+    }
+
+    /// Slots currently allocated (the universe size).
+    pub fn universe(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn ensure(&mut self, key: Key) -> Result<()> {
+        let needed = key as usize + 1;
+        if needed > self.max_universe {
+            return Err(RumError::CapacityExceeded(format!(
+                "key {key} exceeds max universe {}",
+                self.max_universe
+            )));
+        }
+        if needed > self.slots.len() {
+            self.slots.resize(needed, None);
+        }
+        Ok(())
+    }
+
+    /// The paper's "change a value": move the record at `old_key` to
+    /// `new_key`. Two physical cell writes (clear + set) for one logical
+    /// update — UO = 2.0, the Proposition 1 bound.
+    pub fn relocate(&mut self, old_key: Key, new_key: Key) -> Result<bool> {
+        if old_key == new_key {
+            return Ok(true);
+        }
+        self.tracker.read(DataClass::Base, CELL);
+        let value = match self.slots.get(old_key as usize).copied().flatten() {
+            Some(v) => v,
+            None => return Ok(false),
+        };
+        self.ensure(new_key)?;
+        if self.slots[new_key as usize].is_some() {
+            return Err(RumError::DuplicateKey(new_key));
+        }
+        // Empty the old block...
+        self.slots[old_key as usize] = None;
+        self.tracker.write(DataClass::Base, CELL);
+        // ...and insert the value in its new block.
+        self.slots[new_key as usize] = Some(value);
+        self.tracker.write(DataClass::Base, CELL);
+        self.tracker.logical_write(CELL);
+        Ok(true)
+    }
+}
+
+impl Default for DirectAddressArray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AccessMethod for DirectAddressArray {
+    fn name(&self) -> String {
+        "direct-address-array".into()
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn tracker(&self) -> &Arc<CostTracker> {
+        &self.tracker
+    }
+
+    fn space_profile(&self) -> SpaceProfile {
+        // Every slot occupies a record-sized cell whether live or not.
+        SpaceProfile::from_physical(self.live, self.slots.len() as u64 * CELL)
+    }
+
+    fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+        // Exactly one cell read — min(RO) = 1.0.
+        let v = self.slots.get(key as usize).copied().flatten();
+        if v.is_some() {
+            self.tracker.read(DataClass::Base, CELL);
+        }
+        // A miss in a direct-address array reads nothing: slot emptiness is
+        // knowable from the address alone in the paper's model.
+        Ok(v)
+    }
+
+    fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+        let hi_clamped = (hi as usize).min(self.slots.len().saturating_sub(1));
+        let mut out = Vec::new();
+        if self.slots.is_empty() || lo as usize > hi_clamped {
+            return Ok(out);
+        }
+        // Touch every slot in the range — sparse population is the cost.
+        let touched = (hi_clamped - lo as usize + 1) as u64;
+        self.tracker.read(DataClass::Base, touched * CELL);
+        for k in lo as usize..=hi_clamped {
+            if let Some(v) = self.slots[k] {
+                out.push(Record::new(k as Key, v));
+            }
+        }
+        Ok(out)
+    }
+
+    fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+        self.ensure(key)?;
+        if self.slots[key as usize].is_none() {
+            self.live += 1;
+        }
+        self.slots[key as usize] = Some(value);
+        self.tracker.write(DataClass::Base, CELL);
+        Ok(())
+    }
+
+    fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+        match self.slots.get_mut(key as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = Some(value);
+                self.tracker.write(DataClass::Base, CELL);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn delete_impl(&mut self, key: Key) -> Result<bool> {
+        match self.slots.get_mut(key as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.live -= 1;
+                self.tracker.write(DataClass::Base, CELL);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+        check_bulk_input(records)?;
+        self.slots.clear();
+        self.live = 0;
+        if let Some(last) = records.last() {
+            self.ensure(last.key)?;
+        }
+        for r in records {
+            self.slots[r.key as usize] = Some(r.value);
+            self.tracker.write(DataClass::Base, CELL);
+        }
+        self.live = records.len();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposition_1_read_amplification_is_one() {
+        let mut a = DirectAddressArray::new();
+        a.insert(17, 1).unwrap();
+        a.tracker().reset();
+        assert_eq!(a.get(17).unwrap(), Some(1));
+        let s = a.tracker().snapshot();
+        assert_eq!(s.read_amplification(), 1.0, "min(RO) = 1.0");
+    }
+
+    #[test]
+    fn proposition_1_relocation_write_amplification_is_two() {
+        let mut a = DirectAddressArray::new();
+        a.insert(1, 42).unwrap();
+        a.tracker().reset();
+        assert!(a.relocate(1, 17).unwrap());
+        let s = a.tracker().snapshot();
+        assert_eq!(s.write_amplification(), 2.0, "UO = 2.0 for a key change");
+        assert_eq!(a.get(17).unwrap(), Some(42));
+        assert_eq!(a.get(1).unwrap(), None);
+    }
+
+    #[test]
+    fn proposition_1_mo_tracks_the_universe() {
+        // The paper's example: the relation {1, 17} occupies 17 blocks.
+        let mut a = DirectAddressArray::new();
+        a.insert(1, 0).unwrap();
+        a.insert(17, 0).unwrap();
+        assert_eq!(a.universe(), 18);
+        let mo = a.space_profile().space_amplification();
+        assert_eq!(mo, 18.0 / 2.0, "MO = universe / live = 9");
+    }
+
+    #[test]
+    fn mo_is_unbounded_in_the_max_key() {
+        let mut a = DirectAddressArray::new();
+        a.insert(1, 0).unwrap();
+        let mo1 = a.space_profile().space_amplification();
+        a.insert(100_000, 0).unwrap();
+        let mo2 = a.space_profile().space_amplification();
+        assert!(mo2 > 1000.0 * mo1 / 100.0, "{mo1} -> {mo2}");
+    }
+
+    #[test]
+    fn capacity_cap_is_enforced() {
+        let mut a = DirectAddressArray::with_max_universe(100);
+        assert!(a.insert(99, 0).is_ok());
+        assert!(matches!(
+            a.insert(100, 0),
+            Err(RumError::CapacityExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn relocate_to_occupied_slot_errors() {
+        let mut a = DirectAddressArray::new();
+        a.insert(1, 10).unwrap();
+        a.insert(2, 20).unwrap();
+        assert!(matches!(a.relocate(1, 2), Err(RumError::DuplicateKey(2))));
+    }
+
+    #[test]
+    fn relocate_missing_is_false() {
+        let mut a = DirectAddressArray::new();
+        a.insert(5, 0).unwrap();
+        assert!(!a.relocate(3, 4).unwrap());
+    }
+
+    #[test]
+    fn crud_and_range() {
+        let mut a = DirectAddressArray::new();
+        for k in [3u64, 7, 11] {
+            a.insert(k, k * 100).unwrap();
+        }
+        assert!(a.update(7, 777).unwrap());
+        assert!(!a.update(8, 0).unwrap());
+        assert!(a.delete(3).unwrap());
+        assert!(!a.delete(3).unwrap());
+        let rs = a.range(0, 20).unwrap();
+        assert_eq!(
+            rs,
+            vec![Record::new(7, 777), Record::new(11, 1100)]
+        );
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn bulk_load_populates_slots() {
+        let recs: Vec<Record> = [2u64, 5, 9].iter().map(|&k| Record::new(k, k)).collect();
+        let mut a = DirectAddressArray::new();
+        a.bulk_load(&recs).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.universe(), 10);
+        assert_eq!(a.get(5).unwrap(), Some(5));
+    }
+}

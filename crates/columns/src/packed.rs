@@ -1,0 +1,467 @@
+//! A densely packed record file over pages — the shared physical layout of
+//! [`SortedColumn`](crate::SortedColumn) and
+//! [`UnsortedColumn`](crate::UnsortedColumn).
+//!
+//! Record `i` lives at page `i / B`, slot `i % B`. There is no per-page
+//! header: the file's length lives in the in-memory directory, which is
+//! deliberately tiny (8 bytes per page) and reported as auxiliary space by
+//! the columns that use this layout.
+
+use rum_core::{DataClass, Record, Result, RECORDS_PER_PAGE, RECORD_SIZE};
+use rum_storage::{BlockDevice, PageBuf, PageId, Pager};
+
+/// Directory + length of a packed record file.
+#[derive(Debug, Default)]
+pub struct PackedFile {
+    pages: Vec<PageId>,
+    len: usize,
+    /// Memo of the page read most recently, so repeated probes into the
+    /// same page during one binary search charge a single page access —
+    /// any real implementation keeps the page it is searching in memory.
+    last_read: Option<(usize, Vec<Record>)>,
+}
+
+impl PackedFile {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Bytes of in-memory directory metadata (auxiliary space).
+    pub fn directory_bytes(&self) -> u64 {
+        (self.pages.len() * std::mem::size_of::<PageId>()) as u64
+    }
+
+    fn invalidate(&mut self, page_idx: usize) {
+        if matches!(self.last_read, Some((p, _)) if p == page_idx) {
+            self.last_read = None;
+        }
+    }
+
+    fn records_in_page(&self, page_idx: usize) -> usize {
+        debug_assert!(page_idx < self.pages.len());
+        if page_idx + 1 == self.pages.len() {
+            let rem = self.len % RECORDS_PER_PAGE;
+            if rem == 0 {
+                RECORDS_PER_PAGE
+            } else {
+                rem
+            }
+        } else {
+            RECORDS_PER_PAGE
+        }
+    }
+
+    fn decode_page(buf: &PageBuf, count: usize) -> Vec<Record> {
+        (0..count)
+            .map(|i| Record::decode(&buf[i * RECORD_SIZE..(i + 1) * RECORD_SIZE]))
+            .collect()
+    }
+
+    fn encode_page(records: &[Record]) -> PageBuf {
+        debug_assert!(records.len() <= RECORDS_PER_PAGE);
+        let mut buf = PageBuf::zeroed();
+        for (i, r) in records.iter().enumerate() {
+            r.encode_into(&mut buf[i * RECORD_SIZE..(i + 1) * RECORD_SIZE]);
+        }
+        buf
+    }
+
+    /// Read all records of page `page_idx`, charging one page access
+    /// (unless it is the memoized page).
+    pub fn read_page<D: BlockDevice>(
+        &mut self,
+        pager: &mut Pager<D>,
+        page_idx: usize,
+    ) -> Result<&[Record]> {
+        let cached = matches!(self.last_read, Some((p, _)) if p == page_idx);
+        if !cached {
+            let buf = pager.read(self.pages[page_idx], DataClass::Base)?;
+            let recs = Self::decode_page(&buf, self.records_in_page(page_idx));
+            self.last_read = Some((page_idx, recs));
+        }
+        Ok(&self.last_read.as_ref().expect("just set").1)
+    }
+
+    /// Overwrite page `page_idx` with `records`, charging one page access.
+    pub fn write_page<D: BlockDevice>(
+        &mut self,
+        pager: &mut Pager<D>,
+        page_idx: usize,
+        records: &[Record],
+    ) -> Result<()> {
+        self.invalidate(page_idx);
+        let buf = Self::encode_page(records);
+        pager.write(self.pages[page_idx], DataClass::Base, &buf)
+    }
+
+    /// Record at global index `idx` (one charged page read, memoized).
+    pub fn get<D: BlockDevice>(&mut self, pager: &mut Pager<D>, idx: usize) -> Result<Record> {
+        debug_assert!(idx < self.len);
+        let page_idx = idx / RECORDS_PER_PAGE;
+        let slot = idx % RECORDS_PER_PAGE;
+        let recs = self.read_page(pager, page_idx)?;
+        Ok(recs[slot])
+    }
+
+    /// Overwrite the record at `idx` (read-modify-write of its page).
+    pub fn set<D: BlockDevice>(
+        &mut self,
+        pager: &mut Pager<D>,
+        idx: usize,
+        rec: Record,
+    ) -> Result<()> {
+        debug_assert!(idx < self.len);
+        let page_idx = idx / RECORDS_PER_PAGE;
+        let slot = idx % RECORDS_PER_PAGE;
+        let mut recs = self.read_page(pager, page_idx)?.to_vec();
+        recs[slot] = rec;
+        self.write_page(pager, page_idx, &recs)
+    }
+
+    /// Append one record (read-modify-write of the tail page, allocating a
+    /// fresh page at each page boundary).
+    pub fn push<D: BlockDevice>(&mut self, pager: &mut Pager<D>, rec: Record) -> Result<()> {
+        let slot = self.len % RECORDS_PER_PAGE;
+        if slot == 0 {
+            let id = pager.allocate()?;
+            self.pages.push(id);
+            self.len += 1;
+            self.write_page(pager, self.pages.len() - 1, &[rec])
+        } else {
+            let page_idx = self.pages.len() - 1;
+            let mut recs = self.read_page(pager, page_idx)?.to_vec();
+            recs.push(rec);
+            self.len += 1;
+            self.write_page(pager, page_idx, &recs)
+        }
+    }
+
+    /// Remove and return the last record.
+    pub fn pop<D: BlockDevice>(&mut self, pager: &mut Pager<D>) -> Result<Option<Record>> {
+        if self.len == 0 {
+            return Ok(None);
+        }
+        let rec = self.get(pager, self.len - 1)?;
+        self.len -= 1;
+        // The memoized tail page still contains the popped record; drop it
+        // so later reads re-decode with the new count.
+        self.last_read = None;
+        if self.len.is_multiple_of(RECORDS_PER_PAGE) {
+            let id = self.pages.pop().expect("page exists for nonzero len");
+            pager.free(id)?;
+        }
+        Ok(Some(rec))
+    }
+
+    /// Insert `rec` at global index `idx`, shifting everything after it one
+    /// slot right. Page-wise ripple: each page from `idx / B` to the end is
+    /// read once and written once — the O(N/B/2) average insert cost of
+    /// Table 1's sorted column.
+    pub fn insert_at<D: BlockDevice>(
+        &mut self,
+        pager: &mut Pager<D>,
+        idx: usize,
+        rec: Record,
+    ) -> Result<()> {
+        debug_assert!(idx <= self.len);
+        if idx == self.len {
+            return self.push(pager, rec);
+        }
+        let first_page = idx / RECORDS_PER_PAGE;
+        let slot = idx % RECORDS_PER_PAGE;
+        let old_pages = self.pages.len();
+
+        let mut carry = rec;
+        for page_idx in first_page..old_pages {
+            let start_slot = if page_idx == first_page { slot } else { 0 };
+            let mut recs = self.read_page(pager, page_idx)?.to_vec();
+            recs.insert(start_slot, carry);
+            if recs.len() > RECORDS_PER_PAGE {
+                carry = recs.pop().expect("overflow record");
+                self.write_page(pager, page_idx, &recs)?;
+            } else {
+                self.len += 1;
+                self.write_page(pager, page_idx, &recs)?;
+                return Ok(());
+            }
+        }
+        // The carry overflowed past the old tail: start a fresh page.
+        let id = pager.allocate()?;
+        self.pages.push(id);
+        self.len += 1;
+        self.write_page(pager, self.pages.len() - 1, &[carry])
+    }
+
+    /// Remove the record at global index `idx`, shifting everything after
+    /// it one slot left. Same page-wise ripple cost as
+    /// [`insert_at`](Self::insert_at).
+    pub fn remove_at<D: BlockDevice>(
+        &mut self,
+        pager: &mut Pager<D>,
+        idx: usize,
+    ) -> Result<Record> {
+        debug_assert!(idx < self.len);
+        let first_page = idx / RECORDS_PER_PAGE;
+        let last_page = self.pages.len() - 1;
+        let slot = idx % RECORDS_PER_PAGE;
+
+        let mut removed: Option<Record> = None;
+        // Walk pages from the tail toward the deletion point, carrying the
+        // head record of each later page into the tail of the previous one.
+        // Simpler equivalent: walk forward, pulling the first record of the
+        // next page into the current page's tail.
+        for page_idx in first_page..=last_page {
+            let start_slot = if page_idx == first_page { slot } else { 0 };
+            let mut recs = self.read_page(pager, page_idx)?.to_vec();
+            if removed.is_none() {
+                removed = Some(recs.remove(start_slot));
+            } else {
+                recs.remove(0);
+            }
+            if page_idx < last_page {
+                let next_first = {
+                    let next = self.read_page(pager, page_idx + 1)?;
+                    next[0]
+                };
+                recs.push(next_first);
+            }
+            self.write_page(pager, page_idx, &recs)?;
+        }
+        self.len -= 1;
+        if self.len.is_multiple_of(RECORDS_PER_PAGE) {
+            if let Some(id) = self.pages.pop() {
+                self.last_read = None;
+                pager.free(id)?;
+            }
+        }
+        Ok(removed.expect("idx < len guarantees a removal"))
+    }
+
+    /// Replace the file's contents with `records`, packed densely. Frees
+    /// existing pages first. Charges one write per page.
+    pub fn rebuild<D: BlockDevice>(
+        &mut self,
+        pager: &mut Pager<D>,
+        records: &[Record],
+    ) -> Result<()> {
+        for id in self.pages.drain(..) {
+            pager.free(id)?;
+        }
+        self.last_read = None;
+        self.len = records.len();
+        for chunk in records.chunks(RECORDS_PER_PAGE) {
+            let id = pager.allocate()?;
+            self.pages.push(id);
+            let buf = Self::encode_page(chunk);
+            pager.write(id, DataClass::Base, &buf)?;
+        }
+        Ok(())
+    }
+
+    /// Read the whole file into memory in order (one charged read per
+    /// page) — the full scan primitive.
+    pub fn scan_all<D: BlockDevice>(&mut self, pager: &mut Pager<D>) -> Result<Vec<Record>> {
+        let mut out = Vec::with_capacity(self.len);
+        for page_idx in 0..self.pages.len() {
+            out.extend_from_slice(self.read_page(pager, page_idx)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rum_core::CostTracker;
+    use rum_storage::MemDevice;
+
+    fn setup() -> (PackedFile, Pager<MemDevice>) {
+        (PackedFile::new(), Pager::new(MemDevice::new(), CostTracker::new()))
+    }
+
+    fn rec(k: u64) -> Record {
+        Record::new(k, k * 10)
+    }
+
+    #[test]
+    fn push_get_roundtrip_across_pages() {
+        let (mut f, mut p) = setup();
+        for k in 0..600u64 {
+            f.push(&mut p, rec(k)).unwrap();
+        }
+        assert_eq!(f.len(), 600);
+        assert_eq!(f.num_pages(), 3);
+        for k in [0u64, 255, 256, 511, 599] {
+            assert_eq!(f.get(&mut p, k as usize).unwrap(), rec(k));
+        }
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let (mut f, mut p) = setup();
+        for k in 0..300u64 {
+            f.push(&mut p, rec(k)).unwrap();
+        }
+        f.set(&mut p, 257, Record::new(999, 1)).unwrap();
+        assert_eq!(f.get(&mut p, 257).unwrap(), Record::new(999, 1));
+        assert_eq!(f.len(), 300);
+    }
+
+    #[test]
+    fn pop_shrinks_and_frees_pages() {
+        let (mut f, mut p) = setup();
+        for k in 0..257u64 {
+            f.push(&mut p, rec(k)).unwrap();
+        }
+        assert_eq!(f.num_pages(), 2);
+        assert_eq!(f.pop(&mut p).unwrap(), Some(rec(256)));
+        assert_eq!(f.num_pages(), 1);
+        assert_eq!(f.len(), 256);
+        assert_eq!(p.live_pages(), 1);
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let (mut f, mut p) = setup();
+        assert_eq!(f.pop(&mut p).unwrap(), None);
+    }
+
+    #[test]
+    fn insert_at_shifts_right_across_pages() {
+        let (mut f, mut p) = setup();
+        for k in 0..512u64 {
+            f.push(&mut p, rec(k * 2)).unwrap(); // 0,2,4,...
+        }
+        // Insert 101 between 100 and 102 (global idx 51).
+        f.insert_at(&mut p, 51, Record::new(101, 0)).unwrap();
+        assert_eq!(f.len(), 513);
+        assert_eq!(f.get(&mut p, 50).unwrap().key, 100);
+        assert_eq!(f.get(&mut p, 51).unwrap().key, 101);
+        assert_eq!(f.get(&mut p, 52).unwrap().key, 102);
+        // The very last record shifted into a new page.
+        assert_eq!(f.get(&mut p, 512).unwrap().key, 1022);
+        assert_eq!(f.num_pages(), 3);
+    }
+
+    #[test]
+    fn insert_at_end_is_push() {
+        let (mut f, mut p) = setup();
+        f.insert_at(&mut p, 0, rec(1)).unwrap();
+        f.insert_at(&mut p, 1, rec(2)).unwrap();
+        assert_eq!(f.scan_all(&mut p).unwrap(), vec![rec(1), rec(2)]);
+    }
+
+    #[test]
+    fn remove_at_shifts_left_across_pages() {
+        let (mut f, mut p) = setup();
+        for k in 0..600u64 {
+            f.push(&mut p, rec(k)).unwrap();
+        }
+        let removed = f.remove_at(&mut p, 100).unwrap();
+        assert_eq!(removed, rec(100));
+        assert_eq!(f.len(), 599);
+        assert_eq!(f.get(&mut p, 99).unwrap(), rec(99));
+        assert_eq!(f.get(&mut p, 100).unwrap(), rec(101));
+        assert_eq!(f.get(&mut p, 598).unwrap(), rec(599));
+    }
+
+    #[test]
+    fn remove_last_record_frees_page() {
+        let (mut f, mut p) = setup();
+        f.push(&mut p, rec(1)).unwrap();
+        let r = f.remove_at(&mut p, 0).unwrap();
+        assert_eq!(r, rec(1));
+        assert_eq!(f.num_pages(), 0);
+        assert_eq!(p.live_pages(), 0);
+    }
+
+    #[test]
+    fn rebuild_replaces_contents() {
+        let (mut f, mut p) = setup();
+        for k in 0..100u64 {
+            f.push(&mut p, rec(k)).unwrap();
+        }
+        let new: Vec<Record> = (0..300u64).map(rec).collect();
+        f.rebuild(&mut p, &new).unwrap();
+        assert_eq!(f.len(), 300);
+        assert_eq!(f.scan_all(&mut p).unwrap(), new);
+        assert_eq!(p.live_pages(), 2, "old page freed, two new allocated");
+    }
+
+    #[test]
+    fn repeated_probes_same_page_charge_once() {
+        let (mut f, mut p) = setup();
+        for k in 0..100u64 {
+            f.push(&mut p, rec(k)).unwrap();
+        }
+        let before = p.tracker().snapshot();
+        f.get(&mut p, 10).unwrap();
+        f.get(&mut p, 20).unwrap();
+        f.get(&mut p, 30).unwrap();
+        let d = p.tracker().since(&before);
+        assert_eq!(d.page_reads, 1, "all three probes hit the memoized page");
+    }
+
+    #[test]
+    fn writes_invalidate_the_memo() {
+        let (mut f, mut p) = setup();
+        for k in 0..10u64 {
+            f.push(&mut p, rec(k)).unwrap();
+        }
+        f.get(&mut p, 1).unwrap();
+        f.set(&mut p, 2, Record::new(999, 9)).unwrap();
+        // The memoized copy was refreshed or invalidated; read sees new data.
+        assert_eq!(f.get(&mut p, 2).unwrap(), Record::new(999, 9));
+    }
+
+    #[test]
+    fn model_check_random_ops() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let (mut f, mut p) = setup();
+        let mut model: Vec<Record> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for step in 0..2000u64 {
+            match rng.gen_range(0..4) {
+                0 => {
+                    let idx = rng.gen_range(0..=model.len());
+                    let r = rec(step);
+                    model.insert(idx, r);
+                    f.insert_at(&mut p, idx, r).unwrap();
+                }
+                1 if !model.is_empty() => {
+                    let idx = rng.gen_range(0..model.len());
+                    let a = model.remove(idx);
+                    let b = f.remove_at(&mut p, idx).unwrap();
+                    assert_eq!(a, b);
+                }
+                2 if !model.is_empty() => {
+                    let idx = rng.gen_range(0..model.len());
+                    model[idx] = rec(step + 1_000_000);
+                    f.set(&mut p, idx, rec(step + 1_000_000)).unwrap();
+                }
+                _ => {
+                    let r = rec(step);
+                    model.push(r);
+                    f.push(&mut p, r).unwrap();
+                }
+            }
+            assert_eq!(f.len(), model.len());
+        }
+        assert_eq!(f.scan_all(&mut p).unwrap(), model);
+    }
+}

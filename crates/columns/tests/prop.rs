@@ -1,0 +1,112 @@
+//! Property-based differential tests for the column organizations and the
+//! §2 extreme designs.
+
+use proptest::prelude::*;
+use rum_columns::{AppendLog, DenseArray, DirectAddressArray, SortedColumn, UnsortedColumn};
+use rum_core::{AccessMethod, Record};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum ColOp {
+    Insert(u16, u32),
+    Update(u16, u32),
+    Delete(u16),
+    Get(u16),
+    Range(u16, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = ColOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| ColOp::Insert(k, v)),
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| ColOp::Update(k, v)),
+        any::<u16>().prop_map(ColOp::Delete),
+        any::<u16>().prop_map(ColOp::Get),
+        (any::<u16>(), any::<u8>()).prop_map(|(lo, s)| ColOp::Range(lo, s)),
+    ]
+}
+
+fn run_against_model(method: &mut dyn AccessMethod, ops: &[ColOp]) {
+    let name = method.name();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            ColOp::Insert(k, v) => {
+                method.insert(k as u64, v as u64).unwrap();
+                model.insert(k as u64, v as u64);
+            }
+            ColOp::Update(k, v) => {
+                assert_eq!(
+                    method.update(k as u64, v as u64).unwrap(),
+                    model.contains_key(&(k as u64)),
+                    "{name}"
+                );
+                model.entry(k as u64).and_modify(|x| *x = v as u64);
+            }
+            ColOp::Delete(k) => {
+                assert_eq!(
+                    method.delete(k as u64).unwrap(),
+                    model.remove(&(k as u64)).is_some(),
+                    "{name}"
+                );
+            }
+            ColOp::Get(k) => {
+                assert_eq!(
+                    method.get(k as u64).unwrap(),
+                    model.get(&(k as u64)).copied(),
+                    "{name}"
+                );
+            }
+            ColOp::Range(lo, span) => {
+                let (lo, hi) = (lo as u64, lo as u64 + span as u64);
+                let got = method.range(lo, hi).unwrap();
+                let expect: Vec<Record> = model
+                    .range(lo..=hi)
+                    .map(|(&k, &v)| Record::new(k, v))
+                    .collect();
+                assert_eq!(got, expect, "{name}: range {lo}..={hi}");
+            }
+        }
+        assert_eq!(method.len(), model.len(), "{name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sorted_column_matches_model(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        run_against_model(&mut SortedColumn::new(), &ops);
+    }
+
+    #[test]
+    fn unsorted_column_matches_model(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        run_against_model(&mut UnsortedColumn::new(), &ops);
+    }
+
+    #[test]
+    fn dense_array_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        run_against_model(&mut DenseArray::new(), &ops);
+    }
+
+    #[test]
+    fn append_log_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        // The log reserves u64::MAX as the tombstone; u32 values avoid it.
+        run_against_model(&mut AppendLog::new(), &ops);
+    }
+
+    #[test]
+    fn direct_address_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        run_against_model(&mut DirectAddressArray::new(), &ops);
+    }
+
+    #[test]
+    fn dense_array_mo_is_always_exactly_one(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        let mut a = DenseArray::new();
+        run_against_model(&mut a, &ops);
+        if a.len() > 0 {
+            prop_assert_eq!(a.space_profile().space_amplification(), 1.0);
+        }
+    }
+}

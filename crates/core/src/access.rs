@@ -1,0 +1,354 @@
+//! The [`AccessMethod`] trait — the paper's notion of "algorithms and data
+//! structures for organizing and accessing data" (Hellerstein et al.), with
+//! RUM instrumentation baked in.
+//!
+//! Implementors provide the `*_impl` methods; callers use the provided
+//! wrappers ([`get`](AccessMethod::get), [`insert`](AccessMethod::insert),
+//! ...) which automatically charge the *logical* side of each operation to
+//! the method's [`CostTracker`], so read/write amplification is always
+//! well-defined no matter who drives the structure.
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::tracker::CostTracker;
+use crate::types::{base_bytes, Key, Record, Value, RECORD_SIZE};
+
+/// Space occupied by a structure, split per the paper's MO definition.
+///
+/// `base_bytes` is the logical size of the live data (`N × 16`);
+/// `aux_bytes` is everything beyond that: index nodes, filters, directory
+/// metadata, fragmentation, and redundant copies (e.g. LSM levels).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpaceProfile {
+    /// Logical bytes of live base data.
+    pub base_bytes: u64,
+    /// Physical bytes beyond the base data.
+    pub aux_bytes: u64,
+}
+
+impl SpaceProfile {
+    /// Profile for a structure storing `n` live records in `physical_bytes`
+    /// total physical space. Auxiliary space is whatever exceeds the logical
+    /// base size; a structure that somehow uses *less* than the logical size
+    /// (it cannot, without compression) is clamped to zero auxiliary bytes.
+    pub fn from_physical(n_records: usize, physical_bytes: u64) -> Self {
+        let base = base_bytes(n_records);
+        SpaceProfile {
+            base_bytes: base,
+            aux_bytes: physical_bytes.saturating_sub(base),
+        }
+    }
+
+    /// Total physical footprint.
+    #[inline]
+    pub fn total_bytes(&self) -> u64 {
+        self.base_bytes + self.aux_bytes
+    }
+
+    /// MO per the paper: "the ratio between the space utilized for auxiliary
+    /// and base data, divided by the space utilized for base data".
+    ///
+    /// The theoretical minimum is 1.0 (no auxiliary data at all). An empty
+    /// structure reports its raw overhead relative to one record to avoid a
+    /// division by zero.
+    pub fn space_amplification(&self) -> f64 {
+        if self.base_bytes == 0 {
+            if self.aux_bytes == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.total_bytes() as f64 / self.base_bytes as f64
+        }
+    }
+}
+
+/// A key/value access method with RUM instrumentation.
+///
+/// ## Contract
+///
+/// * Keys are unique. [`insert`](Self::insert) of an existing key replaces
+///   the value (upsert, last-writer-wins) — differential structures like the
+///   LSM-tree cannot afford an existence check on the write path, and the
+///   paper's UO model assumes they do not perform one.
+/// * [`update`](Self::update) returns whether a live key was modified, when
+///   the method can tell; blind-write structures may report `true`
+///   unconditionally (the workload generator only updates live keys).
+/// * [`range`](Self::range) is inclusive on both ends and returns records in
+///   ascending key order. Methods that fundamentally cannot answer range
+///   queries (pure hashing) return [`RumError::Unsupported`].
+/// * [`bulk_load`](Self::bulk_load) takes records sorted by strictly
+///   ascending key and replaces the current contents.
+///
+/// [`RumError::Unsupported`]: crate::error::RumError::Unsupported
+pub trait AccessMethod {
+    /// Human-readable name used in reports and plots.
+    fn name(&self) -> String;
+
+    /// Number of live records.
+    fn len(&self) -> usize;
+
+    /// Whether the method currently holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tracker this method charges physical traffic to.
+    fn tracker(&self) -> &Arc<CostTracker>;
+
+    /// Space footprint, split into base and auxiliary bytes.
+    fn space_profile(&self) -> SpaceProfile;
+
+    // ---- implementation hooks -------------------------------------------
+
+    /// Point lookup.
+    fn get_impl(&mut self, key: Key) -> Result<Option<Value>>;
+
+    /// Inclusive range scan in ascending key order.
+    fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>>;
+
+    /// Upsert.
+    fn insert_impl(&mut self, key: Key, value: Value) -> Result<()>;
+
+    /// Modify an existing key; `Ok(false)` if the key was known absent.
+    fn update_impl(&mut self, key: Key, value: Value) -> Result<bool>;
+
+    /// Remove a key; `Ok(false)` if the key was known absent.
+    fn delete_impl(&mut self, key: Key) -> Result<bool>;
+
+    /// Replace contents from records sorted by strictly ascending key.
+    fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()>;
+
+    /// Push any buffered state to its final place (e.g. flush an LSM
+    /// memtable). Default: nothing to do.
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    // ---- instrumented entry points --------------------------------------
+
+    /// Point lookup; charges the retrieved bytes as logical reads.
+    fn get(&mut self, key: Key) -> Result<Option<Value>> {
+        let r = self.get_impl(key)?;
+        if r.is_some() {
+            self.tracker().logical_read(RECORD_SIZE as u64);
+        }
+        Ok(r)
+    }
+
+    /// Inclusive range scan; charges the result size as logical reads.
+    fn range(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+        let rs = self.range_impl(lo, hi)?;
+        self.tracker()
+            .logical_read((rs.len() * RECORD_SIZE) as u64);
+        Ok(rs)
+    }
+
+    /// Upsert; charges one record as the logical write.
+    fn insert(&mut self, key: Key, value: Value) -> Result<()> {
+        self.insert_impl(key, value)?;
+        self.tracker().logical_write(RECORD_SIZE as u64);
+        Ok(())
+    }
+
+    /// Update; charges one record as the logical write when applied.
+    fn update(&mut self, key: Key, value: Value) -> Result<bool> {
+        let applied = self.update_impl(key, value)?;
+        if applied {
+            self.tracker().logical_write(RECORD_SIZE as u64);
+        }
+        Ok(applied)
+    }
+
+    /// Delete; charges one record as the logical write when applied.
+    fn delete(&mut self, key: Key) -> Result<bool> {
+        let applied = self.delete_impl(key)?;
+        if applied {
+            self.tracker().logical_write(RECORD_SIZE as u64);
+        }
+        Ok(applied)
+    }
+
+    /// Bulk load; charges the full input as the logical write, so the write
+    /// amplification of construction is meaningful.
+    fn bulk_load(&mut self, records: &[Record]) -> Result<()> {
+        self.bulk_load_impl(records)?;
+        self.tracker()
+            .logical_write((records.len() * RECORD_SIZE) as u64);
+        Ok(())
+    }
+}
+
+/// Validate a bulk-load input slice: strictly ascending keys.
+pub fn check_bulk_input(records: &[Record]) -> Result<()> {
+    for w in records.windows(2) {
+        if w[0].key >= w[1].key {
+            return Err(crate::error::RumError::InvalidArgument(format!(
+                "bulk_load input not strictly ascending at key {}",
+                w[1].key
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RumError;
+    use crate::tracker::DataClass;
+
+    /// A toy in-memory method used to test the instrumented wrappers.
+    struct VecMethod {
+        data: Vec<Record>,
+        tracker: Arc<CostTracker>,
+    }
+
+    impl VecMethod {
+        fn new() -> Self {
+            VecMethod {
+                data: Vec::new(),
+                tracker: CostTracker::new(),
+            }
+        }
+    }
+
+    impl AccessMethod for VecMethod {
+        fn name(&self) -> String {
+            "vec".into()
+        }
+        fn len(&self) -> usize {
+            self.data.len()
+        }
+        fn tracker(&self) -> &Arc<CostTracker> {
+            &self.tracker
+        }
+        fn space_profile(&self) -> SpaceProfile {
+            SpaceProfile::from_physical(
+                self.data.len(),
+                (self.data.capacity() * RECORD_SIZE) as u64,
+            )
+        }
+        fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+            self.tracker
+                .read(DataClass::Base, (self.data.len() * RECORD_SIZE) as u64);
+            Ok(self.data.iter().find(|r| r.key == key).map(|r| r.value))
+        }
+        fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+            self.tracker
+                .read(DataClass::Base, (self.data.len() * RECORD_SIZE) as u64);
+            let mut out: Vec<Record> = self
+                .data
+                .iter()
+                .copied()
+                .filter(|r| r.key >= lo && r.key <= hi)
+                .collect();
+            out.sort();
+            Ok(out)
+        }
+        fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+            self.tracker.write(DataClass::Base, RECORD_SIZE as u64);
+            if let Some(r) = self.data.iter_mut().find(|r| r.key == key) {
+                r.value = value;
+            } else {
+                self.data.push(Record::new(key, value));
+            }
+            Ok(())
+        }
+        fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+            if let Some(r) = self.data.iter_mut().find(|r| r.key == key) {
+                self.tracker.write(DataClass::Base, RECORD_SIZE as u64);
+                r.value = value;
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        }
+        fn delete_impl(&mut self, key: Key) -> Result<bool> {
+            let before = self.data.len();
+            self.data.retain(|r| r.key != key);
+            Ok(self.data.len() != before)
+        }
+        fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+            check_bulk_input(records)?;
+            self.tracker
+                .write(DataClass::Base, (records.len() * RECORD_SIZE) as u64);
+            self.data = records.to_vec();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn wrappers_charge_logical_traffic() {
+        let mut m = VecMethod::new();
+        m.insert(1, 10).unwrap();
+        m.insert(2, 20).unwrap();
+        assert_eq!(m.get(1).unwrap(), Some(10));
+        assert_eq!(m.get(99).unwrap(), None);
+        let s = m.tracker().snapshot();
+        // two inserts charged 32 logical write bytes
+        assert_eq!(s.logical_write_bytes, 32);
+        // only the hit charged 16 logical read bytes
+        assert_eq!(s.logical_read_bytes, 16);
+    }
+
+    #[test]
+    fn update_miss_charges_nothing_logical() {
+        let mut m = VecMethod::new();
+        assert!(!m.update(5, 1).unwrap());
+        assert_eq!(m.tracker().snapshot().logical_write_bytes, 0);
+    }
+
+    #[test]
+    fn range_charges_result_size() {
+        let mut m = VecMethod::new();
+        for k in 0..10 {
+            m.insert(k, k).unwrap();
+        }
+        let before = m.tracker().snapshot();
+        let rs = m.range(2, 5).unwrap();
+        assert_eq!(rs.len(), 4);
+        let d = m.tracker().since(&before);
+        assert_eq!(d.logical_read_bytes, 64);
+    }
+
+    #[test]
+    fn bulk_rejects_unsorted() {
+        let recs = vec![Record::new(2, 0), Record::new(1, 0)];
+        assert!(matches!(
+            check_bulk_input(&recs),
+            Err(RumError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn bulk_rejects_duplicates() {
+        let recs = vec![Record::new(1, 0), Record::new(1, 1)];
+        assert!(check_bulk_input(&recs).is_err());
+    }
+
+    #[test]
+    fn space_profile_math() {
+        let p = SpaceProfile::from_physical(10, 200);
+        assert_eq!(p.base_bytes, 160);
+        assert_eq!(p.aux_bytes, 40);
+        assert!((p.space_amplification() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn space_profile_empty() {
+        let p = SpaceProfile::from_physical(0, 0);
+        assert_eq!(p.space_amplification(), 1.0);
+        let p = SpaceProfile::from_physical(0, 4096);
+        assert!(p.space_amplification().is_infinite());
+    }
+
+    #[test]
+    fn space_profile_clamps_compression() {
+        // A physically smaller-than-logical footprint clamps aux to 0.
+        let p = SpaceProfile::from_physical(10, 100);
+        assert_eq!(p.aux_bytes, 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+use crate::types::Key;
+
+/// Errors produced by access methods and the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RumError {
+    /// An insert found the key already present (for methods that reject
+    /// duplicates rather than upserting).
+    DuplicateKey(Key),
+    /// A structure hit a hard capacity limit (e.g. a static hash table
+    /// built for a fixed number of keys, or a direct-address array asked to
+    /// exceed its configured key universe).
+    CapacityExceeded(String),
+    /// The requested operation is not supported by this access method
+    /// (e.g. range queries on a pure hash index).
+    Unsupported(&'static str),
+    /// The storage substrate rejected a request (bad page id, freed page...).
+    Storage(String),
+    /// An internal invariant was violated; indicates a bug.
+    Corrupt(String),
+    /// Invalid argument (e.g. an empty or inverted range, unsorted bulk-load
+    /// input).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for RumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RumError::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            RumError::CapacityExceeded(m) => write!(f, "capacity exceeded: {m}"),
+            RumError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            RumError::Storage(m) => write!(f, "storage error: {m}"),
+            RumError::Corrupt(m) => write!(f, "corrupt structure: {m}"),
+            RumError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RumError {}
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, RumError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(RumError::DuplicateKey(5).to_string(), "duplicate key 5");
+        assert!(RumError::Unsupported("range on hash")
+            .to_string()
+            .contains("range on hash"));
+        assert!(RumError::Storage("bad page".into())
+            .to_string()
+            .starts_with("storage error"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&RumError::Corrupt("x".into()));
+    }
+}

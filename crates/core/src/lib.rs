@@ -1,0 +1,46 @@
+//! # rum-core
+//!
+//! Core abstractions for the RUM Conjecture reproduction
+//! (Athanassoulis et al., *Designing Access Methods: The RUM Conjecture*,
+//! EDBT 2016).
+//!
+//! The paper defines three fundamental overheads of any access method:
+//!
+//! * **RO** (read overhead / *read amplification*): total bytes read
+//!   (auxiliary + base) divided by the bytes of data actually retrieved.
+//! * **UO** (update overhead / *write amplification*): bytes physically
+//!   written divided by the bytes of the logical update.
+//! * **MO** (memory overhead / *space amplification*): bytes occupied by
+//!   base plus auxiliary data divided by the bytes of base data.
+//!
+//! This crate provides the vocabulary every access method in the workspace
+//! speaks:
+//!
+//! * [`types`] — the record model (`u64` key + `u64` value, 16-byte records,
+//!   4 KiB pages, `B = 256` records per page), mirroring the paper's
+//!   "array of N fixed-sized elements in blocks".
+//! * [`tracker`] — [`CostTracker`](tracker::CostTracker), the instrumented
+//!   counter set from which all three amplifications are computed.
+//! * [`access`] — the [`AccessMethod`](access::AccessMethod) trait.
+//! * [`workload`] — seeded workload generators (uniform / zipfian /
+//!   sequential key distributions, configurable operation mixes).
+//! * [`runner`] — drives an access method through a workload and produces a
+//!   [`RumReport`](runner::RumReport).
+//! * [`triangle`] — barycentric projection of (RO, UO, MO) onto the RUM
+//!   triangle of the paper's Figures 1 and 3, with an ASCII renderer.
+//! * [`wizard`] — the "access method wizard" envisioned in §5 of the paper:
+//!   a cost-model-driven advisor that ranks access methods for a workload.
+
+pub mod access;
+pub mod error;
+pub mod runner;
+pub mod tracker;
+pub mod triangle;
+pub mod types;
+pub mod wizard;
+pub mod workload;
+
+pub use access::{check_bulk_input, AccessMethod, SpaceProfile};
+pub use error::{Result, RumError};
+pub use tracker::{CostSnapshot, CostTracker, DataClass};
+pub use types::{Key, Record, Value, PAGE_SIZE, RECORDS_PER_PAGE, RECORD_SIZE};

@@ -1,0 +1,334 @@
+//! Drives an [`AccessMethod`] through a [`Workload`] and measures the RUM
+//! overheads, separating read-path and write-path traffic so RO and UO are
+//! attributed to the operations that incur them.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use crate::access::AccessMethod;
+use crate::error::Result;
+use crate::tracker::CostSnapshot;
+use crate::workload::{Op, Workload};
+
+/// The measured RUM profile of one method over one workload.
+#[derive(Clone, Debug, Serialize)]
+pub struct RumReport {
+    pub method: String,
+    /// Live records at the end of the run.
+    pub n_final: usize,
+    pub read_ops: u64,
+    pub write_ops: u64,
+    /// Traffic accumulated during read operations (get / range).
+    pub read_costs: CostSnapshot,
+    /// Traffic accumulated during write operations (insert / update /
+    /// delete), including any reads those operations perform internally.
+    pub write_costs: CostSnapshot,
+    /// Traffic of the initial bulk load (excluded from RO / UO).
+    pub load_costs: CostSnapshot,
+    /// Read amplification over the read operations.
+    pub ro: f64,
+    /// Write amplification over the write operations.
+    pub uo: f64,
+    /// Space amplification of the final structure.
+    pub mo: f64,
+    /// Mean page accesses (reads + writes) per read operation.
+    pub pages_per_read_op: f64,
+    /// Mean page accesses per write operation.
+    pub pages_per_write_op: f64,
+    /// Wall-clock time of the operation phase, nanoseconds.
+    pub wall_ns: u128,
+    /// Simulated device time of the operation phase, nanoseconds.
+    pub sim_ns: u64,
+}
+
+impl RumReport {
+    /// One line suitable for a fixed-width table.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<28} {:>9} {:>9.3} {:>9.3} {:>9.3} {:>10.2} {:>10.2}",
+            self.method,
+            self.n_final,
+            finite(self.ro),
+            finite(self.uo),
+            finite(self.mo),
+            self.pages_per_read_op,
+            self.pages_per_write_op,
+        )
+    }
+
+    /// Header matching [`table_row`](Self::table_row).
+    pub fn table_header() -> String {
+        format!(
+            "{:<28} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
+            "method", "N", "RO", "UO", "MO", "pg/read", "pg/write"
+        )
+    }
+
+    /// CSV row (method, ro, uo, mo, pages/read, pages/write, sim_ns).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{}",
+            self.method,
+            self.n_final,
+            self.ro,
+            self.uo,
+            self.mo,
+            self.pages_per_read_op,
+            self.pages_per_write_op,
+            self.sim_ns
+        )
+    }
+}
+
+fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        f64::MAX
+    }
+}
+
+/// Run `workload` against `method`: bulk-load the initial records, then play
+/// the operation stream, attributing costs per operation class.
+pub fn run_workload(method: &mut dyn AccessMethod, workload: &Workload) -> Result<RumReport> {
+    let tracker = std::sync::Arc::clone(method.tracker());
+    tracker.reset();
+
+    method.bulk_load(&workload.initial)?;
+    let load_costs = tracker.snapshot();
+
+    let mut read_costs = CostSnapshot::default();
+    let mut write_costs = CostSnapshot::default();
+    let mut read_ops = 0u64;
+    let mut write_ops = 0u64;
+
+    let started = Instant::now();
+    let mut mark = tracker.snapshot();
+    for op in &workload.ops {
+        match *op {
+            Op::Get(k) => {
+                method.get(k)?;
+            }
+            Op::Range(lo, hi) => {
+                method.range(lo, hi)?;
+            }
+            Op::Insert(k, v) => {
+                method.insert(k, v)?;
+            }
+            Op::Update(k, v) => {
+                method.update(k, v)?;
+            }
+            Op::Delete(k) => {
+                method.delete(k)?;
+            }
+        }
+        let now = tracker.snapshot();
+        let d = now.delta(&mark);
+        mark = now;
+        if op.is_read() {
+            read_ops += 1;
+            read_costs = read_costs.add(&d);
+        } else {
+            write_ops += 1;
+            write_costs = write_costs.add(&d);
+        }
+    }
+    let wall_ns = started.elapsed().as_nanos();
+
+    let profile = method.space_profile();
+    let sim_ns = read_costs.sim_time_ns + write_costs.sim_time_ns;
+
+    Ok(RumReport {
+        method: method.name(),
+        n_final: method.len(),
+        read_ops,
+        write_ops,
+        ro: read_costs.read_amplification(),
+        uo: write_costs.write_amplification(),
+        mo: profile.space_amplification(),
+        pages_per_read_op: per_op(read_costs.page_accesses(), read_ops),
+        pages_per_write_op: per_op(write_costs.page_accesses(), write_ops),
+        read_costs,
+        write_costs,
+        load_costs,
+        wall_ns,
+        sim_ns,
+    })
+}
+
+fn per_op(total: u64, ops: u64) -> f64 {
+    if ops == 0 {
+        0.0
+    } else {
+        total as f64 / ops as f64
+    }
+}
+
+/// Measure the average cost of a single operation kind, for Table 1 style
+/// experiments: runs `ops` against an already-loaded method and returns the
+/// per-operation page accesses and cost delta.
+pub fn measure_ops(
+    method: &mut dyn AccessMethod,
+    ops: &[Op],
+) -> Result<(f64, CostSnapshot)> {
+    let tracker = std::sync::Arc::clone(method.tracker());
+    let before = tracker.snapshot();
+    for op in ops {
+        match *op {
+            Op::Get(k) => {
+                method.get(k)?;
+            }
+            Op::Range(lo, hi) => {
+                method.range(lo, hi)?;
+            }
+            Op::Insert(k, v) => {
+                method.insert(k, v)?;
+            }
+            Op::Update(k, v) => {
+                method.update(k, v)?;
+            }
+            Op::Delete(k) => {
+                method.delete(k)?;
+            }
+        }
+    }
+    let d = tracker.since(&before);
+    Ok((per_op(d.page_accesses(), ops.len() as u64), d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::SpaceProfile;
+    use crate::tracker::{CostTracker, DataClass};
+    use crate::types::{Key, Record, Value, RECORD_SIZE};
+    use crate::workload::{OpMix, Workload, WorkloadSpec};
+    use std::sync::Arc;
+
+    /// Minimal sorted-vec method that charges 2 bytes of physical traffic
+    /// per byte of logical traffic, so amplification is exactly 2.
+    struct Amp2 {
+        data: std::collections::BTreeMap<Key, Value>,
+        tracker: Arc<CostTracker>,
+    }
+
+    impl Amp2 {
+        fn new() -> Self {
+            Amp2 {
+                data: Default::default(),
+                tracker: CostTracker::new(),
+            }
+        }
+    }
+
+    impl AccessMethod for Amp2 {
+        fn name(&self) -> String {
+            "amp2".into()
+        }
+        fn len(&self) -> usize {
+            self.data.len()
+        }
+        fn tracker(&self) -> &Arc<CostTracker> {
+            &self.tracker
+        }
+        fn space_profile(&self) -> SpaceProfile {
+            SpaceProfile::from_physical(self.data.len(), (self.data.len() * 3 * RECORD_SIZE) as u64)
+        }
+        fn get_impl(&mut self, key: Key) -> crate::Result<Option<Value>> {
+            let r = self.data.get(&key).copied();
+            if r.is_some() {
+                self.tracker.read(DataClass::Base, 2 * RECORD_SIZE as u64);
+            }
+            Ok(r)
+        }
+        fn range_impl(&mut self, lo: Key, hi: Key) -> crate::Result<Vec<Record>> {
+            let out: Vec<Record> = self
+                .data
+                .range(lo..=hi)
+                .map(|(&k, &v)| Record::new(k, v))
+                .collect();
+            self.tracker
+                .read(DataClass::Base, (2 * out.len() * RECORD_SIZE) as u64);
+            Ok(out)
+        }
+        fn insert_impl(&mut self, key: Key, value: Value) -> crate::Result<()> {
+            self.tracker.write(DataClass::Base, 2 * RECORD_SIZE as u64);
+            self.data.insert(key, value);
+            Ok(())
+        }
+        fn update_impl(&mut self, key: Key, value: Value) -> crate::Result<bool> {
+            if self.data.contains_key(&key) {
+                self.tracker.write(DataClass::Base, 2 * RECORD_SIZE as u64);
+                self.data.insert(key, value);
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        }
+        fn delete_impl(&mut self, key: Key) -> crate::Result<bool> {
+            if self.data.remove(&key).is_some() {
+                self.tracker.write(DataClass::Base, 2 * RECORD_SIZE as u64);
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        }
+        fn bulk_load_impl(&mut self, records: &[Record]) -> crate::Result<()> {
+            self.data = records.iter().map(|r| (r.key, r.value)).collect();
+            self.tracker
+                .write(DataClass::Base, (records.len() * RECORD_SIZE) as u64);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn amplifications_attributed_per_class() {
+        let w = Workload::generate(&WorkloadSpec {
+            initial_records: 500,
+            operations: 2000,
+            mix: OpMix::BALANCED,
+            seed: 9,
+            ..Default::default()
+        });
+        let mut m = Amp2::new();
+        let report = run_workload(&mut m, &w).unwrap();
+        assert!((report.ro - 2.0).abs() < 1e-9, "ro = {}", report.ro);
+        assert!((report.uo - 2.0).abs() < 1e-9, "uo = {}", report.uo);
+        assert!((report.mo - 3.0).abs() < 1e-9, "mo = {}", report.mo);
+        assert_eq!(report.read_ops + report.write_ops, w.ops.len() as u64);
+    }
+
+    #[test]
+    fn load_costs_are_excluded_from_amplification() {
+        let w = Workload::generate(&WorkloadSpec {
+            initial_records: 1000,
+            operations: 10,
+            mix: OpMix::READ_ONLY,
+            seed: 3,
+            ..Default::default()
+        });
+        let mut m = Amp2::new();
+        let report = run_workload(&mut m, &w).unwrap();
+        // Bulk load wrote 1000 records; none of that traffic shows in UO.
+        assert!(report.load_costs.total_write_bytes() > 0);
+        assert_eq!(report.write_ops, 0);
+        assert_eq!(report.write_costs.total_write_bytes(), 0);
+        assert!((report.ro - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_rows_render() {
+        let w = Workload::generate(&WorkloadSpec {
+            initial_records: 100,
+            operations: 100,
+            seed: 1,
+            ..Default::default()
+        });
+        let mut m = Amp2::new();
+        let report = run_workload(&mut m, &w).unwrap();
+        assert!(report.table_row().contains("amp2"));
+        assert!(RumReport::table_header().contains("MO"));
+        assert_eq!(report.csv_row().split(',').count(), 8);
+    }
+}

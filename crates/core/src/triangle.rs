@@ -1,0 +1,235 @@
+//! Geometry of the RUM space (Figures 1 and 3 of the paper).
+//!
+//! The paper visualizes access methods in a triangle whose corners are
+//! *Read Optimized* (top), *Write Optimized* (bottom left) and *Space
+//! Optimized* (bottom right). A method sits close to a corner when it is
+//! good at that overhead. We make the picture quantitative: from a measured
+//! triple `(RO, UO, MO)` we compute per-axis *goodness* `g = 1 / overhead`
+//! (each overhead has a theoretical minimum of 1.0, so goodness is in
+//! (0, 1]) and place the method at the barycentric combination of the three
+//! corners weighted by normalized goodness. Log-damping keeps wildly
+//! unbalanced methods (e.g. a full scan with RO = N) inside the triangle
+//! instead of squashed onto an edge.
+
+use serde::Serialize;
+
+/// A point in the RUM triangle, with the measurements that produced it.
+#[derive(Clone, Debug, Serialize)]
+pub struct RumPoint {
+    pub label: String,
+    pub ro: f64,
+    pub uo: f64,
+    pub mo: f64,
+    /// x in [0, 1]: 0 = write corner, 1 = space corner.
+    pub x: f64,
+    /// y in [0, 1]: 1 = read corner.
+    pub y: f64,
+}
+
+/// Corner coordinates of the unit triangle.
+pub const READ_CORNER: (f64, f64) = (0.5, 1.0);
+pub const WRITE_CORNER: (f64, f64) = (0.0, 0.0);
+pub const SPACE_CORNER: (f64, f64) = (1.0, 0.0);
+
+/// Damped goodness of one overhead: 1 when the overhead is at its
+/// theoretical minimum (1.0), decaying logarithmically as it grows.
+fn goodness(overhead: f64) -> f64 {
+    let o = if overhead.is_finite() {
+        overhead.max(1.0)
+    } else {
+        1e12
+    };
+    1.0 / (1.0 + o.ln())
+}
+
+/// Project a measured `(ro, uo, mo)` triple to a triangle position.
+///
+/// The weight on each corner is the method's relative goodness on that
+/// axis, so "read optimized" methods drift toward the read corner, and a
+/// perfectly balanced method sits at the centroid.
+pub fn project(ro: f64, uo: f64, mo: f64) -> (f64, f64) {
+    let gr = goodness(ro);
+    let gu = goodness(uo);
+    let gm = goodness(mo);
+    let total = gr + gu + gm;
+    let (wr, wu, wm) = (gr / total, gu / total, gm / total);
+    let x = wr * READ_CORNER.0 + wu * WRITE_CORNER.0 + wm * SPACE_CORNER.0;
+    let y = wr * READ_CORNER.1 + wu * WRITE_CORNER.1 + wm * SPACE_CORNER.1;
+    (x, y)
+}
+
+/// Build a labeled point from measurements.
+pub fn rum_point(label: impl Into<String>, ro: f64, uo: f64, mo: f64) -> RumPoint {
+    let (x, y) = project(ro, uo, mo);
+    RumPoint {
+        label: label.into(),
+        ro,
+        uo,
+        mo,
+        x,
+        y,
+    }
+}
+
+/// Render points as an ASCII RUM triangle (Figure 1 style).
+///
+/// Each point is drawn as a letter `A`, `B`, ... and listed in the legend
+/// with its measured overheads.
+pub fn render_ascii(points: &[RumPoint], width: usize, height: usize) -> String {
+    let width = width.max(24);
+    let height = height.max(12);
+    let mut grid = vec![vec![' '; width]; height];
+
+    // Triangle outline: apex top-center, base along the bottom row.
+    for row in 0..height {
+        let t = row as f64 / (height - 1) as f64; // 0 at apex, 1 at base
+        let half = t * (width - 1) as f64 / 2.0;
+        let cx = (width - 1) as f64 / 2.0;
+        let left = (cx - half).round() as usize;
+        let right = (cx + half).round() as usize;
+        grid[row][left.min(width - 1)] = '.';
+        grid[row][right.min(width - 1)] = '.';
+    }
+    for c in grid[height - 1].iter_mut() {
+        *c = '.';
+    }
+
+    let mut legend = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let marker = (b'A' + (i % 26) as u8) as char;
+        // y = 1 is the apex (row 0); x in [0,1] maps within the row's span.
+        let row = ((1.0 - p.y) * (height - 1) as f64).round() as usize;
+        let t = row as f64 / (height - 1) as f64;
+        let half = t * (width - 1) as f64 / 2.0;
+        let cx = (width - 1) as f64 / 2.0;
+        let col = (cx - half + p.x * 2.0 * half).round() as usize;
+        let row = row.min(height - 1);
+        let col = col.min(width - 1);
+        grid[row][col] = marker;
+        legend.push_str(&format!(
+            "  {} = {:<26} RO={:<10.3} UO={:<10.3} MO={:<10.3}\n",
+            marker,
+            p.label,
+            cap(p.ro),
+            cap(p.uo),
+            cap(p.mo)
+        ));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{:^w$}\n", "READ OPTIMIZED", w = width));
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:<w2$}{:>w2$}\n",
+        "WRITE OPTIMIZED",
+        "SPACE OPTIMIZED",
+        w2 = width / 2
+    ));
+    out.push_str(&legend);
+    out
+}
+
+fn cap(x: f64) -> f64 {
+    if x.is_finite() {
+        x.min(1e9)
+    } else {
+        1e9
+    }
+}
+
+/// CSV with header for a set of points.
+pub fn to_csv(points: &[RumPoint]) -> String {
+    let mut s = String::from("label,ro,uo,mo,x,y\n");
+    for p in points {
+        s.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            p.label, p.ro, p.uo, p.mo, p.x, p.y
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inside_triangle(x: f64, y: f64) -> bool {
+        // Barycentric test for triangle (0,0) (1,0) (0.5,1).
+        if !(0.0..=1.0).contains(&y) {
+            return false;
+        }
+        let half = (1.0 - y) / 2.0;
+        (0.5 - half - 1e-9..=0.5 + half + 1e-9).contains(&x)
+    }
+
+    #[test]
+    fn balanced_method_sits_at_centroid() {
+        let (x, y) = project(2.0, 2.0, 2.0);
+        assert!((x - 0.5).abs() < 1e-9);
+        assert!((y - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_optimized_drifts_up() {
+        let (_, y_read) = project(1.0, 50.0, 50.0);
+        let (_, y_bal) = project(10.0, 10.0, 10.0);
+        assert!(y_read > y_bal);
+    }
+
+    #[test]
+    fn write_optimized_drifts_left() {
+        let (x, y) = project(100.0, 1.0, 100.0);
+        assert!(x < 0.5);
+        assert!(y < 0.5);
+    }
+
+    #[test]
+    fn space_optimized_drifts_right() {
+        let (x, y) = project(100.0, 100.0, 1.0);
+        assert!(x > 0.5);
+        assert!(y < 0.5);
+    }
+
+    #[test]
+    fn all_projections_stay_inside() {
+        for &ro in &[1.0, 2.0, 1e3, 1e9, f64::INFINITY] {
+            for &uo in &[1.0, 3.0, 1e6] {
+                for &mo in &[1.0, 1.5, 1e2] {
+                    let (x, y) = project(ro, uo, mo);
+                    assert!(inside_triangle(x, y), "({ro},{uo},{mo}) -> ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_render_contains_markers_and_labels() {
+        let pts = vec![
+            rum_point("btree", 3.0, 8.0, 1.4),
+            rum_point("lsm", 9.0, 1.8, 1.6),
+        ];
+        let s = render_ascii(&pts, 60, 20);
+        assert!(s.contains('A'));
+        assert!(s.contains('B'));
+        assert!(s.contains("btree"));
+        assert!(s.contains("READ OPTIMIZED"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let pts = vec![rum_point("x", 1.0, 2.0, 3.0)];
+        let csv = to_csv(&pts);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("label,ro,uo,mo,x,y"));
+    }
+
+    #[test]
+    fn infinite_overheads_do_not_panic() {
+        let p = rum_point("scan", f64::INFINITY, 1.0, 1.0);
+        assert!(p.x.is_finite() && p.y.is_finite());
+    }
+}

@@ -1,0 +1,132 @@
+//! The record and block model shared by every access method.
+//!
+//! Section 2 of the paper reasons about "an array of N (N >> 1) fixed-sized
+//! elements in blocks". We fix the element to a 16-byte record (`u64` key +
+//! `u64` value) and the block to a 4 KiB page, giving `B = 256` records per
+//! block — the block-size parameter of Table 1.
+
+/// Key type: unsigned 64-bit integers, as in the paper's integer-array model.
+pub type Key = u64;
+
+/// Value (payload) type.
+pub type Value = u64;
+
+/// Size of a storage block / page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Size of one fixed-length record in bytes (key + value).
+pub const RECORD_SIZE: usize = 16;
+
+/// `B` in Table 1 of the paper: records per block.
+pub const RECORDS_PER_PAGE: usize = PAGE_SIZE / RECORD_SIZE;
+
+/// A fixed-size key/value record — the paper's "element".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Record {
+    pub key: Key,
+    pub value: Value,
+}
+
+impl Record {
+    /// Create a record.
+    #[inline]
+    pub const fn new(key: Key, value: Value) -> Self {
+        Record { key, value }
+    }
+
+    /// Serialize into a fixed 16-byte little-endian layout.
+    #[inline]
+    pub fn encode(&self) -> [u8; RECORD_SIZE] {
+        let mut buf = [0u8; RECORD_SIZE];
+        buf[..8].copy_from_slice(&self.key.to_le_bytes());
+        buf[8..].copy_from_slice(&self.value.to_le_bytes());
+        buf
+    }
+
+    /// Deserialize from the fixed 16-byte layout produced by [`encode`].
+    ///
+    /// [`encode`]: Record::encode
+    #[inline]
+    pub fn decode(buf: &[u8]) -> Self {
+        debug_assert!(buf.len() >= RECORD_SIZE);
+        let key = u64::from_le_bytes(buf[..8].try_into().expect("key slice"));
+        let value = u64::from_le_bytes(buf[8..16].try_into().expect("value slice"));
+        Record { key, value }
+    }
+
+    /// Write this record into `buf` (which must be at least 16 bytes).
+    #[inline]
+    pub fn encode_into(&self, buf: &mut [u8]) {
+        buf[..8].copy_from_slice(&self.key.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.value.to_le_bytes());
+    }
+}
+
+impl From<(Key, Value)> for Record {
+    fn from((key, value): (Key, Value)) -> Self {
+        Record { key, value }
+    }
+}
+
+/// Number of pages needed to hold `n` records packed densely.
+#[inline]
+pub const fn pages_for_records(n: usize) -> usize {
+    n.div_ceil(RECORDS_PER_PAGE)
+}
+
+/// Logical size in bytes of `n` records of base data.
+#[inline]
+pub const fn base_bytes(n: usize) -> u64 {
+    (n * RECORD_SIZE) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(RECORDS_PER_PAGE, 256);
+        assert_eq!(RECORDS_PER_PAGE * RECORD_SIZE, PAGE_SIZE);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = Record::new(0xDEAD_BEEF_0123_4567, 42);
+        assert_eq!(Record::decode(&r.encode()), r);
+    }
+
+    #[test]
+    fn record_roundtrip_extremes() {
+        for r in [
+            Record::new(0, 0),
+            Record::new(u64::MAX, u64::MAX),
+            Record::new(u64::MAX, 0),
+            Record::new(0, u64::MAX),
+        ] {
+            assert_eq!(Record::decode(&r.encode()), r);
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let r = Record::new(7, 9);
+        let mut buf = [0u8; 32];
+        r.encode_into(&mut buf[4..20]);
+        assert_eq!(&buf[4..20], &r.encode());
+    }
+
+    #[test]
+    fn pages_for_records_rounds_up() {
+        assert_eq!(pages_for_records(0), 0);
+        assert_eq!(pages_for_records(1), 1);
+        assert_eq!(pages_for_records(256), 1);
+        assert_eq!(pages_for_records(257), 2);
+    }
+
+    #[test]
+    fn record_ordering_is_key_major() {
+        assert!(Record::new(1, 100) < Record::new(2, 0));
+        assert!(Record::new(1, 0) < Record::new(1, 1));
+    }
+}

@@ -1,0 +1,364 @@
+//! The "access method wizard" of §5: "Using the above classification and
+//! analysis we can make educated decisions about which access method should
+//! be used based on the application requirements and the hardware
+//! characteristics, effectively creating a powerful access method wizard."
+//!
+//! The wizard scores each access-method family using the I/O cost formulas
+//! of Table 1 (in expected page accesses per operation) combined with the
+//! workload's operation mix, and honors hard caps the user places on any of
+//! the three RUM overheads.
+
+use serde::Serialize;
+
+use crate::types::RECORDS_PER_PAGE;
+use crate::workload::OpMix;
+
+/// Hardware / dataset parameters of Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct Environment {
+    /// Dataset size in records (`N`).
+    pub n: usize,
+    /// Range query result size in records (`m`).
+    pub m: usize,
+    /// ZoneMap partition size in records (`P`).
+    pub partition: usize,
+    /// LSM size ratio (`T`).
+    pub size_ratio: usize,
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Environment {
+            n: 1 << 22,
+            m: 256,
+            partition: 4096,
+            size_ratio: 4,
+        }
+    }
+}
+
+/// Upper bounds the user is willing to tolerate. `None` = unconstrained.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Constraints {
+    pub max_read_amp: Option<f64>,
+    pub max_write_amp: Option<f64>,
+    pub max_space_amp: Option<f64>,
+    /// Whether range queries must be supported at all.
+    pub needs_ranges: bool,
+}
+
+/// The access-method families the wizard knows (those of Table 1 plus the
+/// adaptive middle ground).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Family {
+    BTree,
+    HashIndex,
+    ZoneMap,
+    LsmTree,
+    SortedColumn,
+    UnsortedColumn,
+    CrackedColumn,
+}
+
+impl Family {
+    pub const ALL: [Family; 7] = [
+        Family::BTree,
+        Family::HashIndex,
+        Family::ZoneMap,
+        Family::LsmTree,
+        Family::SortedColumn,
+        Family::UnsortedColumn,
+        Family::CrackedColumn,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::BTree => "B+-Tree",
+            Family::HashIndex => "Hash Index",
+            Family::ZoneMap => "ZoneMaps",
+            Family::LsmTree => "Levelled LSM",
+            Family::SortedColumn => "Sorted column",
+            Family::UnsortedColumn => "Unsorted column",
+            Family::CrackedColumn => "Cracked column",
+        }
+    }
+}
+
+/// Analytic per-operation page-access costs (Table 1), plus nominal RUM
+/// amplification estimates used against [`Constraints`].
+#[derive(Clone, Debug, Serialize)]
+pub struct FamilyProfile {
+    pub family: Family,
+    pub point_cost: f64,
+    pub range_cost: f64,
+    pub insert_cost: f64,
+    pub read_amp: f64,
+    pub write_amp: f64,
+    pub space_amp: f64,
+    pub supports_ranges: bool,
+}
+
+fn log_b(n: f64, b: f64) -> f64 {
+    (n.max(2.0)).ln() / b.max(2.0).ln()
+}
+
+/// Evaluate the Table 1 cost model for one family in one environment.
+pub fn profile(family: Family, env: &Environment) -> FamilyProfile {
+    let n = env.n as f64;
+    let b = RECORDS_PER_PAGE as f64;
+    let m = env.m as f64;
+    let p = env.partition as f64;
+    let t = env.size_ratio.max(2) as f64;
+    let pages = (n / b).max(1.0);
+    let zones = (n / p).max(1.0);
+    let levels = log_b(pages, t).max(1.0);
+
+    match family {
+        Family::BTree => FamilyProfile {
+            family,
+            point_cost: log_b(n, b),
+            range_cost: log_b(n, b) + m / b,
+            insert_cost: log_b(n, b) + 1.0,
+            read_amp: log_b(n, b).max(1.0) * b / 1.0, // page-granular probes
+            write_amp: b, // rewrite a leaf page per record update
+            space_amp: 1.0 + 1.0 / (b - 1.0) + 0.07, // internal nodes + slack
+            supports_ranges: true,
+        },
+        Family::HashIndex => FamilyProfile {
+            family,
+            point_cost: 1.0,
+            range_cost: pages, // must scan everything
+            insert_cost: 1.0,
+            read_amp: b,
+            write_amp: b,
+            space_amp: 1.0 / 0.7, // load factor
+            supports_ranges: false,
+        },
+        Family::ZoneMap => FamilyProfile {
+            family,
+            point_cost: (zones / b).max(1.0) + p / b,
+            range_cost: (zones / b).max(1.0) + p / b + m / b,
+            insert_cost: 1.0 + (1.0 / p), // in-place + zone maintenance
+            read_amp: p.max(b),
+            write_amp: b,
+            space_amp: 1.0 + 32.0 / (p * 16.0),
+            supports_ranges: true,
+        },
+        Family::LsmTree => FamilyProfile {
+            family,
+            point_cost: levels, // one probe per level (fences cached)
+            range_cost: levels + (m / b) * t / (t - 1.0),
+            insert_cost: (t / b) * levels, // amortized merge cost
+            read_amp: levels * b,
+            write_amp: t * levels,
+            space_amp: 1.0 + 1.0 / (t - 1.0) + 0.02,
+            supports_ranges: true,
+        },
+        Family::SortedColumn => FamilyProfile {
+            family,
+            point_cost: (pages).log2().max(1.0),
+            range_cost: (pages).log2().max(1.0) + m / b,
+            insert_cost: pages / 2.0, // shift half the column
+            read_amp: (pages).log2().max(1.0) * b,
+            write_amp: n / 2.0,
+            space_amp: 1.0,
+            supports_ranges: true,
+        },
+        Family::UnsortedColumn => FamilyProfile {
+            family,
+            point_cost: pages / 2.0,
+            range_cost: pages,
+            insert_cost: 1.0, // append
+            read_amp: n / 2.0,
+            write_amp: 1.0,
+            space_amp: 1.0,
+            supports_ranges: true,
+        },
+        Family::CrackedColumn => {
+            // Converges from scan cost toward sorted-column cost; model the
+            // steady state after the cracker index has partially formed.
+            let converged = (pages).log2().max(1.0) * 4.0;
+            FamilyProfile {
+                family,
+                point_cost: converged,
+                range_cost: converged + m / b,
+                insert_cost: 2.0, // append to pending + lazy merge
+                read_amp: converged * b,
+                write_amp: 8.0, // amortized reorganization
+                space_amp: 1.10,
+                supports_ranges: true,
+            }
+        }
+    }
+}
+
+/// One ranked recommendation.
+#[derive(Clone, Debug, Serialize)]
+pub struct Recommendation {
+    pub family: Family,
+    /// Expected page accesses per operation under the mix (lower = better).
+    pub expected_cost: f64,
+    /// Whether every hard constraint is satisfied.
+    pub feasible: bool,
+    /// Human-readable reasons for infeasibility.
+    pub violations: Vec<String>,
+}
+
+/// Rank all families for a workload mix under constraints.
+/// Infeasible families sort after feasible ones.
+pub fn recommend(mix: &OpMix, env: &Environment, cons: &Constraints) -> Vec<Recommendation> {
+    let total = mix.get + mix.insert + mix.update + mix.delete + mix.range;
+    let total = if total <= 0.0 { 1.0 } else { total };
+    let mut recs: Vec<Recommendation> = Family::ALL
+        .iter()
+        .map(|&f| {
+            let p = profile(f, env);
+            let write_frac = (mix.insert + mix.update + mix.delete) / total;
+            let expected_cost = (mix.get / total) * p.point_cost
+                + (mix.range / total) * p.range_cost
+                + write_frac * p.insert_cost;
+            let mut violations = Vec::new();
+            if cons.needs_ranges && !p.supports_ranges {
+                violations.push("range queries unsupported".to_string());
+            }
+            if let Some(cap) = cons.max_read_amp {
+                if p.read_amp > cap {
+                    violations.push(format!("read amp {:.1} > cap {:.1}", p.read_amp, cap));
+                }
+            }
+            if let Some(cap) = cons.max_write_amp {
+                if p.write_amp > cap {
+                    violations.push(format!("write amp {:.1} > cap {:.1}", p.write_amp, cap));
+                }
+            }
+            if let Some(cap) = cons.max_space_amp {
+                if p.space_amp > cap {
+                    violations.push(format!("space amp {:.2} > cap {:.2}", p.space_amp, cap));
+                }
+            }
+            Recommendation {
+                family: f,
+                expected_cost,
+                feasible: violations.is_empty(),
+                violations,
+            }
+        })
+        .collect();
+    recs.sort_by(|a, b| {
+        b.feasible
+            .cmp(&a.feasible)
+            .then(a.expected_cost.total_cmp(&b.expected_cost))
+    });
+    recs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_only_point_workload_prefers_hash() {
+        let recs = recommend(
+            &OpMix::READ_ONLY,
+            &Environment::default(),
+            &Constraints::default(),
+        );
+        assert_eq!(recs[0].family, Family::HashIndex);
+    }
+
+    #[test]
+    fn ranges_required_excludes_hash() {
+        let cons = Constraints {
+            needs_ranges: true,
+            ..Default::default()
+        };
+        let recs = recommend(&OpMix::SCAN_HEAVY, &Environment::default(), &cons);
+        let hash = recs.iter().find(|r| r.family == Family::HashIndex).unwrap();
+        assert!(!hash.feasible);
+        assert!(recs[0].feasible);
+        assert_ne!(recs[0].family, Family::HashIndex);
+    }
+
+    #[test]
+    fn insert_only_prefers_append_or_lsm() {
+        let recs = recommend(
+            &OpMix::INSERT_ONLY,
+            &Environment::default(),
+            &Constraints::default(),
+        );
+        assert!(
+            matches!(recs[0].family, Family::UnsortedColumn | Family::LsmTree | Family::HashIndex),
+            "got {:?}",
+            recs[0].family
+        );
+        // The sorted column (shift half the data per insert) must rank last
+        // among feasible options.
+        let sorted_pos = recs
+            .iter()
+            .position(|r| r.family == Family::SortedColumn)
+            .unwrap();
+        assert!(sorted_pos >= Family::ALL.len() - 2);
+    }
+
+    #[test]
+    fn write_amp_cap_disqualifies_btree_for_write_heavy() {
+        let cons = Constraints {
+            max_write_amp: Some(16.0),
+            ..Default::default()
+        };
+        let recs = recommend(&OpMix::WRITE_HEAVY, &Environment::default(), &cons);
+        let btree = recs.iter().find(|r| r.family == Family::BTree).unwrap();
+        assert!(!btree.feasible, "B-tree write amp should exceed 16");
+    }
+
+    #[test]
+    fn space_cap_favors_bare_columns() {
+        let cons = Constraints {
+            max_space_amp: Some(1.05),
+            needs_ranges: true,
+            ..Default::default()
+        };
+        let recs = recommend(&OpMix::SCAN_HEAVY, &Environment::default(), &cons);
+        assert!(recs[0].feasible);
+        assert!(
+            matches!(
+                recs[0].family,
+                Family::SortedColumn | Family::UnsortedColumn | Family::ZoneMap
+            ),
+            "got {:?}",
+            recs[0].family
+        );
+    }
+
+    #[test]
+    fn costs_scale_with_n() {
+        let small = profile(
+            Family::BTree,
+            &Environment {
+                n: 1 << 12,
+                ..Default::default()
+            },
+        );
+        let large = profile(
+            Family::BTree,
+            &Environment {
+                n: 1 << 24,
+                ..Default::default()
+            },
+        );
+        assert!(large.point_cost > small.point_cost);
+        // Hash stays O(1).
+        let hs = profile(Family::HashIndex, &Environment { n: 1 << 12, ..Default::default() });
+        let hl = profile(Family::HashIndex, &Environment { n: 1 << 24, ..Default::default() });
+        assert_eq!(hs.point_cost, hl.point_cost);
+    }
+
+    #[test]
+    fn every_family_profiled() {
+        for f in Family::ALL {
+            let p = profile(f, &Environment::default());
+            assert!(p.point_cost > 0.0);
+            assert!(p.space_amp >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! Seeded workload generation.
+//!
+//! The paper's model workload (§2) is "comprised of point queries, updates,
+//! inserts, and deletes" over an integer dataset; Table 1 additionally uses
+//! range queries of result size `m`. This module generates exactly that:
+//! a deterministic initial dataset plus an operation stream drawn from a
+//! configurable operation mix and key distribution (uniform or zipfian —
+//! the standard skew model for database workloads).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::{Key, Record, Value};
+
+/// Which live key an operation targets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDist {
+    /// Every live key equally likely.
+    Uniform,
+    /// Zipfian skew with parameter `theta` in (0, 1); 0.99 is the classic
+    /// YCSB default ("hot" keys dominate).
+    Zipf { theta: f64 },
+}
+
+/// How the initial key population fills the key universe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeySpace {
+    /// Keys `0, spacing, 2·spacing, ...` — a dense, predictable universe.
+    /// `spacing = 1` reproduces the paper's direct-address example where the
+    /// universe equals the population.
+    Dense { spacing: u64 },
+    /// Keys sampled uniformly without replacement from
+    /// `[0, n × universe_factor)`.
+    Sparse { universe_factor: u64 },
+}
+
+/// Relative frequencies of the operation types. They need not sum to 1;
+/// they are normalized at generation time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpMix {
+    pub get: f64,
+    pub insert: f64,
+    pub update: f64,
+    pub delete: f64,
+    pub range: f64,
+}
+
+impl OpMix {
+    /// 95% point reads, 5% inserts.
+    pub const READ_HEAVY: OpMix = OpMix {
+        get: 0.95,
+        insert: 0.05,
+        update: 0.0,
+        delete: 0.0,
+        range: 0.0,
+    };
+    /// 10% point reads, 60% inserts, 25% updates, 5% deletes.
+    pub const WRITE_HEAVY: OpMix = OpMix {
+        get: 0.10,
+        insert: 0.60,
+        update: 0.25,
+        delete: 0.05,
+        range: 0.0,
+    };
+    /// Even split of reads and writes with a few scans.
+    pub const BALANCED: OpMix = OpMix {
+        get: 0.45,
+        insert: 0.20,
+        update: 0.20,
+        delete: 0.05,
+        range: 0.10,
+    };
+    /// Analytics: mostly range scans, trickle of inserts.
+    pub const SCAN_HEAVY: OpMix = OpMix {
+        get: 0.05,
+        insert: 0.05,
+        update: 0.0,
+        delete: 0.0,
+        range: 0.90,
+    };
+    /// Point reads only.
+    pub const READ_ONLY: OpMix = OpMix {
+        get: 1.0,
+        insert: 0.0,
+        update: 0.0,
+        delete: 0.0,
+        range: 0.0,
+    };
+    /// Inserts only (a pure ingest stream).
+    pub const INSERT_ONLY: OpMix = OpMix {
+        get: 0.0,
+        insert: 1.0,
+        update: 0.0,
+        delete: 0.0,
+        range: 0.0,
+    };
+
+    fn total(&self) -> f64 {
+        self.get + self.insert + self.update + self.delete + self.range
+    }
+}
+
+/// A single generated operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    Get(Key),
+    Insert(Key, Value),
+    Update(Key, Value),
+    Delete(Key),
+    /// Inclusive range scan.
+    Range(Key, Key),
+}
+
+impl Op {
+    /// Whether this operation is on the read path (for RO accounting).
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Get(_) | Op::Range(_, _))
+    }
+}
+
+/// Full description of a generated workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Records loaded before the operation stream starts.
+    pub initial_records: usize,
+    /// Number of operations in the stream.
+    pub operations: usize,
+    pub mix: OpMix,
+    pub dist: KeyDist,
+    pub key_space: KeySpace,
+    /// Target result size of range queries (`m` in Table 1).
+    pub range_len: usize,
+    /// Fraction of point reads aimed at absent keys.
+    pub miss_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            initial_records: 1 << 14,
+            operations: 1 << 14,
+            mix: OpMix::BALANCED,
+            dist: KeyDist::Uniform,
+            key_space: KeySpace::Dense { spacing: 1 },
+            range_len: 64,
+            miss_fraction: 0.0,
+            seed: 0x52_55_4D, // "RUM"
+        }
+    }
+}
+
+/// A generated workload: the initial dataset (sorted, unique keys) and the
+/// operation stream.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub initial: Vec<Record>,
+    pub ops: Vec<Op>,
+    pub spec_range_len: usize,
+}
+
+/// Deterministic value derivation so datasets are reproducible and
+/// verifiable: each key's canonical payload.
+#[inline]
+pub fn value_for(key: Key, version: u64) -> Value {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(version.wrapping_mul(31))
+        .wrapping_add(7)
+}
+
+/// YCSB-style zipfian rank generator (Gray et al., "Quickly generating
+/// billion-record synthetic databases").
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Build a generator over ranks `0..n` with skew `theta` in (0,1).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipfian over empty domain");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0,1), got {theta}"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: usize, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Sample a rank in `0..n`; rank 0 is the hottest.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        r.min(self.n - 1)
+    }
+
+    /// Re-target the generator at a different domain size, reusing the skew.
+    pub fn resized(&self, n: usize) -> Zipfian {
+        if n == self.n {
+            self.clone()
+        } else {
+            let zetan = Self::zeta(n, self.theta);
+            let eta = (1.0 - (2.0 / n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / zetan);
+            Zipfian {
+                n,
+                zetan,
+                eta,
+                ..*self
+            }
+        }
+    }
+}
+
+/// Tracks the live key population during generation so updates/deletes/gets
+/// target existing keys and inserts target fresh keys.
+struct LiveSet {
+    keys: Vec<Key>,
+    index: HashMap<Key, usize>,
+}
+
+impl LiveSet {
+    fn new(keys: Vec<Key>) -> Self {
+        let index = keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        LiveSet { keys, index }
+    }
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+    fn contains(&self, k: Key) -> bool {
+        self.index.contains_key(&k)
+    }
+    fn at(&self, i: usize) -> Key {
+        self.keys[i]
+    }
+    fn insert(&mut self, k: Key) {
+        if !self.contains(k) {
+            self.index.insert(k, self.keys.len());
+            self.keys.push(k);
+        }
+    }
+    fn remove(&mut self, k: Key) {
+        if let Some(i) = self.index.remove(&k) {
+            let last = self.keys.len() - 1;
+            self.keys.swap(i, last);
+            self.keys.pop();
+            if i < self.keys.len() {
+                self.index.insert(self.keys[i], i);
+            }
+        }
+    }
+}
+
+impl Workload {
+    /// Generate a workload from a spec. Deterministic in `spec.seed`.
+    pub fn generate(spec: &WorkloadSpec) -> Workload {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let initial = generate_initial(spec, &mut rng);
+        let max_initial_key = initial.last().map(|r| r.key).unwrap_or(0);
+        let mut live = LiveSet::new(initial.iter().map(|r| r.key).collect());
+
+        // Fresh keys for inserts continue above the initial population so
+        // they never collide with live keys.
+        let mut next_fresh = max_initial_key + 1;
+        let fresh_step = match spec.key_space {
+            KeySpace::Dense { spacing } => spacing.max(1),
+            KeySpace::Sparse { universe_factor } => universe_factor.max(1),
+        };
+
+        let zipf = match spec.dist {
+            KeyDist::Zipf { theta } => Some(Zipfian::new(spec.initial_records.max(2), theta)),
+            KeyDist::Uniform => None,
+        };
+
+        let total = spec.mix.total();
+        assert!(total > 0.0, "operation mix has zero total weight");
+        let thresholds = [
+            spec.mix.get / total,
+            (spec.mix.get + spec.mix.insert) / total,
+            (spec.mix.get + spec.mix.insert + spec.mix.update) / total,
+            (spec.mix.get + spec.mix.insert + spec.mix.update + spec.mix.delete) / total,
+        ];
+
+        let mut ops = Vec::with_capacity(spec.operations);
+        let mut version: u64 = 1;
+        // Average key spacing, used to size range spans for a target result
+        // count. Recomputed cheaply from the live population bounds.
+        for _ in 0..spec.operations {
+            let dice: f64 = rng.gen();
+            let op = if dice < thresholds[0] {
+                // GET
+                if live.len() == 0 {
+                    Op::Get(rng.gen())
+                } else if spec.miss_fraction > 0.0 && rng.gen::<f64>() < spec.miss_fraction {
+                    // A key extremely unlikely to be live.
+                    let mut k: Key = rng.gen::<Key>() | (1 << 63);
+                    while live.contains(k) {
+                        k = rng.gen::<Key>() | (1 << 63);
+                    }
+                    Op::Get(k)
+                } else {
+                    Op::Get(pick_live(&live, &zipf, &mut rng))
+                }
+            } else if dice < thresholds[1] {
+                // INSERT
+                let k = next_fresh;
+                next_fresh += fresh_step.max(1) + (rng.gen::<u64>() % fresh_step.max(1)) / 2;
+                live.insert(k);
+                version += 1;
+                Op::Insert(k, value_for(k, version))
+            } else if dice < thresholds[2] {
+                // UPDATE
+                if live.len() == 0 {
+                    continue;
+                }
+                let k = pick_live(&live, &zipf, &mut rng);
+                version += 1;
+                Op::Update(k, value_for(k, version))
+            } else if dice < thresholds[3] {
+                // DELETE
+                if live.len() == 0 {
+                    continue;
+                }
+                let k = pick_live(&live, &zipf, &mut rng);
+                live.remove(k);
+                Op::Delete(k)
+            } else {
+                // RANGE: span sized so the expected result count ≈ range_len.
+                if live.len() == 0 {
+                    continue;
+                }
+                let lo = pick_live(&live, &zipf, &mut rng);
+                let span = expected_span(spec, next_fresh, live.len());
+                Op::Range(lo, lo.saturating_add(span))
+            };
+            ops.push(op);
+        }
+
+        Workload {
+            initial,
+            ops,
+            spec_range_len: spec.range_len,
+        }
+    }
+}
+
+fn pick_live(live: &LiveSet, zipf: &Option<Zipfian>, rng: &mut StdRng) -> Key {
+    let n = live.len();
+    debug_assert!(n > 0);
+    let rank = match zipf {
+        Some(z) => z.sample(rng) % n,
+        None => rng.gen_range(0..n),
+    };
+    live.at(rank)
+}
+
+fn expected_span(spec: &WorkloadSpec, key_high_watermark: Key, live: usize) -> u64 {
+    let density_inverse = (key_high_watermark.max(1)) as f64 / live.max(1) as f64;
+    ((spec.range_len as f64) * density_inverse).ceil() as u64
+}
+
+fn generate_initial(spec: &WorkloadSpec, rng: &mut StdRng) -> Vec<Record> {
+    let n = spec.initial_records;
+    let mut keys: Vec<Key> = match spec.key_space {
+        KeySpace::Dense { spacing } => {
+            let s = spacing.max(1);
+            (0..n as u64).map(|i| i * s).collect()
+        }
+        KeySpace::Sparse { universe_factor } => {
+            let universe = (n as u64).saturating_mul(universe_factor.max(1));
+            let mut set = std::collections::HashSet::with_capacity(n);
+            while set.len() < n {
+                set.insert(rng.gen_range(0..universe.max(1)));
+            }
+            let mut v: Vec<Key> = set.into_iter().collect();
+            v.sort_unstable();
+            v
+        }
+    };
+    keys.dedup();
+    keys.into_iter()
+        .map(|k| Record::new(k, value_for(k, 0)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            initial_records: 1000,
+            operations: 5000,
+            seed: 42,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Workload::generate(&spec());
+        let b = Workload::generate(&spec());
+        assert_eq!(a.initial, b.initial);
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Workload::generate(&spec());
+        let mut s = spec();
+        s.seed = 43;
+        let b = Workload::generate(&s);
+        assert_ne!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn initial_is_sorted_unique() {
+        let w = Workload::generate(&WorkloadSpec {
+            key_space: KeySpace::Sparse { universe_factor: 4 },
+            ..spec()
+        });
+        assert_eq!(w.initial.len(), 1000);
+        for pair in w.initial.windows(2) {
+            assert!(pair[0].key < pair[1].key);
+        }
+    }
+
+    #[test]
+    fn dense_universe_is_contiguous() {
+        let w = Workload::generate(&spec());
+        for (i, r) in w.initial.iter().enumerate() {
+            assert_eq!(r.key, i as u64);
+        }
+    }
+
+    #[test]
+    fn mix_ratios_are_respected() {
+        let w = Workload::generate(&WorkloadSpec {
+            operations: 20_000,
+            mix: OpMix::READ_HEAVY,
+            ..spec()
+        });
+        let gets = w.ops.iter().filter(|o| matches!(o, Op::Get(_))).count();
+        let frac = gets as f64 / w.ops.len() as f64;
+        assert!((frac - 0.95).abs() < 0.02, "get fraction {frac}");
+    }
+
+    #[test]
+    fn updates_and_deletes_target_live_keys() {
+        // Replay the stream against a model set and confirm every update /
+        // delete hits a key that is live at that point.
+        let w = Workload::generate(&WorkloadSpec {
+            mix: OpMix::BALANCED,
+            ..spec()
+        });
+        let mut live: std::collections::HashSet<Key> =
+            w.initial.iter().map(|r| r.key).collect();
+        for op in &w.ops {
+            match *op {
+                Op::Insert(k, _) => {
+                    assert!(!live.contains(&k), "insert of live key {k}");
+                    live.insert(k);
+                }
+                Op::Update(k, _) => assert!(live.contains(&k), "update of dead key {k}"),
+                Op::Delete(k) => {
+                    assert!(live.contains(&k), "delete of dead key {k}");
+                    live.remove(&k);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn miss_fraction_generates_misses() {
+        let w = Workload::generate(&WorkloadSpec {
+            mix: OpMix::READ_ONLY,
+            miss_fraction: 0.5,
+            operations: 2000,
+            ..spec()
+        });
+        let live: std::collections::HashSet<Key> = w.initial.iter().map(|r| r.key).collect();
+        let misses = w
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Get(k) if !live.contains(k)))
+            .count();
+        let frac = misses as f64 / w.ops.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "miss fraction {frac}");
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 1000);
+            counts[r] += 1;
+        }
+        // Rank 0 should be far hotter than rank 500.
+        assert!(counts[0] > 20 * counts[500].max(1));
+        // And the head should dominate: top-10 ranks > 30% of mass.
+        let head: usize = counts[..10].iter().sum();
+        assert!(head > 30_000, "head mass {head}");
+    }
+
+    #[test]
+    fn zipfian_resized_keeps_domain() {
+        let z = Zipfian::new(100, 0.5).resized(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn value_for_versions_differ() {
+        assert_ne!(value_for(5, 0), value_for(5, 1));
+        assert_ne!(value_for(5, 0), value_for(6, 0));
+    }
+}

@@ -1,0 +1,452 @@
+//! Extendible hashing: a dynamic hash index whose in-memory directory
+//! doubles as buckets split, so growth never rehashes the whole table.
+//!
+//! Directory entries are auxiliary data (charged byte-granular on every
+//! lookup and counted in MO); bucket pages hold the records (base data).
+
+use std::sync::Arc;
+
+use rum_core::{
+    check_bulk_input, AccessMethod, CostTracker, DataClass, Key, Record, Result, RumError,
+    SpaceProfile, Value, RECORD_SIZE,
+};
+use rum_storage::{MemDevice, PageBuf, PageId, Pager};
+
+use crate::hash64;
+
+/// Per-bucket header: local depth (u16) + count (u16) + padding.
+const HEADER: usize = 8;
+/// Records per bucket page.
+const BUCKET_CAP: usize = (rum_core::PAGE_SIZE - HEADER) / RECORD_SIZE;
+
+/// Maximum global depth (2^20 directory entries ≈ 8 MiB of pointers).
+const MAX_DEPTH: u32 = 20;
+
+#[derive(Clone, Debug)]
+struct Bucket {
+    local_depth: u32,
+    records: Vec<Record>,
+}
+
+impl Bucket {
+    fn decode(buf: &PageBuf) -> Bucket {
+        let local_depth = buf.read_u16(0) as u32;
+        let count = buf.read_u16(2) as usize;
+        let records = (0..count.min(BUCKET_CAP))
+            .map(|i| Record::decode(&buf[HEADER + i * RECORD_SIZE..HEADER + (i + 1) * RECORD_SIZE]))
+            .collect();
+        Bucket {
+            local_depth,
+            records,
+        }
+    }
+
+    fn encode(&self) -> PageBuf {
+        debug_assert!(self.records.len() <= BUCKET_CAP);
+        let mut buf = PageBuf::zeroed();
+        buf.write_u16(0, self.local_depth as u16);
+        buf.write_u16(2, self.records.len() as u16);
+        for (i, r) in self.records.iter().enumerate() {
+            r.encode_into(&mut buf[HEADER + i * RECORD_SIZE..HEADER + (i + 1) * RECORD_SIZE]);
+        }
+        buf
+    }
+}
+
+/// The extendible hash index.
+pub struct ExtendibleHash {
+    pager: Pager<MemDevice>,
+    tracker: Arc<CostTracker>,
+    /// `2^global_depth` entries; entry `i` points at the bucket page for
+    /// hash prefixes equal to `i`.
+    directory: Vec<PageId>,
+    global_depth: u32,
+    live: usize,
+}
+
+impl ExtendibleHash {
+    pub fn new() -> Self {
+        let tracker = CostTracker::new();
+        let mut pager = Pager::new(MemDevice::new(), Arc::clone(&tracker));
+        let first = pager.allocate().expect("first bucket");
+        let bucket = Bucket {
+            local_depth: 0,
+            records: Vec::new(),
+        };
+        pager
+            .write(first, DataClass::Base, &bucket.encode())
+            .expect("first bucket write");
+        tracker.reset();
+        ExtendibleHash {
+            pager,
+            tracker,
+            directory: vec![first],
+            global_depth: 0,
+            live: 0,
+        }
+    }
+
+    pub fn global_depth(&self) -> u32 {
+        self.global_depth
+    }
+
+    pub fn directory_size(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Directory slot for `key` at the current global depth: the top
+    /// `global_depth` bits of the hash.
+    #[inline]
+    fn dir_slot(&self, key: Key) -> usize {
+        if self.global_depth == 0 {
+            0
+        } else {
+            (hash64(key) >> (64 - self.global_depth)) as usize
+        }
+    }
+
+    /// Charge a directory lookup (in-memory auxiliary metadata).
+    fn charge_dir(&self) {
+        self.tracker.read(DataClass::Aux, 8);
+    }
+
+    fn read_bucket(&mut self, page: PageId) -> Result<Bucket> {
+        let buf = self.pager.read(page, DataClass::Base)?;
+        Ok(Bucket::decode(&buf))
+    }
+
+    fn write_bucket(&mut self, page: PageId, bucket: &Bucket) -> Result<()> {
+        self.pager.write(page, DataClass::Base, &bucket.encode())
+    }
+
+    /// Split the bucket at directory slot `slot` once, doubling the
+    /// directory if its local depth equals the global depth.
+    fn split(&mut self, slot: usize) -> Result<()> {
+        let page = self.directory[slot];
+        let bucket = self.read_bucket(page)?;
+        if bucket.local_depth == self.global_depth {
+            if self.global_depth >= MAX_DEPTH {
+                return Err(RumError::CapacityExceeded(format!(
+                    "extendible hash directory at max depth {MAX_DEPTH}"
+                )));
+            }
+            // Double the directory: entry i maps to old entry i >> 1.
+            let old = std::mem::take(&mut self.directory);
+            self.directory = Vec::with_capacity(old.len() * 2);
+            for &p in &old {
+                self.directory.push(p);
+                self.directory.push(p);
+            }
+            self.global_depth += 1;
+        }
+        // Re-locate the directory range that points at this bucket.
+        let new_depth = bucket.local_depth + 1;
+        let shift = 64 - new_depth;
+        let new_page = self.pager.allocate()?;
+        let (mut zero, mut one) = (Vec::new(), Vec::new());
+        for r in bucket.records {
+            if (hash64(r.key) >> shift) & 1 == 0 {
+                zero.push(r);
+            } else {
+                one.push(r);
+            }
+        }
+        self.write_bucket(
+            page,
+            &Bucket {
+                local_depth: new_depth,
+                records: zero,
+            },
+        )?;
+        self.write_bucket(
+            new_page,
+            &Bucket {
+                local_depth: new_depth,
+                records: one,
+            },
+        )?;
+        // Rewire the directory: every entry that pointed at the split
+        // bucket re-routes by its own copy of the new depth bit (bit
+        // `new_depth - 1` from the top of the slot index).
+        for i in 0..self.directory.len() {
+            if self.directory[i] == page {
+                let bit = (i >> (self.global_depth - new_depth)) & 1;
+                if bit == 1 {
+                    self.directory[i] = new_page;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_record(&mut self, rec: Record) -> Result<bool> {
+        loop {
+            self.charge_dir();
+            let slot = self.dir_slot(rec.key);
+            let page = self.directory[slot];
+            let mut bucket = self.read_bucket(page)?;
+            if let Some(r) = bucket.records.iter_mut().find(|r| r.key == rec.key) {
+                r.value = rec.value;
+                self.write_bucket(page, &bucket)?;
+                return Ok(false);
+            }
+            if bucket.records.len() < BUCKET_CAP {
+                bucket.records.push(rec);
+                self.write_bucket(page, &bucket)?;
+                return Ok(true);
+            }
+            self.split(slot)?;
+        }
+    }
+}
+
+
+impl Default for ExtendibleHash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AccessMethod for ExtendibleHash {
+    fn name(&self) -> String {
+        "extendible-hash".into()
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn tracker(&self) -> &Arc<CostTracker> {
+        &self.tracker
+    }
+
+    fn space_profile(&self) -> SpaceProfile {
+        let physical = self.pager.physical_bytes() + (self.directory.len() * 8) as u64;
+        SpaceProfile::from_physical(self.live, physical)
+    }
+
+    fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+        self.charge_dir();
+        let slot = self.dir_slot(key);
+        let page = self.directory[slot];
+        let bucket = self.read_bucket(page)?;
+        Ok(bucket
+            .records
+            .iter()
+            .find(|r| r.key == key)
+            .map(|r| r.value))
+    }
+
+    fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+        // Scan each distinct bucket once.
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let pages: Vec<PageId> = self.directory.clone();
+        for page in pages {
+            if !seen.insert(page) {
+                continue;
+            }
+            let bucket = self.read_bucket(page)?;
+            out.extend(
+                bucket
+                    .records
+                    .into_iter()
+                    .filter(|r| r.key >= lo && r.key <= hi),
+            );
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+        if self.insert_record(Record::new(key, value))? {
+            self.live += 1;
+        }
+        Ok(())
+    }
+
+    fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+        self.charge_dir();
+        let slot = self.dir_slot(key);
+        let page = self.directory[slot];
+        let mut bucket = self.read_bucket(page)?;
+        if let Some(r) = bucket.records.iter_mut().find(|r| r.key == key) {
+            r.value = value;
+            self.write_bucket(page, &bucket)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn delete_impl(&mut self, key: Key) -> Result<bool> {
+        self.charge_dir();
+        let slot = self.dir_slot(key);
+        let page = self.directory[slot];
+        let mut bucket = self.read_bucket(page)?;
+        let before = bucket.records.len();
+        bucket.records.retain(|r| r.key != key);
+        if bucket.records.len() != before {
+            self.write_bucket(page, &bucket)?;
+            self.live -= 1;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+        check_bulk_input(records)?;
+        // Rebuild in place, keeping the SAME tracker (callers hold clones
+        // of it): reset to a single bucket, then insert — splits pre-size
+        // the directory quickly.
+        let mut pager = Pager::new(MemDevice::new(), Arc::clone(&self.tracker));
+        let first = pager.allocate()?;
+        pager.write(
+            first,
+            DataClass::Base,
+            &Bucket {
+                local_depth: 0,
+                records: Vec::new(),
+            }
+            .encode(),
+        )?;
+        self.pager = pager;
+        self.directory = vec![first];
+        self.global_depth = 0;
+        self.live = 0;
+        for r in records {
+            if self.insert_record(*r)? {
+                self.live += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crud_roundtrip() {
+        let mut h = ExtendibleHash::new();
+        h.insert(1, 10).unwrap();
+        h.insert(2, 20).unwrap();
+        assert_eq!(h.get(1).unwrap(), Some(10));
+        assert_eq!(h.get(3).unwrap(), None);
+        assert!(h.update(2, 22).unwrap());
+        assert!(h.delete(1).unwrap());
+        assert!(!h.delete(1).unwrap());
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn directory_doubles_under_growth() {
+        let mut h = ExtendibleHash::new();
+        assert_eq!(h.directory_size(), 1);
+        for k in 0..20_000u64 {
+            h.insert(k, k).unwrap();
+        }
+        assert!(h.global_depth() >= 6);
+        assert_eq!(h.len(), 20_000);
+        for k in (0..20_000u64).step_by(997) {
+            assert_eq!(h.get(k).unwrap(), Some(k));
+        }
+    }
+
+    #[test]
+    fn point_query_stays_constant_as_it_grows() {
+        let cost = |n: u64| {
+            let recs: Vec<Record> = (0..n).map(|k| Record::new(k, k)).collect();
+            let mut h = ExtendibleHash::new();
+            h.bulk_load(&recs).unwrap();
+            let before = h.tracker().snapshot();
+            for k in (0..n).step_by((n / 64).max(1) as usize) {
+                h.get(k).unwrap();
+            }
+            h.tracker().since(&before).page_reads as f64 / 64.0
+        };
+        assert!(cost(1 << 10) <= 1.1);
+        assert!(cost(1 << 15) <= 1.1, "one bucket page per probe, always");
+    }
+
+    #[test]
+    fn splits_preserve_all_records() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut h = ExtendibleHash::new();
+        let mut model = std::collections::HashMap::new();
+        for _ in 0..30_000 {
+            let k: u64 = rng.gen();
+            let v: u64 = rng.gen();
+            h.insert(k, v).unwrap();
+            model.insert(k, v);
+        }
+        assert_eq!(h.len(), model.len());
+        for (&k, &v) in model.iter().take(500) {
+            assert_eq!(h.get(k).unwrap(), Some(v));
+        }
+    }
+
+    #[test]
+    fn range_scans_each_bucket_once() {
+        let mut h = ExtendibleHash::new();
+        for k in 0..5000u64 {
+            h.insert(k, k).unwrap();
+        }
+        let rs = h.range(100, 120).unwrap();
+        let keys: Vec<u64> = rs.iter().map(|r| r.key).collect();
+        assert_eq!(keys, (100..=120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_load_then_query() {
+        let recs: Vec<Record> = (0..10_000u64).map(|k| Record::new(k * 7, k)).collect();
+        let mut h = ExtendibleHash::new();
+        h.bulk_load(&recs).unwrap();
+        assert_eq!(h.len(), 10_000);
+        assert_eq!(h.get(7 * 123).unwrap(), Some(123));
+        assert_eq!(h.get(5).unwrap(), None);
+    }
+
+    #[test]
+    fn model_check_random_ops() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut h = ExtendibleHash::new();
+        let mut model = std::collections::HashMap::new();
+        for step in 0..8000u64 {
+            let k = rng.gen_range(0..2000u64);
+            match rng.gen_range(0..5) {
+                0 | 1 => {
+                    h.insert(k, step).unwrap();
+                    model.insert(k, step);
+                }
+                2 => {
+                    assert_eq!(h.update(k, step).unwrap(), model.contains_key(&k));
+                    model.entry(k).and_modify(|v| *v = step);
+                }
+                3 => {
+                    assert_eq!(h.delete(k).unwrap(), model.remove(&k).is_some());
+                }
+                _ => {
+                    assert_eq!(h.get(k).unwrap(), model.get(&k).copied());
+                }
+            }
+            assert_eq!(h.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn directory_counts_as_aux_space() {
+        let mut h = ExtendibleHash::new();
+        for k in 0..50_000u64 {
+            h.insert(k, k).unwrap();
+        }
+        let p = h.space_profile();
+        assert!(p.aux_bytes > 0);
+        let mo = p.space_amplification();
+        assert!(mo > 1.0 && mo < 5.0, "mo = {mo}");
+    }
+}

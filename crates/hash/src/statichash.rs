@@ -1,0 +1,450 @@
+//! Open-addressing hash table over packed pages — Table 1's "Perfect Hash
+//! Index" idealization: with a healthy load factor, a point query touches
+//! one page in expectation.
+
+use std::sync::Arc;
+
+use rum_core::{
+    check_bulk_input, AccessMethod, CostTracker, DataClass, Key, Record, Result, RumError,
+    SpaceProfile, Value, RECORDS_PER_PAGE, RECORD_SIZE,
+};
+use rum_storage::{MemDevice, PageBuf, PageId, Pager};
+
+use crate::hash64;
+
+/// Slot marker: never used by a live record.
+const EMPTY: Key = Key::MAX;
+/// Slot marker: a deleted slot that probes must walk through.
+const GRAVE: Key = Key::MAX - 1;
+
+/// Default target load factor for sizing.
+const DEFAULT_LOAD: f64 = 0.5;
+/// Grow when the occupancy (live + graves) exceeds this.
+const GROW_AT: f64 = 0.85;
+
+/// A linear-probing hash table of 16-byte slots packed 256 to a page.
+pub struct StaticHash {
+    pager: Pager<MemDevice>,
+    tracker: Arc<CostTracker>,
+    pages: Vec<PageId>,
+    /// Total slots (pages × 256); always a power of two.
+    slots: usize,
+    live: usize,
+    /// Live + tombstones: what drives probe lengths and growth.
+    occupied: usize,
+    target_load: f64,
+}
+
+impl StaticHash {
+    /// An empty table sized for ~64 records at the default load factor.
+    pub fn new() -> Self {
+        Self::with_capacity(64, DEFAULT_LOAD)
+    }
+
+    /// A table pre-sized for `expected` records at `load` occupancy.
+    pub fn with_capacity(expected: usize, load: f64) -> Self {
+        assert!((0.0..1.0).contains(&load) && load > 0.0, "bad load factor");
+        let tracker = CostTracker::new();
+        let mut pager = Pager::new(MemDevice::new(), Arc::clone(&tracker));
+        let slots = Self::slots_for(expected, load);
+        let pages = Self::fresh_pages(&mut pager, slots).expect("initial allocation");
+        tracker.reset();
+        StaticHash {
+            pager,
+            tracker,
+            pages,
+            slots,
+            live: 0,
+            occupied: 0,
+            target_load: load,
+        }
+    }
+
+    fn slots_for(expected: usize, load: f64) -> usize {
+        let want = ((expected.max(1) as f64 / load).ceil() as usize).max(RECORDS_PER_PAGE);
+        want.next_power_of_two()
+    }
+
+    fn fresh_pages(pager: &mut Pager<MemDevice>, slots: usize) -> Result<Vec<PageId>> {
+        let n_pages = slots / RECORDS_PER_PAGE;
+        let mut pages = Vec::with_capacity(n_pages);
+        let empty = Self::empty_page();
+        for _ in 0..n_pages {
+            let id = pager.allocate()?;
+            pager.write(id, DataClass::Base, &empty)?;
+            pages.push(id);
+        }
+        Ok(pages)
+    }
+
+    fn empty_page() -> PageBuf {
+        let mut p = PageBuf::zeroed();
+        let r = Record::new(EMPTY, 0);
+        for i in 0..RECORDS_PER_PAGE {
+            r.encode_into(&mut p[i * RECORD_SIZE..(i + 1) * RECORD_SIZE]);
+        }
+        p
+    }
+
+    /// Current total slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots
+    }
+
+    #[inline]
+    fn home_slot(&self, key: Key) -> usize {
+        (hash64(key) >> (64 - self.slots.trailing_zeros() as u64)) as usize
+    }
+
+    fn read_slot_page(&mut self, slot: usize) -> Result<(usize, PageBuf)> {
+        let page_idx = slot / RECORDS_PER_PAGE;
+        let buf = self.pager.read(self.pages[page_idx], DataClass::Base)?;
+        Ok((page_idx, buf))
+    }
+
+    fn slot_record(buf: &PageBuf, slot: usize) -> Record {
+        let off = (slot % RECORDS_PER_PAGE) * RECORD_SIZE;
+        Record::decode(&buf[off..off + RECORD_SIZE])
+    }
+
+    fn set_slot(buf: &mut PageBuf, slot: usize, rec: Record) {
+        let off = (slot % RECORDS_PER_PAGE) * RECORD_SIZE;
+        rec.encode_into(&mut buf[off..off + RECORD_SIZE]);
+    }
+
+    /// Probe for `key`. Returns `(slot, Some(record))` on a hit, or
+    /// `(first_insertable_slot, None)` when the chain ends at EMPTY.
+    /// Each distinct page along the probe chain charges one read.
+    fn probe(&mut self, key: Key) -> Result<(usize, Option<Record>)> {
+        debug_assert!(key < GRAVE, "keys u64::MAX-1 and u64::MAX are reserved");
+        let mut slot = self.home_slot(key);
+        let mut first_free: Option<usize> = None;
+        let (mut cur_page, mut buf) = self.read_slot_page(slot)?;
+        for _ in 0..self.slots {
+            let page_idx = slot / RECORDS_PER_PAGE;
+            if page_idx != cur_page {
+                let (p, b) = self.read_slot_page(slot)?;
+                cur_page = p;
+                buf = b;
+            }
+            let rec = Self::slot_record(&buf, slot);
+            match rec.key {
+                k if k == key => return Ok((slot, Some(rec))),
+                EMPTY => return Ok((first_free.unwrap_or(slot), None)),
+                GRAVE
+                    if first_free.is_none() => {
+                        first_free = Some(slot);
+                    }
+                _ => {}
+            }
+            slot = (slot + 1) & (self.slots - 1);
+        }
+        Err(RumError::Corrupt("probe wrapped the whole table".into()))
+    }
+
+    /// Overwrite one slot (read-modify-write of its page).
+    fn write_slot(&mut self, slot: usize, rec: Record) -> Result<()> {
+        let (page_idx, mut buf) = self.read_slot_page(slot)?;
+        Self::set_slot(&mut buf, slot, rec);
+        self.pager
+            .write(self.pages[page_idx], DataClass::Base, &buf)
+    }
+
+    /// Double the table and rehash everything (also clears tombstones).
+    fn grow(&mut self) -> Result<()> {
+        let old_pages = std::mem::take(&mut self.pages);
+        let mut records = Vec::with_capacity(self.live);
+        for id in &old_pages {
+            let buf = self.pager.read(*id, DataClass::Base)?;
+            for i in 0..RECORDS_PER_PAGE {
+                let r = Record::decode(&buf[i * RECORD_SIZE..(i + 1) * RECORD_SIZE]);
+                if r.key < GRAVE {
+                    records.push(r);
+                }
+            }
+        }
+        for id in old_pages {
+            self.pager.free(id)?;
+        }
+        self.slots *= 2;
+        self.pages = Self::fresh_pages(&mut self.pager, self.slots)?;
+        self.occupied = 0;
+        self.live = 0;
+        // Re-insert without the growth check (the new table fits them all).
+        for r in records {
+            let (slot, existing) = self.probe(r.key)?;
+            debug_assert!(existing.is_none());
+            self.write_slot(slot, r)?;
+            self.live += 1;
+            self.occupied += 1;
+        }
+        Ok(())
+    }
+
+    fn maybe_grow(&mut self) -> Result<()> {
+        if (self.occupied + 1) as f64 / self.slots as f64 > GROW_AT {
+            self.grow()?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for StaticHash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AccessMethod for StaticHash {
+    fn name(&self) -> String {
+        "hash-index".into()
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn tracker(&self) -> &Arc<CostTracker> {
+        &self.tracker
+    }
+
+    fn space_profile(&self) -> SpaceProfile {
+        SpaceProfile::from_physical(self.live, self.pager.physical_bytes())
+    }
+
+    fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+        Ok(self.probe(key)?.1.map(|r| r.value))
+    }
+
+    fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+        // Hashing destroys order: a range query is a full scan (Table 1's
+        // O(N/B) row for the hash index).
+        let mut out = Vec::new();
+        for idx in 0..self.pages.len() {
+            let buf = self.pager.read(self.pages[idx], DataClass::Base)?;
+            for i in 0..RECORDS_PER_PAGE {
+                let r = Record::decode(&buf[i * RECORD_SIZE..(i + 1) * RECORD_SIZE]);
+                if r.key < GRAVE && r.key >= lo && r.key <= hi {
+                    out.push(r);
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+        if key >= GRAVE {
+            return Err(RumError::InvalidArgument(
+                "keys u64::MAX-1 and u64::MAX are reserved slot markers".into(),
+            ));
+        }
+        self.maybe_grow()?;
+        let (slot, existing) = self.probe(key)?;
+        self.write_slot(slot, Record::new(key, value))?;
+        if existing.is_none() {
+            self.live += 1;
+            self.occupied += 1;
+        }
+        Ok(())
+    }
+
+    fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+        match self.probe(key)? {
+            (slot, Some(_)) => {
+                self.write_slot(slot, Record::new(key, value))?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn delete_impl(&mut self, key: Key) -> Result<bool> {
+        match self.probe(key)? {
+            (slot, Some(_)) => {
+                self.write_slot(slot, Record::new(GRAVE, 0))?;
+                self.live -= 1;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+        check_bulk_input(records)?;
+        if records.last().map(|r| r.key >= GRAVE).unwrap_or(false) {
+            return Err(RumError::InvalidArgument(
+                "keys u64::MAX-1 and u64::MAX are reserved slot markers".into(),
+            ));
+        }
+        for id in std::mem::take(&mut self.pages) {
+            self.pager.free(id)?;
+        }
+        self.slots = Self::slots_for(records.len(), self.target_load);
+        self.pages = Self::fresh_pages(&mut self.pager, self.slots)?;
+        self.live = 0;
+        self.occupied = 0;
+        for r in records {
+            let (slot, existing) = self.probe(r.key)?;
+            debug_assert!(existing.is_none(), "bulk input keys are unique");
+            self.write_slot(slot, *r)?;
+            self.live += 1;
+            self.occupied += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded(n: u64) -> StaticHash {
+        let recs: Vec<Record> = (0..n).map(|k| Record::new(k, k * 3)).collect();
+        let mut h = StaticHash::with_capacity(n as usize, DEFAULT_LOAD);
+        h.bulk_load(&recs).unwrap();
+        h
+    }
+
+    #[test]
+    fn crud_roundtrip() {
+        let mut h = StaticHash::new();
+        h.insert(1, 10).unwrap();
+        h.insert(2, 20).unwrap();
+        assert_eq!(h.get(1).unwrap(), Some(10));
+        assert_eq!(h.get(3).unwrap(), None);
+        assert!(h.update(2, 22).unwrap());
+        assert!(!h.update(3, 0).unwrap());
+        assert!(h.delete(1).unwrap());
+        assert!(!h.delete(1).unwrap());
+        assert_eq!(h.get(1).unwrap(), None);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn insert_is_upsert() {
+        let mut h = StaticHash::new();
+        h.insert(5, 1).unwrap();
+        h.insert(5, 2).unwrap();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(5).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn point_query_is_constant_cost() {
+        // O(1): the probe cost must not grow with N.
+        let cost = |n: u64| {
+            let mut h = loaded(n);
+            let before = h.tracker().snapshot();
+            for k in (0..n).step_by((n / 64) as usize) {
+                h.get(k).unwrap();
+            }
+            h.tracker().since(&before).page_reads as f64 / 64.0
+        };
+        let small = cost(1 << 10);
+        let large = cost(1 << 16);
+        assert!(small <= 1.6, "expected ~1 page per probe, got {small}");
+        assert!(large <= 1.6, "expected ~1 page per probe, got {large}");
+    }
+
+    #[test]
+    fn range_is_a_full_scan() {
+        let mut h = loaded(10_000);
+        let before = h.tracker().snapshot();
+        let rs = h.range(100, 110).unwrap();
+        assert_eq!(rs.len(), 11);
+        let keys: Vec<u64> = rs.iter().map(|r| r.key).collect();
+        assert_eq!(keys, (100..=110).collect::<Vec<_>>());
+        let reads = h.tracker().since(&before).page_reads as usize;
+        assert_eq!(reads, h.capacity() / RECORDS_PER_PAGE, "every page read");
+    }
+
+    #[test]
+    fn grows_transparently() {
+        let mut h = StaticHash::with_capacity(16, 0.5);
+        let initial_cap = h.capacity();
+        for k in 0..10_000u64 {
+            h.insert(k, k).unwrap();
+        }
+        assert!(h.capacity() > initial_cap);
+        assert_eq!(h.len(), 10_000);
+        for k in (0..10_000u64).step_by(397) {
+            assert_eq!(h.get(k).unwrap(), Some(k));
+        }
+    }
+
+    #[test]
+    fn tombstones_keep_probe_chains_intact() {
+        // Force collisions into a tiny table, then delete a middle link.
+        let mut h = StaticHash::with_capacity(16, 0.5);
+        for k in 0..100u64 {
+            h.insert(k, k).unwrap();
+        }
+        for k in (0..100u64).step_by(2) {
+            assert!(h.delete(k).unwrap());
+        }
+        for k in (1..100u64).step_by(2) {
+            assert_eq!(h.get(k).unwrap(), Some(k), "odd key {k} must survive");
+        }
+        assert_eq!(h.len(), 50);
+    }
+
+    #[test]
+    fn tombstone_slots_are_reused() {
+        let mut h = StaticHash::with_capacity(64, 0.5);
+        for k in 0..30u64 {
+            h.insert(k, k).unwrap();
+        }
+        for k in 0..30u64 {
+            h.delete(k).unwrap();
+        }
+        for k in 0..30u64 {
+            h.insert(k, k + 1).unwrap();
+        }
+        assert_eq!(h.len(), 30);
+        assert_eq!(h.get(7).unwrap(), Some(8));
+    }
+
+    #[test]
+    fn reserved_keys_rejected() {
+        let mut h = StaticHash::new();
+        assert!(h.insert(u64::MAX, 0).is_err());
+        assert!(h.insert(u64::MAX - 1, 0).is_err());
+    }
+
+    #[test]
+    fn space_reflects_load_factor() {
+        let h = loaded(1 << 14);
+        let mo = h.space_profile().space_amplification();
+        // At a 0.5 target load, MO ≈ 2.
+        assert!((1.8..=4.1).contains(&mo), "mo = {mo}");
+    }
+
+    #[test]
+    fn model_check_random_ops() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut h = StaticHash::with_capacity(16, 0.5);
+        let mut model = std::collections::HashMap::new();
+        for step in 0..5000u64 {
+            let k = rng.gen_range(0..1000u64);
+            match rng.gen_range(0..5) {
+                0 | 1 => {
+                    h.insert(k, step).unwrap();
+                    model.insert(k, step);
+                }
+                2 => {
+                    assert_eq!(h.update(k, step).unwrap(), model.contains_key(&k));
+                    model.entry(k).and_modify(|v| *v = step);
+                }
+                3 => {
+                    assert_eq!(h.delete(k).unwrap(), model.remove(&k).is_some());
+                }
+                _ => {
+                    assert_eq!(h.get(k).unwrap(), model.get(&k).copied());
+                }
+            }
+            assert_eq!(h.len(), model.len());
+        }
+    }
+}

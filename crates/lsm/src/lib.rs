@@ -1,0 +1,33 @@
+//! # rum-lsm
+//!
+//! A log-structured merge tree (O'Neil et al.) — the canonical
+//! *write-optimized differential structure* of the paper's Figure 1 left
+//! corner and the "Levelled LSM" row of Table 1:
+//!
+//! * insert `O(T/B · log_T(N/B))` amortized (merges are batched),
+//! * point query `O(log_T(N/B))` run probes, cut down by per-run Bloom
+//!   filters ("iterative logs enhanced by probabilistic data structures"),
+//! * range query `O(log_T(N/B) + m/B · T/(T−1))`,
+//! * space `O(N · T/(T−1))` (levelled) — redundant versions across levels
+//!   are the MO it pays.
+//!
+//! Both **levelling** (one run per level, lower RO/MO, higher UO) and
+//! **tiering** (up to `T` runs per level, lower UO, higher RO/MO) are
+//! implemented, plus the §5 roadmap's *dynamic* knob: "by changing the
+//! number of merge trees dynamically, the depth of the merge hierarchy and
+//! the frequency of merging, we can build access methods that dynamically
+//! adapt to workload and hardware changes" — see [`tuning`].
+
+pub mod memtable;
+pub mod run;
+pub mod tree;
+pub mod tuning;
+
+pub use memtable::Memtable;
+pub use run::SortedRun;
+pub use tree::{CompactionPolicy, LsmConfig, LsmStats, LsmTree};
+pub use tuning::{advise, retune, TuningGoal};
+
+/// Value sentinel marking a tombstone (consistent with
+/// `rum_columns::AppendLog`). User values must avoid it.
+pub const TOMBSTONE: rum_core::Value = rum_core::Value::MAX;

@@ -1,0 +1,306 @@
+//! Immutable sorted runs: packed pages + fence pointers + an optional
+//! Bloom filter.
+//!
+//! Fence pointers (first key per page, kept in memory) route a point probe
+//! to exactly one page; the Bloom filter short-circuits probes for absent
+//! keys — the paper's "more efficient reads ... by avoiding accessing
+//! unnecessary data at the expense of additional space".
+
+use rum_core::{DataClass, Key, Record, Result, Value, RECORDS_PER_PAGE, RECORD_SIZE};
+use rum_sketch::BloomFilter;
+use rum_storage::{BlockDevice, PageBuf, PageId, Pager};
+
+/// One immutable sorted run.
+pub struct SortedRun {
+    pages: Vec<PageId>,
+    /// First key of each page.
+    fences: Vec<Key>,
+    bloom: Option<BloomFilter>,
+    len: usize,
+}
+
+impl SortedRun {
+    /// Write `records` (sorted, unique keys, tombstones included) as a new
+    /// run. `bloom_bits_per_key = 0` disables the filter.
+    pub fn build<D: BlockDevice>(
+        pager: &mut Pager<D>,
+        records: &[Record],
+        bloom_bits_per_key: f64,
+    ) -> Result<SortedRun> {
+        debug_assert!(records.windows(2).all(|w| w[0].key < w[1].key));
+        let mut pages = Vec::with_capacity(records.len().div_ceil(RECORDS_PER_PAGE));
+        let mut fences = Vec::with_capacity(pages.capacity());
+        for chunk in records.chunks(RECORDS_PER_PAGE) {
+            let id = pager.allocate()?;
+            let mut buf = PageBuf::zeroed();
+            for (i, r) in chunk.iter().enumerate() {
+                r.encode_into(&mut buf[i * RECORD_SIZE..(i + 1) * RECORD_SIZE]);
+            }
+            pager.write(id, DataClass::Base, &buf)?;
+            fences.push(chunk[0].key);
+            pages.push(id);
+        }
+        let bloom = if bloom_bits_per_key > 0.0 && !records.is_empty() {
+            let mut b = BloomFilter::new(records.len(), bloom_bits_per_key);
+            for r in records {
+                b.insert(r.key);
+            }
+            // Building the filter is an auxiliary write.
+            pager.tracker().write(DataClass::Aux, b.size_bytes());
+            Some(b)
+        } else {
+            None
+        };
+        Ok(SortedRun {
+            pages,
+            fences,
+            bloom,
+            len: records.len(),
+        })
+    }
+
+    /// Entries in the run (live + tombstones).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Auxiliary bytes: fences + Bloom filter.
+    pub fn aux_bytes(&self) -> u64 {
+        (self.fences.len() * 8) as u64 + self.bloom.as_ref().map_or(0, |b| b.size_bytes())
+    }
+
+    pub fn has_bloom(&self) -> bool {
+        self.bloom.is_some()
+    }
+
+    fn records_in_page(&self, page_idx: usize) -> usize {
+        if page_idx + 1 == self.pages.len() {
+            let rem = self.len % RECORDS_PER_PAGE;
+            if rem == 0 {
+                RECORDS_PER_PAGE
+            } else {
+                rem
+            }
+        } else {
+            RECORDS_PER_PAGE
+        }
+    }
+
+    fn read_page<D: BlockDevice>(
+        &self,
+        pager: &mut Pager<D>,
+        page_idx: usize,
+    ) -> Result<Vec<Record>> {
+        let buf = pager.read(self.pages[page_idx], DataClass::Base)?;
+        Ok((0..self.records_in_page(page_idx))
+            .map(|i| Record::decode(&buf[i * RECORD_SIZE..(i + 1) * RECORD_SIZE]))
+            .collect())
+    }
+
+    /// Point probe. Charges: one Bloom probe (if present), a fence binary
+    /// search, and at most one page read.
+    pub fn get<D: BlockDevice>(&self, pager: &mut Pager<D>, key: Key) -> Result<Option<Value>> {
+        if self.len == 0 {
+            return Ok(None);
+        }
+        if let Some(b) = &self.bloom {
+            // k bit probes, rounded up to bytes.
+            pager
+                .tracker()
+                .read(DataClass::Aux, (b.hashes() as u64).div_ceil(8).max(1));
+            if !b.may_contain(key) {
+                return Ok(None);
+            }
+        }
+        // Fence binary search (in-memory aux metadata).
+        let steps = (self.fences.len().max(2) as f64).log2().ceil() as u64;
+        pager.tracker().read(DataClass::Aux, steps * 8);
+        let page_idx = match self.fences.binary_search(&key) {
+            Ok(i) => i,
+            Err(0) => return Ok(None), // key below the run's first fence
+            Err(i) => i - 1,
+        };
+        let recs = self.read_page(pager, page_idx)?;
+        Ok(recs
+            .binary_search_by_key(&key, |r| r.key)
+            .ok()
+            .map(|i| recs[i].value))
+    }
+
+    /// All entries with keys in `[lo, hi]`, ascending (tombstones
+    /// included — the caller resolves versions across runs).
+    pub fn range<D: BlockDevice>(
+        &self,
+        pager: &mut Pager<D>,
+        lo: Key,
+        hi: Key,
+    ) -> Result<Vec<Record>> {
+        if self.len == 0 || lo > hi {
+            return Ok(Vec::new());
+        }
+        let steps = (self.fences.len().max(2) as f64).log2().ceil() as u64;
+        pager.tracker().read(DataClass::Aux, steps * 8);
+        let mut page_idx = match self.fences.binary_search(&lo) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut out = Vec::new();
+        while page_idx < self.pages.len() {
+            if self.fences[page_idx] > hi {
+                break;
+            }
+            let recs = self.read_page(pager, page_idx)?;
+            for r in recs {
+                if r.key > hi {
+                    return Ok(out);
+                }
+                if r.key >= lo {
+                    out.push(r);
+                }
+            }
+            page_idx += 1;
+        }
+        Ok(out)
+    }
+
+    /// Read the whole run in order (for merges).
+    pub fn scan_all<D: BlockDevice>(&self, pager: &mut Pager<D>) -> Result<Vec<Record>> {
+        let mut out = Vec::with_capacity(self.len);
+        for page_idx in 0..self.pages.len() {
+            out.extend(self.read_page(pager, page_idx)?);
+        }
+        Ok(out)
+    }
+
+    /// Free the run's pages.
+    pub fn destroy<D: BlockDevice>(self, pager: &mut Pager<D>) -> Result<()> {
+        for id in self.pages {
+            pager.free(id)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rum_core::CostTracker;
+    use rum_storage::MemDevice;
+
+    fn pager() -> Pager<MemDevice> {
+        Pager::new(MemDevice::new(), CostTracker::new())
+    }
+
+    fn recs(n: u64) -> Vec<Record> {
+        (0..n).map(|k| Record::new(k * 2, k)).collect()
+    }
+
+    #[test]
+    fn build_and_probe() {
+        let mut p = pager();
+        let run = SortedRun::build(&mut p, &recs(1000), 10.0).unwrap();
+        assert_eq!(run.len(), 1000);
+        assert_eq!(run.get(&mut p, 500).unwrap(), Some(250));
+        assert_eq!(run.get(&mut p, 501).unwrap(), None);
+        assert_eq!(run.get(&mut p, 0).unwrap(), Some(0));
+        assert_eq!(run.get(&mut p, 1998).unwrap(), Some(999));
+    }
+
+    #[test]
+    fn probe_reads_at_most_one_page() {
+        let mut p = pager();
+        let run = SortedRun::build(&mut p, &recs(64 * RECORDS_PER_PAGE as u64), 10.0).unwrap();
+        let before = p.tracker().snapshot();
+        run.get(&mut p, 12346).unwrap();
+        let d = p.tracker().since(&before);
+        assert_eq!(d.page_reads, 1, "fences route to exactly one page");
+    }
+
+    #[test]
+    fn bloom_short_circuits_misses() {
+        let mut p = pager();
+        let run = SortedRun::build(&mut p, &recs(10_000), 10.0).unwrap();
+        let before = p.tracker().snapshot();
+        let mut pages = 0;
+        for k in 0..1000u64 {
+            run.get(&mut p, 1_000_001 + k).unwrap();
+            pages += 0;
+        }
+        let _ = pages;
+        let d = p.tracker().since(&before);
+        // ~1% FPR at 10 bits/key: almost no page reads for 1000 misses.
+        assert!(d.page_reads < 50, "bloom failed to prune: {}", d.page_reads);
+    }
+
+    #[test]
+    fn no_bloom_means_every_miss_reads_a_page() {
+        let mut p = pager();
+        let run = SortedRun::build(&mut p, &recs(10_000), 0.0).unwrap();
+        assert!(!run.has_bloom());
+        let before = p.tracker().snapshot();
+        for k in 0..100u64 {
+            // In-domain misses (odd keys).
+            run.get(&mut p, 2 * k + 1).unwrap();
+        }
+        let d = p.tracker().since(&before);
+        assert_eq!(d.page_reads, 100);
+    }
+
+    #[test]
+    fn range_is_inclusive_and_sequential() {
+        let mut p = pager();
+        let run = SortedRun::build(&mut p, &recs(5000), 10.0).unwrap();
+        let rs = run.range(&mut p, 100, 200).unwrap();
+        let keys: Vec<u64> = rs.iter().map(|r| r.key).collect();
+        assert_eq!(keys, (100..=200).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_cost_scales_with_result() {
+        let mut p = pager();
+        let run = SortedRun::build(&mut p, &recs(64 * RECORDS_PER_PAGE as u64), 10.0).unwrap();
+        let cost = |run: &SortedRun, p: &mut Pager<MemDevice>, span: u64| {
+            let before = p.tracker().snapshot();
+            run.range(p, 1000, 1000 + span).unwrap();
+            p.tracker().since(&before).page_reads
+        };
+        let small = cost(&run, &mut p, 256);
+        let large = cost(&run, &mut p, 256 * 64);
+        assert!(large > small * 8, "{small} vs {large}");
+    }
+
+    #[test]
+    fn scan_all_roundtrips() {
+        let mut p = pager();
+        let data = recs(3000);
+        let run = SortedRun::build(&mut p, &data, 5.0).unwrap();
+        assert_eq!(run.scan_all(&mut p).unwrap(), data);
+    }
+
+    #[test]
+    fn destroy_frees_pages() {
+        let mut p = pager();
+        let run = SortedRun::build(&mut p, &recs(1000), 5.0).unwrap();
+        assert!(p.live_pages() > 0);
+        run.destroy(&mut p).unwrap();
+        assert_eq!(p.live_pages(), 0);
+    }
+
+    #[test]
+    fn empty_run() {
+        let mut p = pager();
+        let run = SortedRun::build(&mut p, &[], 10.0).unwrap();
+        assert!(run.is_empty());
+        assert_eq!(run.get(&mut p, 5).unwrap(), None);
+        assert!(run.range(&mut p, 0, 100).unwrap().is_empty());
+    }
+}

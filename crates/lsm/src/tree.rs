@@ -1,0 +1,710 @@
+//! The LSM-tree proper: memtable + levelled/tiered run hierarchy.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use rum_core::{
+    check_bulk_input, AccessMethod, CostTracker, Key, Record, Result, RumError, SpaceProfile,
+    Value,
+};
+use rum_storage::{MemDevice, Pager};
+
+use crate::memtable::Memtable;
+use crate::run::SortedRun;
+use crate::TOMBSTONE;
+
+/// How levels absorb runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompactionPolicy {
+    /// One run per level: every flush/overflow merges eagerly. Best reads
+    /// and space, highest write amplification.
+    Levelling,
+    /// Up to `T` runs per level, merged only when the level fills. Lowest
+    /// write amplification, more runs to probe (higher RO) and more
+    /// overlapping versions (higher MO).
+    Tiering,
+}
+
+/// LSM tuning knobs — `T` and `MEM` of Table 1 plus the §5 dynamic knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct LsmConfig {
+    /// Memtable capacity in records (`MEM`).
+    pub memtable_records: usize,
+    /// Size ratio between adjacent levels (`T`).
+    pub size_ratio: usize,
+    pub policy: CompactionPolicy,
+    /// Bits per key for per-run Bloom filters; 0 disables them.
+    pub bloom_bits_per_key: f64,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_records: 4096,
+            size_ratio: 4,
+            policy: CompactionPolicy::Levelling,
+            bloom_bits_per_key: 10.0,
+        }
+    }
+}
+
+/// Shape diagnostics for experiments.
+#[derive(Clone, Debug)]
+pub struct LsmStats {
+    /// `(runs, entries)` per level, top down.
+    pub levels: Vec<(usize, usize)>,
+    /// Entries in the memtable.
+    pub memtable_entries: usize,
+    /// Total entries across all runs (live + shadowed + tombstones).
+    pub total_entries: usize,
+    /// Compactions performed so far.
+    pub compactions: u64,
+}
+
+/// The log-structured merge tree.
+pub struct LsmTree {
+    config: LsmConfig,
+    memtable: Memtable,
+    /// `levels[i]` holds the runs of level i, **oldest first**.
+    levels: Vec<Vec<SortedRun>>,
+    pager: Pager<MemDevice>,
+    tracker: Arc<CostTracker>,
+    /// Liveness oracle for `len()` and update/delete return values — not
+    /// part of the structure (neither charged nor counted as space); an
+    /// LSM cannot know liveness without reads, and the paper's UO model
+    /// assumes blind writes.
+    live: HashSet<Key>,
+    compactions: u64,
+}
+
+impl LsmTree {
+    pub fn new() -> Self {
+        Self::with_config(LsmConfig::default())
+    }
+
+    pub fn with_config(config: LsmConfig) -> Self {
+        assert!(config.size_ratio >= 2, "size ratio T must be >= 2");
+        assert!(config.memtable_records >= 16, "memtable too small");
+        let tracker = CostTracker::new();
+        LsmTree {
+            config,
+            memtable: Memtable::new(),
+            levels: Vec::new(),
+            pager: Pager::new(MemDevice::new(), Arc::clone(&tracker)),
+            tracker,
+            live: HashSet::new(),
+            compactions: 0,
+        }
+    }
+
+    pub fn config(&self) -> &LsmConfig {
+        &self.config
+    }
+
+    /// Rebind this tree's cost charges to `tracker` (used by `retune`,
+    /// which rebuilds the tree but must keep accounting continuous for
+    /// callers holding clones of the original tracker).
+    pub fn adopt_tracker(&mut self, tracker: Arc<CostTracker>) {
+        self.tracker = Arc::clone(&tracker);
+        self.pager.set_tracker(tracker);
+    }
+
+    pub fn stats(&self) -> LsmStats {
+        LsmStats {
+            levels: self
+                .levels
+                .iter()
+                .map(|runs| (runs.len(), runs.iter().map(|r| r.len()).sum()))
+                .collect(),
+            memtable_entries: self.memtable.len(),
+            total_entries: self
+                .levels
+                .iter()
+                .flat_map(|runs| runs.iter())
+                .map(|r| r.len())
+                .sum(),
+            compactions: self.compactions,
+        }
+    }
+
+    /// Capacity of level `i` in records.
+    fn capacity(&self, level: usize) -> usize {
+        self.config
+            .memtable_records
+            .saturating_mul(self.config.size_ratio.pow(level as u32 + 1))
+    }
+
+    fn ensure_level(&mut self, i: usize) {
+        while self.levels.len() <= i {
+            self.levels.push(Vec::new());
+        }
+    }
+
+    /// Whether every level strictly below `level` is empty.
+    fn is_bottom(&self, level: usize) -> bool {
+        self.levels
+            .iter()
+            .skip(level + 1)
+            .all(|runs| runs.is_empty())
+    }
+
+    /// Merge record streams ordered **oldest → newest**, newest version
+    /// winning; optionally drop tombstones (safe only at the bottom).
+    fn merge_streams(inputs: Vec<Vec<Record>>, drop_tombstones: bool) -> Vec<Record> {
+        let mut map = std::collections::BTreeMap::new();
+        for stream in inputs {
+            for r in stream {
+                map.insert(r.key, r.value);
+            }
+        }
+        map.into_iter()
+            .filter(|&(_, v)| !(drop_tombstones && v == TOMBSTONE))
+            .map(|(k, v)| Record::new(k, v))
+            .collect()
+    }
+
+    fn place_run(&mut self, level: usize, records: Vec<Record>) -> Result<()> {
+        self.ensure_level(level);
+        if records.is_empty() {
+            return Ok(());
+        }
+        let run = SortedRun::build(&mut self.pager, &records, self.config.bloom_bits_per_key)?;
+        self.levels[level].push(run);
+        Ok(())
+    }
+
+    /// Restore level-size invariants after new data arrived at `from`.
+    fn compact_from(&mut self, from: usize) -> Result<()> {
+        let mut level = from;
+        loop {
+            self.ensure_level(level);
+            let trigger = match self.config.policy {
+                CompactionPolicy::Levelling => {
+                    let entries: usize = self.levels[level].iter().map(|r| r.len()).sum();
+                    entries > self.capacity(level)
+                }
+                CompactionPolicy::Tiering => self.levels[level].len() >= self.config.size_ratio,
+            };
+            if !trigger {
+                return Ok(());
+            }
+            // Merge everything at `level` plus (for levelling) the run
+            // already at level+1, and place the result at level+1.
+            self.ensure_level(level + 1);
+            let mut inputs: Vec<Vec<Record>> = Vec::new();
+            let mut to_destroy = Vec::new();
+            if self.config.policy == CompactionPolicy::Levelling {
+                for run in std::mem::take(&mut self.levels[level + 1]) {
+                    inputs.push(run.scan_all(&mut self.pager)?);
+                    to_destroy.push(run);
+                }
+            }
+            // Oldest first within the level.
+            for run in std::mem::take(&mut self.levels[level]) {
+                inputs.push(run.scan_all(&mut self.pager)?);
+                to_destroy.push(run);
+            }
+            // Tombstones may be dropped only when every older version is
+            // part of this merge: nothing deeper than level+1, and (for
+            // tiering, which does not consume level+1's runs) level+1
+            // itself must be empty.
+            let drop_tomb = match self.config.policy {
+                CompactionPolicy::Levelling => self.is_bottom(level + 1),
+                CompactionPolicy::Tiering => {
+                    self.levels[level + 1].is_empty() && self.is_bottom(level + 1)
+                }
+            };
+            let merged = Self::merge_streams(inputs, drop_tomb);
+            for run in to_destroy {
+                run.destroy(&mut self.pager)?;
+            }
+            self.place_run(level + 1, merged)?;
+            self.compactions += 1;
+            level += 1;
+        }
+    }
+}
+
+impl Default for LsmTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AccessMethod for LsmTree {
+    fn name(&self) -> String {
+        match self.config.policy {
+            CompactionPolicy::Levelling => "lsm-tree".into(),
+            CompactionPolicy::Tiering => "lsm-tree-tiered".into(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    fn tracker(&self) -> &Arc<CostTracker> {
+        &self.tracker
+    }
+
+    fn space_profile(&self) -> SpaceProfile {
+        let aux: u64 = self
+            .levels
+            .iter()
+            .flat_map(|runs| runs.iter())
+            .map(|r| r.aux_bytes())
+            .sum();
+        let physical = self.pager.physical_bytes() + aux + self.memtable.size_bytes();
+        SpaceProfile::from_physical(self.live.len(), physical)
+    }
+
+    fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+        if let Some(v) = self.memtable.get(key, &self.tracker) {
+            return Ok(if v == TOMBSTONE { None } else { Some(v) });
+        }
+        // Top level first; within a level, newest run first.
+        let (levels, pager) = (&self.levels, &mut self.pager);
+        for level in levels {
+            for run in level.iter().rev() {
+                if let Some(v) = run.get(pager, key)? {
+                    return Ok(if v == TOMBSTONE { None } else { Some(v) });
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+        if lo > hi {
+            return Err(RumError::InvalidArgument(format!(
+                "inverted range {lo}..{hi}"
+            )));
+        }
+        // Oldest sources first so newer versions overwrite.
+        let mut inputs: Vec<Vec<Record>> = Vec::new();
+        let (levels, pager) = (&self.levels, &mut self.pager);
+        for level in levels.iter().rev() {
+            for run in level.iter() {
+                inputs.push(run.range(pager, lo, hi)?);
+            }
+        }
+        inputs.push(self.memtable.range(lo, hi, &self.tracker));
+        Ok(Self::merge_streams(inputs, true))
+    }
+
+    fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+        if value == TOMBSTONE {
+            return Err(RumError::InvalidArgument(
+                "value u64::MAX is reserved as the tombstone sentinel".into(),
+            ));
+        }
+        self.memtable.put(key, value, &self.tracker);
+        self.live.insert(key);
+        if self.memtable.len() >= self.config.memtable_records {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+        if value == TOMBSTONE {
+            return Err(RumError::InvalidArgument(
+                "value u64::MAX is reserved as the tombstone sentinel".into(),
+            ));
+        }
+        if !self.live.contains(&key) {
+            return Ok(false);
+        }
+        self.memtable.put(key, value, &self.tracker);
+        if self.memtable.len() >= self.config.memtable_records {
+            self.flush()?;
+        }
+        Ok(true)
+    }
+
+    fn delete_impl(&mut self, key: Key) -> Result<bool> {
+        if !self.live.remove(&key) {
+            return Ok(false);
+        }
+        self.memtable.put(key, TOMBSTONE, &self.tracker);
+        if self.memtable.len() >= self.config.memtable_records {
+            self.flush()?;
+        }
+        Ok(true)
+    }
+
+    fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+        check_bulk_input(records)?;
+        if records.iter().any(|r| r.value == TOMBSTONE) {
+            return Err(RumError::InvalidArgument(
+                "value u64::MAX is reserved as the tombstone sentinel".into(),
+            ));
+        }
+        // Tear down.
+        self.memtable = Memtable::new();
+        for runs in std::mem::take(&mut self.levels) {
+            for run in runs {
+                run.destroy(&mut self.pager)?;
+            }
+        }
+        self.live = records.iter().map(|r| r.key).collect();
+        // One run at the shallowest level that fits it.
+        let mut level = 0;
+        while self.capacity(level) < records.len() {
+            level += 1;
+        }
+        self.place_run(level, records.to_vec())
+    }
+
+    /// Flush the memtable and run compactions to restore invariants.
+    fn flush(&mut self) -> Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let fresh = self.memtable.drain_sorted();
+        match self.config.policy {
+            CompactionPolicy::Levelling => {
+                // Merge with the existing level-0 run eagerly.
+                self.ensure_level(0);
+                let old: Vec<SortedRun> = std::mem::take(&mut self.levels[0]);
+                let mut inputs = Vec::new();
+                let mut doomed = Vec::new();
+                for run in old {
+                    inputs.push(run.scan_all(&mut self.pager)?);
+                    doomed.push(run);
+                }
+                inputs.push(fresh);
+                let drop_tomb = self.is_bottom(0);
+                let merged = Self::merge_streams(inputs, drop_tomb);
+                for run in doomed {
+                    run.destroy(&mut self.pager)?;
+                }
+                self.place_run(0, merged)?;
+            }
+            CompactionPolicy::Tiering => {
+                self.place_run(0, fresh)?;
+            }
+        }
+        self.compact_from(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rum_core::RECORDS_PER_PAGE;
+
+    fn small_config(policy: CompactionPolicy) -> LsmConfig {
+        LsmConfig {
+            memtable_records: 64,
+            size_ratio: 3,
+            policy,
+            bloom_bits_per_key: 10.0,
+        }
+    }
+
+    #[test]
+    fn crud_roundtrip_levelling() {
+        let mut t = LsmTree::with_config(small_config(CompactionPolicy::Levelling));
+        for k in 0..500u64 {
+            t.insert(k, k * 2).unwrap();
+        }
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.get(123).unwrap(), Some(246));
+        assert_eq!(t.get(999).unwrap(), None);
+        assert!(t.update(123, 1).unwrap());
+        assert!(!t.update(9999, 0).unwrap());
+        assert_eq!(t.get(123).unwrap(), Some(1));
+        assert!(t.delete(123).unwrap());
+        assert!(!t.delete(123).unwrap());
+        assert_eq!(t.get(123).unwrap(), None);
+        assert_eq!(t.len(), 499);
+    }
+
+    #[test]
+    fn crud_roundtrip_tiering() {
+        let mut t = LsmTree::with_config(small_config(CompactionPolicy::Tiering));
+        for k in 0..500u64 {
+            t.insert(k, k * 2).unwrap();
+        }
+        assert_eq!(t.get(321).unwrap(), Some(642));
+        assert!(t.delete(321).unwrap());
+        assert_eq!(t.get(321).unwrap(), None);
+        // Deleted key stays deleted across flushes and compactions.
+        for k in 1000..2000u64 {
+            t.insert(k, 0).unwrap();
+        }
+        assert_eq!(t.get(321).unwrap(), None);
+    }
+
+    #[test]
+    fn newest_version_wins_across_levels() {
+        let mut t = LsmTree::with_config(small_config(CompactionPolicy::Tiering));
+        t.insert(7, 1).unwrap();
+        // Push key 7's first version deep by inserting lots of other keys.
+        for k in 100..800u64 {
+            t.insert(k, 0).unwrap();
+        }
+        t.insert(7, 2).unwrap();
+        for k in 800..1000u64 {
+            t.insert(k, 0).unwrap();
+        }
+        assert_eq!(t.get(7).unwrap(), Some(2));
+        let rs = t.range(7, 7).unwrap();
+        assert_eq!(rs, vec![Record::new(7, 2)]);
+    }
+
+    #[test]
+    fn levels_respect_size_ratio() {
+        let mut t = LsmTree::with_config(small_config(CompactionPolicy::Levelling));
+        for k in 0..5000u64 {
+            t.insert(k, k).unwrap();
+        }
+        let stats = t.stats();
+        assert!(stats.levels.len() >= 2);
+        for (runs, _) in &stats.levels {
+            assert!(*runs <= 1, "levelling keeps one run per level");
+        }
+        // Levels grow roughly by T.
+        let sizes: Vec<usize> = stats.levels.iter().map(|&(_, n)| n).collect();
+        for w in sizes.windows(2) {
+            if w[0] > 0 && w[1] > 0 {
+                assert!(w[1] >= w[0], "deeper levels are larger: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiering_has_fewer_compactions_than_levelling() {
+        let run = |policy| {
+            let mut t = LsmTree::with_config(small_config(policy));
+            for k in 0..20_000u64 {
+                t.insert(k, k).unwrap();
+            }
+            (t.stats().compactions, t.tracker().snapshot().total_write_bytes())
+        };
+        let (lc, lw) = run(CompactionPolicy::Levelling);
+        let (tc, tw) = run(CompactionPolicy::Tiering);
+        let _ = (lc, tc);
+        assert!(
+            tw < lw,
+            "tiering must write less than levelling: {tw} vs {lw}"
+        );
+    }
+
+    #[test]
+    fn insert_write_amplification_is_low() {
+        // The headline LSM property: amortized insert cost ≪ B-tree's
+        // page-per-insert.
+        let mut t = LsmTree::with_config(LsmConfig {
+            memtable_records: 1024,
+            size_ratio: 4,
+            policy: CompactionPolicy::Levelling,
+            bloom_bits_per_key: 10.0,
+        });
+        for k in 0..50_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        let s = t.tracker().snapshot();
+        let uo = s.write_amplification();
+        // Levelling UO ≈ T × levels; with T=4 and ~3-4 levels that is ~16,
+        // far below the B-tree's B = 256.
+        assert!(uo < 64.0, "write amplification {uo} unexpectedly high");
+        assert!(uo > 1.0);
+    }
+
+    #[test]
+    fn point_reads_probe_runs_not_levels_of_pages() {
+        let mut t = LsmTree::with_config(LsmConfig {
+            memtable_records: 1024,
+            size_ratio: 4,
+            policy: CompactionPolicy::Levelling,
+            bloom_bits_per_key: 10.0,
+        });
+        for k in 0..50_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        let before = t.tracker().snapshot();
+        for k in (0..50_000u64).step_by(991) {
+            assert_eq!(t.get(k).unwrap(), Some(k));
+        }
+        let probes = 50_000 / 991 + 1;
+        let d = t.tracker().since(&before);
+        let per_op = d.page_reads as f64 / probes as f64;
+        // With blooms, most hits read ~1 page (the one run that has it).
+        assert!(per_op < 4.0, "pages per point read: {per_op}");
+    }
+
+    #[test]
+    fn blooms_cut_miss_cost() {
+        let build = |bits: f64| {
+            let mut t = LsmTree::with_config(LsmConfig {
+                memtable_records: 512,
+                size_ratio: 3,
+                policy: CompactionPolicy::Tiering,
+                bloom_bits_per_key: bits,
+            });
+            for k in 0..20_000u64 {
+                t.insert(k * 2, k).unwrap();
+            }
+            let before = t.tracker().snapshot();
+            for k in 0..2000u64 {
+                t.get(2 * k + 1).unwrap(); // in-domain misses
+            }
+            t.tracker().since(&before).page_reads
+        };
+        let with_bloom = build(10.0);
+        let without = build(0.0);
+        assert!(
+            with_bloom * 5 < without,
+            "blooms should cut miss reads: {with_bloom} vs {without}"
+        );
+    }
+
+    #[test]
+    fn range_spans_levels() {
+        let mut t = LsmTree::with_config(small_config(CompactionPolicy::Tiering));
+        for k in (0..3000u64).rev() {
+            t.insert(k, k + 1).unwrap();
+        }
+        t.update(1500, 99).unwrap();
+        t.delete(1501).unwrap();
+        let rs = t.range(1498, 1503).unwrap();
+        assert_eq!(
+            rs,
+            vec![
+                Record::new(1498, 1499),
+                Record::new(1499, 1500),
+                Record::new(1500, 99),
+                Record::new(1502, 1503),
+                Record::new(1503, 1504),
+            ]
+        );
+    }
+
+    #[test]
+    fn bulk_load_builds_single_run() {
+        let recs: Vec<Record> = (0..10_000u64).map(|k| Record::new(k, k)).collect();
+        let mut t = LsmTree::new();
+        t.bulk_load(&recs).unwrap();
+        let stats = t.stats();
+        let total_runs: usize = stats.levels.iter().map(|&(r, _)| r).sum();
+        assert_eq!(total_runs, 1);
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.get(5000).unwrap(), Some(5000));
+    }
+
+    #[test]
+    fn tombstones_disappear_at_the_bottom() {
+        let mut t = LsmTree::with_config(small_config(CompactionPolicy::Levelling));
+        for k in 0..1000u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in 0..1000u64 {
+            t.delete(k).unwrap();
+        }
+        // Force everything through the hierarchy.
+        AccessMethod::flush(&mut t).unwrap();
+        let stats = t.stats();
+        assert_eq!(t.len(), 0);
+        // After full merges the bottom run should hold nothing (or nearly
+        // nothing if intermediate levels still shelter tombstones).
+        assert!(
+            stats.total_entries <= 1000,
+            "tombstone GC failed: {} entries",
+            stats.total_entries
+        );
+        assert_eq!(t.range(0, u64::MAX).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn space_amplification_bounded_by_ratio() {
+        let mut t = LsmTree::with_config(LsmConfig {
+            memtable_records: 512,
+            size_ratio: 4,
+            policy: CompactionPolicy::Levelling,
+            bloom_bits_per_key: 10.0,
+        });
+        for k in 0..40_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        // Overwrite everything once to create shadowed versions.
+        for k in 0..40_000u64 {
+            t.update(k, k + 1).unwrap();
+        }
+        let mo = t.space_profile().space_amplification();
+        assert!(mo < 3.0, "levelled MO should stay near T/(T-1): {mo}");
+    }
+
+    #[test]
+    fn model_check_random_ops() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for policy in [CompactionPolicy::Levelling, CompactionPolicy::Tiering] {
+            let mut rng = StdRng::seed_from_u64(71);
+            let mut t = LsmTree::with_config(small_config(policy));
+            let mut model = std::collections::BTreeMap::new();
+            for step in 0..4000u64 {
+                let k = rng.gen_range(0..1200u64);
+                match rng.gen_range(0..6) {
+                    0 | 1 => {
+                        t.insert(k, step).unwrap();
+                        model.insert(k, step);
+                    }
+                    2 => {
+                        assert_eq!(t.update(k, step).unwrap(), model.contains_key(&k));
+                        model.entry(k).and_modify(|v| *v = step);
+                    }
+                    3 => {
+                        assert_eq!(t.delete(k).unwrap(), model.remove(&k).is_some());
+                    }
+                    4 => {
+                        assert_eq!(t.get(k).unwrap(), model.get(&k).copied(), "step {step}");
+                    }
+                    _ => {
+                        let hi = k + rng.gen_range(0..50u64);
+                        let got = t.range(k, hi).unwrap();
+                        let expect: Vec<Record> = model
+                            .range(k..=hi)
+                            .map(|(&k, &v)| Record::new(k, v))
+                            .collect();
+                        assert_eq!(got, expect, "range {k}..{hi} at step {step}");
+                    }
+                }
+                assert_eq!(t.len(), model.len());
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_tombstone_value() {
+        let mut t = LsmTree::new();
+        assert!(t.insert(1, TOMBSTONE).is_err());
+    }
+
+    #[test]
+    fn larger_ratio_means_fewer_levels() {
+        let depth = |ratio: usize| {
+            let mut t = LsmTree::with_config(LsmConfig {
+                memtable_records: 256,
+                size_ratio: ratio,
+                policy: CompactionPolicy::Levelling,
+                bloom_bits_per_key: 10.0,
+            });
+            for k in 0..40_000u64 {
+                t.insert(k, k).unwrap();
+            }
+            // Depth = deepest level holding data (transiently empty upper
+            // levels don't count against the hierarchy's depth).
+            t.stats()
+                .levels
+                .iter()
+                .rposition(|&(_, n)| n > 0)
+                .map(|i| i + 1)
+                .unwrap_or(0)
+        };
+        let deep = depth(2);
+        let shallow = depth(10);
+        assert!(shallow < deep, "T=10 ({shallow}) vs T=2 ({deep})");
+        let _ = RECORDS_PER_PAGE;
+    }
+}

@@ -1,0 +1,189 @@
+//! Dynamic RUM balance for the LSM-tree — §5 of the paper:
+//!
+//! "We envision access methods that can automatically and dynamically
+//! adapt to new workload requirements or hardware changes ... in the case
+//! of access methods based on iterative merges, by changing the number of
+//! merge trees dynamically, the depth of the merge hierarchy and the
+//! frequency of merging, we can build access methods that dynamically
+//! adapt to workload and hardware changes."
+//!
+//! [`advise`] maps an observed operation mix to an [`LsmConfig`];
+//! [`retune`] applies a new configuration to a live tree, performing a
+//! major compaction so the new shape takes effect immediately.
+
+use rum_core::workload::OpMix;
+use rum_core::{AccessMethod, Record, Result};
+
+use crate::tree::{CompactionPolicy, LsmConfig, LsmTree};
+
+/// What the tuner should favor when the mix is ambiguous.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TuningGoal {
+    /// Minimize read overhead.
+    Reads,
+    /// Minimize write amplification.
+    Writes,
+    /// Minimize space amplification.
+    Space,
+    /// Balance all three.
+    Balanced,
+}
+
+/// Recommend a configuration for an operation mix.
+///
+/// Rules follow Table 1's cost model: levelling with a large size ratio
+/// collapses the hierarchy (reads and space improve, merges cost more);
+/// tiering with a small ratio defers merges (writes improve, reads and
+/// space suffer); Bloom bits buy read performance with auxiliary space.
+pub fn advise(mix: &OpMix, goal: TuningGoal) -> LsmConfig {
+    let total = (mix.get + mix.insert + mix.update + mix.delete + mix.range).max(f64::EPSILON);
+    let read_frac = (mix.get + mix.range) / total;
+    let write_frac = 1.0 - read_frac;
+
+    let mut cfg = LsmConfig::default();
+    match goal {
+        TuningGoal::Reads => {
+            cfg.policy = CompactionPolicy::Levelling;
+            cfg.size_ratio = 10;
+            cfg.bloom_bits_per_key = 14.0;
+        }
+        TuningGoal::Writes => {
+            cfg.policy = CompactionPolicy::Tiering;
+            cfg.size_ratio = 4;
+            cfg.bloom_bits_per_key = 6.0;
+        }
+        TuningGoal::Space => {
+            cfg.policy = CompactionPolicy::Levelling;
+            cfg.size_ratio = 8;
+            cfg.bloom_bits_per_key = 4.0;
+        }
+        TuningGoal::Balanced => {
+            if read_frac > 0.7 {
+                cfg.policy = CompactionPolicy::Levelling;
+                cfg.size_ratio = 8;
+                cfg.bloom_bits_per_key = 12.0;
+            } else if write_frac > 0.7 {
+                cfg.policy = CompactionPolicy::Tiering;
+                cfg.size_ratio = 4;
+                cfg.bloom_bits_per_key = 8.0;
+            } else {
+                cfg.policy = CompactionPolicy::Levelling;
+                cfg.size_ratio = 4;
+                cfg.bloom_bits_per_key = 10.0;
+            }
+        }
+    }
+    cfg
+}
+
+/// Apply `config` to a live tree: its contents are drained and rebuilt
+/// under the new shape (a major compaction). Costs are charged to the
+/// tree's tracker like any other reorganization.
+pub fn retune(tree: &mut LsmTree, config: LsmConfig) -> Result<()> {
+    // Drain the current contents through the public API.
+    tree.flush()?;
+    let all: Vec<Record> = tree.range_impl(0, u64::MAX)?;
+    let mut rebuilt = LsmTree::with_config(config);
+    // Keep the original tracker so callers' accounting stays continuous
+    // (the major compaction's cost lands on it like any reorganization).
+    rebuilt.adopt_tracker(std::sync::Arc::clone(tree.tracker()));
+    rebuilt.bulk_load_impl(&all)?;
+    *tree = rebuilt;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_heavy_mix_gets_levelling_with_big_ratio() {
+        let cfg = advise(&OpMix::READ_HEAVY, TuningGoal::Balanced);
+        assert_eq!(cfg.policy, CompactionPolicy::Levelling);
+        assert!(cfg.size_ratio >= 8);
+        assert!(cfg.bloom_bits_per_key >= 10.0);
+    }
+
+    #[test]
+    fn write_heavy_mix_gets_tiering() {
+        let cfg = advise(&OpMix::WRITE_HEAVY, TuningGoal::Balanced);
+        assert_eq!(cfg.policy, CompactionPolicy::Tiering);
+    }
+
+    #[test]
+    fn explicit_goals_override() {
+        let cfg = advise(&OpMix::WRITE_HEAVY, TuningGoal::Reads);
+        assert_eq!(cfg.policy, CompactionPolicy::Levelling);
+        let cfg = advise(&OpMix::READ_HEAVY, TuningGoal::Writes);
+        assert_eq!(cfg.policy, CompactionPolicy::Tiering);
+    }
+
+    #[test]
+    fn retune_preserves_contents() {
+        let mut t = LsmTree::with_config(LsmConfig {
+            memtable_records: 64,
+            size_ratio: 2,
+            policy: CompactionPolicy::Tiering,
+            bloom_bits_per_key: 0.0,
+        });
+        for k in 0..2000u64 {
+            t.insert(k, k + 7).unwrap();
+        }
+        t.delete(100).unwrap();
+        retune(
+            &mut t,
+            LsmConfig {
+                memtable_records: 256,
+                size_ratio: 8,
+                policy: CompactionPolicy::Levelling,
+                bloom_bits_per_key: 12.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(t.config().size_ratio, 8);
+        assert_eq!(t.len(), 1999);
+        assert_eq!(t.get(500).unwrap(), Some(507));
+        assert_eq!(t.get(100).unwrap(), None);
+    }
+
+    #[test]
+    fn retune_changes_read_cost_shape() {
+        // Tiered with many runs → retune to levelled → fewer probes.
+        let mut t = LsmTree::with_config(LsmConfig {
+            memtable_records: 128,
+            size_ratio: 8,
+            policy: CompactionPolicy::Tiering,
+            bloom_bits_per_key: 0.0,
+        });
+        // Scatter keys so every flushed run spans the whole key domain —
+        // otherwise fence pointers prune disjoint runs and tiering's extra
+        // probes never materialize.
+        for k in 0..10_000u64 {
+            let key = (k.wrapping_mul(7919)) % 10_000;
+            t.insert(key * 2, k).unwrap();
+        }
+        let miss_cost = |t: &mut LsmTree| {
+            let before = t.tracker().snapshot();
+            for k in 0..500u64 {
+                t.get(2 * k + 1).unwrap();
+            }
+            t.tracker().since(&before).page_reads
+        };
+        let tiered_cost = miss_cost(&mut t);
+        retune(
+            &mut t,
+            LsmConfig {
+                memtable_records: 128,
+                size_ratio: 8,
+                policy: CompactionPolicy::Levelling,
+                bloom_bits_per_key: 0.0,
+            },
+        )
+        .unwrap();
+        let levelled_cost = miss_cost(&mut t);
+        assert!(
+            levelled_cost < tiered_cost,
+            "levelled misses ({levelled_cost}) should beat tiered ({tiered_cost})"
+        );
+    }
+}

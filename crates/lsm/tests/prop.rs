@@ -1,0 +1,95 @@
+//! Property-based differential tests for the LSM-tree under both
+//! compaction policies and varied geometry.
+
+use proptest::prelude::*;
+use rum_core::{AccessMethod, Record};
+use rum_lsm::{CompactionPolicy, LsmConfig, LsmTree};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum LsmOp {
+    Insert(u16, u32),
+    Update(u16, u32),
+    Delete(u16),
+    Get(u16),
+    Range(u16, u8),
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = LsmOp> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| LsmOp::Insert(k, v)),
+        2 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| LsmOp::Update(k, v)),
+        2 => any::<u16>().prop_map(LsmOp::Delete),
+        2 => any::<u16>().prop_map(LsmOp::Get),
+        1 => (any::<u16>(), any::<u8>()).prop_map(|(lo, s)| LsmOp::Range(lo, s)),
+        1 => Just(LsmOp::Flush),
+    ]
+}
+
+fn run(config: LsmConfig, ops: &[LsmOp]) {
+    let mut t = LsmTree::with_config(config);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            LsmOp::Insert(k, v) => {
+                t.insert(k as u64, v as u64).unwrap();
+                model.insert(k as u64, v as u64);
+            }
+            LsmOp::Update(k, v) => {
+                assert_eq!(t.update(k as u64, v as u64).unwrap(), model.contains_key(&(k as u64)));
+                model.entry(k as u64).and_modify(|x| *x = v as u64);
+            }
+            LsmOp::Delete(k) => {
+                assert_eq!(t.delete(k as u64).unwrap(), model.remove(&(k as u64)).is_some());
+            }
+            LsmOp::Get(k) => {
+                assert_eq!(t.get(k as u64).unwrap(), model.get(&(k as u64)).copied());
+            }
+            LsmOp::Range(lo, span) => {
+                let (lo, hi) = (lo as u64, lo as u64 + span as u64);
+                let got = t.range(lo, hi).unwrap();
+                let expect: Vec<Record> = model
+                    .range(lo..=hi)
+                    .map(|(&k, &v)| Record::new(k, v))
+                    .collect();
+                assert_eq!(got, expect);
+            }
+            LsmOp::Flush => t.flush().unwrap(),
+        }
+        assert_eq!(t.len(), model.len());
+    }
+    let all = t.range(0, u64::MAX).unwrap();
+    let expect: Vec<Record> = model.iter().map(|(&k, &v)| Record::new(k, v)).collect();
+    assert_eq!(all, expect);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn levelling_matches_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        run(
+            LsmConfig {
+                memtable_records: 16,
+                size_ratio: 2,
+                policy: CompactionPolicy::Levelling,
+                bloom_bits_per_key: 8.0,
+            },
+            &ops,
+        );
+    }
+
+    #[test]
+    fn tiering_matches_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        run(
+            LsmConfig {
+                memtable_records: 16,
+                size_ratio: 3,
+                policy: CompactionPolicy::Tiering,
+                bloom_bits_per_key: 0.0,
+            },
+            &ops,
+        );
+    }
+}

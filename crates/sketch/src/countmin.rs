@@ -1,0 +1,153 @@
+//! The count-min sketch (Cormode & Muthukrishnan): a lossy frequency
+//! summary — the paper's example of a "lossy hash-based index".
+
+use crate::{hash1, hash2};
+
+/// A `depth × width` grid of counters; estimates are upper bounds.
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    counters: Vec<u64>,
+    width: usize,
+    depth: usize,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Sketch with error `epsilon` (relative to the total count) at
+    /// confidence `1 - delta`: `width = ⌈e/ε⌉`, `depth = ⌈ln(1/δ)⌉`.
+    pub fn with_error(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        assert!(delta > 0.0 && delta < 1.0);
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth)
+    }
+
+    /// Sketch with explicit dimensions.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width > 0 && depth > 0);
+        CountMinSketch {
+            counters: vec![0; width * depth],
+            width,
+            depth,
+            total: 0,
+        }
+    }
+
+    pub fn size_bytes(&self) -> u64 {
+        (self.counters.len() * 8) as u64
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total count added across all keys.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, key: u64) -> usize {
+        let h = hash1(key).wrapping_add((row as u64).wrapping_mul(hash2(key)));
+        row * self.width + (h % self.width as u64) as usize
+    }
+
+    /// Add `count` occurrences of `key`.
+    pub fn add(&mut self, key: u64, count: u64) {
+        for row in 0..self.depth {
+            let s = self.slot(row, key);
+            self.counters[s] += count;
+        }
+        self.total += count;
+    }
+
+    /// Estimated count of `key` — never an underestimate.
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.counters[self.slot(row, key)])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn never_underestimates() {
+        let mut s = CountMinSketch::with_error(0.01, 0.01);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20_000 {
+            let k = rng.gen_range(0..500u64);
+            let c = rng.gen_range(1..5u64);
+            s.add(k, c);
+            *truth.entry(k).or_insert(0u64) += c;
+        }
+        for (&k, &c) in &truth {
+            assert!(s.estimate(k) >= c, "underestimate for {k}");
+        }
+    }
+
+    #[test]
+    fn error_is_bounded() {
+        let eps = 0.005;
+        let mut s = CountMinSketch::with_error(eps, 0.01);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50_000 {
+            let k = rng.gen_range(0..2000u64);
+            s.add(k, 1);
+            *truth.entry(k).or_insert(0u64) += 1;
+        }
+        let bound = (eps * s.total() as f64).ceil() as u64;
+        let violations = truth
+            .iter()
+            .filter(|(&k, &c)| s.estimate(k) > c + bound)
+            .count();
+        // With delta = 1%, allow a small number of outliers.
+        assert!(
+            violations <= truth.len() / 20,
+            "{violations} of {} exceed the ε bound",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn unseen_keys_estimate_small() {
+        let mut s = CountMinSketch::with_error(0.001, 0.01);
+        for k in 0..1000u64 {
+            s.add(k, 10);
+        }
+        let worst = (10_000..11_000u64).map(|k| s.estimate(k)).max().unwrap();
+        assert!(worst <= (0.001 * s.total() as f64).ceil() as u64 * 4);
+    }
+
+    #[test]
+    fn dimensions_from_error_params() {
+        let s = CountMinSketch::with_error(0.01, 0.05);
+        assert!(s.width() >= 271); // e / 0.01
+        assert!(s.depth() >= 3); // ln 20
+    }
+
+    #[test]
+    fn space_shrinks_with_looser_error() {
+        let tight = CountMinSketch::with_error(0.001, 0.01).size_bytes();
+        let loose = CountMinSketch::with_error(0.05, 0.01).size_bytes();
+        assert!(loose < tight / 10);
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let s = CountMinSketch::new(100, 4);
+        assert_eq!(s.estimate(42), 0);
+        assert_eq!(s.total(), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Column Imprints (Sidirourgos & Kersten, SIGMOD 2013): one small bit
+//! signature per cacheline of a column, marking which value-range bins
+//! occur in that cacheline. A scan with a range predicate first ANDs the
+//! predicate's bin mask against each imprint and touches only the
+//! cachelines that can match — computation and a sliver of space traded
+//! for read traffic, the paper's space-optimized corner.
+
+use rum_core::{Key, Record};
+
+/// Records per "cacheline" unit (64 bytes / 16-byte records).
+pub const LINE_RECORDS: usize = 4;
+/// Bins per imprint (one u64 signature word).
+pub const BINS: usize = 64;
+
+/// A column imprint over an in-memory column snapshot.
+#[derive(Clone, Debug)]
+pub struct ColumnImprint {
+    /// Bin boundaries: bin `i` covers `[bounds[i], bounds[i+1])`;
+    /// `bounds[BINS]` is an exclusive upper sentinel.
+    bounds: Vec<Key>,
+    /// One signature word per cacheline.
+    imprints: Vec<u64>,
+    lines: usize,
+}
+
+impl ColumnImprint {
+    /// Build an imprint over `column` with equi-depth bins sampled from
+    /// the data itself (the original uses sampled histograms, too).
+    pub fn build(column: &[Record]) -> Self {
+        let mut sample: Vec<Key> = column.iter().map(|r| r.key).collect();
+        sample.sort_unstable();
+        sample.dedup();
+        let mut bounds = Vec::with_capacity(BINS + 1);
+        if sample.is_empty() {
+            bounds = vec![0; BINS + 1];
+        } else {
+            for i in 0..BINS {
+                let idx = i * sample.len() / BINS;
+                bounds.push(sample[idx]);
+            }
+            bounds.push(Key::MAX);
+            // Bin boundaries must be strictly increasing where possible;
+            // duplicates collapse harmlessly (those bins stay unused).
+        }
+        let lines = column.len().div_ceil(LINE_RECORDS);
+        let mut imprints = vec![0u64; lines];
+        let this = ColumnImprint {
+            bounds,
+            imprints: Vec::new(),
+            lines,
+        };
+        for (i, chunk) in column.chunks(LINE_RECORDS).enumerate() {
+            let mut sig = 0u64;
+            for r in chunk {
+                sig |= 1 << this.bin_of(r.key);
+            }
+            imprints[i] = sig;
+        }
+        ColumnImprint { imprints, ..this }
+    }
+
+    /// Number of cachelines covered.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Imprint size in bytes — the auxiliary space cost.
+    pub fn size_bytes(&self) -> u64 {
+        (self.imprints.len() * 8 + self.bounds.len() * 8) as u64
+    }
+
+    /// Bin index of `key` (largest bin whose lower bound ≤ key).
+    pub fn bin_of(&self, key: Key) -> usize {
+        match self.bounds[..BINS].binary_search(&key) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Mask of bins overlapping `[lo, hi]`.
+    pub fn mask_for(&self, lo: Key, hi: Key) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        let (b_lo, b_hi) = (self.bin_of(lo), self.bin_of(hi));
+        let width = b_hi - b_lo + 1;
+        if width >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << width) - 1) << b_lo
+        }
+    }
+
+    /// Indices of cachelines that *may* contain keys in `[lo, hi]`.
+    pub fn candidate_lines(&self, lo: Key, hi: Key) -> Vec<usize> {
+        let mask = self.mask_for(lo, hi);
+        self.imprints
+            .iter()
+            .enumerate()
+            .filter(|(_, &sig)| sig & mask != 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Fraction of cachelines skipped for `[lo, hi]` (diagnostic).
+    pub fn skip_ratio(&self, lo: Key, hi: Key) -> f64 {
+        if self.lines == 0 {
+            return 0.0;
+        }
+        1.0 - self.candidate_lines(lo, hi).len() as f64 / self.lines as f64
+    }
+
+    /// Scan `column` for `[lo, hi]` touching only candidate lines.
+    /// Returns matching records and the number of lines actually read.
+    pub fn scan(&self, column: &[Record], lo: Key, hi: Key) -> (Vec<Record>, usize) {
+        let lines = self.candidate_lines(lo, hi);
+        let mut out = Vec::new();
+        for &li in &lines {
+            let start = li * LINE_RECORDS;
+            let end = (start + LINE_RECORDS).min(column.len());
+            for r in &column[start..end] {
+                if r.key >= lo && r.key <= hi {
+                    out.push(*r);
+                }
+            }
+        }
+        out.sort_unstable();
+        (out, lines.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_column(n: u64) -> Vec<Record> {
+        (0..n).map(|k| Record::new(k, k)).collect()
+    }
+
+    #[test]
+    fn scan_finds_exactly_the_matches() {
+        let col = sorted_column(10_000);
+        let imp = ColumnImprint::build(&col);
+        let (hits, _) = imp.scan(&col, 400, 450);
+        let keys: Vec<u64> = hits.iter().map(|r| r.key).collect();
+        assert_eq!(keys, (400..=450).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn narrow_ranges_skip_most_lines_on_clustered_data() {
+        let col = sorted_column(100_000);
+        let imp = ColumnImprint::build(&col);
+        let ratio = imp.skip_ratio(5000, 5100);
+        assert!(ratio > 0.9, "expected >90% skipped, got {ratio}");
+    }
+
+    #[test]
+    fn full_range_skips_nothing() {
+        let col = sorted_column(1000);
+        let imp = ColumnImprint::build(&col);
+        assert_eq!(imp.skip_ratio(0, u64::MAX), 0.0);
+        let (hits, lines) = imp.scan(&col, 0, u64::MAX);
+        assert_eq!(hits.len(), 1000);
+        assert_eq!(lines, imp.lines());
+    }
+
+    #[test]
+    fn no_false_negatives_on_random_data() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        let col: Vec<Record> = (0..5000)
+            .map(|_| Record::new(rng.gen_range(0..1_000_000), 0))
+            .collect();
+        let imp = ColumnImprint::build(&col);
+        for _ in 0..50 {
+            let lo = rng.gen_range(0..900_000u64);
+            let hi = lo + rng.gen_range(0..100_000u64);
+            let (hits, _) = imp.scan(&col, lo, hi);
+            let mut expect: Vec<Record> = col
+                .iter()
+                .copied()
+                .filter(|r| r.key >= lo && r.key <= hi)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(hits, expect);
+        }
+    }
+
+    #[test]
+    fn imprint_is_small() {
+        let col = sorted_column(100_000);
+        let imp = ColumnImprint::build(&col);
+        let data_bytes = (col.len() * 16) as u64;
+        assert!(
+            imp.size_bytes() < data_bytes / 7,
+            "imprint {} vs data {}",
+            imp.size_bytes(),
+            data_bytes
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_columns() {
+        let imp = ColumnImprint::build(&[]);
+        assert_eq!(imp.lines(), 0);
+        assert!(imp.candidate_lines(0, 100).is_empty());
+        let col = vec![Record::new(7, 1)];
+        let imp = ColumnImprint::build(&col);
+        let (hits, _) = imp.scan(&col, 0, 10);
+        assert_eq!(hits, col);
+    }
+
+    #[test]
+    fn mask_widths() {
+        let col = sorted_column(6400);
+        let imp = ColumnImprint::build(&col);
+        assert_eq!(imp.mask_for(0, u64::MAX), u64::MAX);
+        assert_eq!(imp.mask_for(10, 5), 0);
+        let narrow = imp.mask_for(100, 101);
+        assert!(narrow.count_ones() <= 2);
+    }
+}

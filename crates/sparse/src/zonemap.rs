@@ -1,0 +1,568 @@
+//! ZoneMaps / Small Materialized Aggregates: a packed column plus one
+//! tiny metadata record (min, max, count, sum) per partition of `P`
+//! records.
+//!
+//! Table 1 notes: "ZoneMaps have the smaller size being a sparse index"
+//! with `O(N/P/B)` cost for everything — *in the best case*, which assumes
+//! the data is clustered so a single partition overlaps any given key.
+//! This implementation makes that dependence visible: bulk-loaded (sorted)
+//! data gets disjoint zones and near-optimal pruning, while random inserts
+//! widen zones until pruning stops working — exactly the degradation the
+//! paper's "best case" footnote hides.
+
+use std::sync::Arc;
+
+use rum_core::{
+    check_bulk_input, AccessMethod, CostTracker, DataClass, Key, Record, Result, SpaceProfile,
+    Value, RECORDS_PER_PAGE,
+};
+use rum_storage::{MemDevice, Pager};
+
+// Reuse the packed-pages layout from rum-columns via a local copy of the
+// dependency; the columns crate exposes it publicly.
+use rum_columns::packed::PackedFile;
+
+/// Per-zone metadata: 32 bytes (min, max, count, sum) — the SMA extension
+/// of the plain min/max zone map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Zone {
+    pub min: Key,
+    pub max: Key,
+    pub count: u32,
+    pub sum: u64,
+}
+
+impl Zone {
+    const BYTES: u64 = 32;
+
+    fn empty() -> Zone {
+        Zone {
+            min: Key::MAX,
+            max: 0,
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn overlaps(&self, lo: Key, hi: Key) -> bool {
+        self.count > 0 && self.min <= hi && self.max >= lo
+    }
+
+    fn absorb(&mut self, r: &Record) {
+        self.min = self.min.min(r.key);
+        self.max = self.max.max(r.key);
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(r.value);
+    }
+}
+
+/// Configuration: partition size `P` in records (Table 1's parameter),
+/// and whether inserts are blind appends (the paper's O(1)-ish zone-map
+/// maintenance; the caller guarantees fresh keys).
+#[derive(Clone, Copy, Debug)]
+pub struct ZoneMapConfig {
+    pub partition_records: usize,
+    pub blind_appends: bool,
+}
+
+impl Default for ZoneMapConfig {
+    fn default() -> Self {
+        ZoneMapConfig {
+            partition_records: 16 * RECORDS_PER_PAGE, // P = 4096 records
+            blind_appends: false,
+        }
+    }
+}
+
+/// A packed column with zone-map pruning.
+pub struct ZoneMappedColumn {
+    file: PackedFile,
+    zones: Vec<Zone>,
+    config: ZoneMapConfig,
+    pager: Pager<MemDevice>,
+    tracker: Arc<CostTracker>,
+}
+
+impl ZoneMappedColumn {
+    pub fn new() -> Self {
+        Self::with_config(ZoneMapConfig::default())
+    }
+
+    pub fn with_config(config: ZoneMapConfig) -> Self {
+        assert!(
+            config.partition_records >= RECORDS_PER_PAGE,
+            "partitions must be at least one page"
+        );
+        assert_eq!(
+            config.partition_records % RECORDS_PER_PAGE,
+            0,
+            "partition size must be page-aligned"
+        );
+        let tracker = CostTracker::new();
+        ZoneMappedColumn {
+            file: PackedFile::new(),
+            zones: Vec::new(),
+            config,
+            pager: Pager::new(MemDevice::new(), Arc::clone(&tracker)),
+            tracker,
+        }
+    }
+
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    fn p(&self) -> usize {
+        self.config.partition_records
+    }
+
+    fn zone_of(&self, record_idx: usize) -> usize {
+        record_idx / self.p()
+    }
+
+    /// Charge a scan of the zone directory (auxiliary metadata).
+    fn charge_zone_scan(&self) {
+        self.tracker
+            .read(DataClass::Aux, self.zones.len() as u64 * Zone::BYTES);
+    }
+
+    /// Record index range of zone `zi`.
+    fn zone_span(&self, zi: usize) -> (usize, usize) {
+        let start = zi * self.p();
+        let end = ((zi + 1) * self.p()).min(self.file.len());
+        (start, end)
+    }
+
+    /// Find `key` within zone `zi`, reading its pages.
+    fn find_in_zone(&mut self, zi: usize, key: Key) -> Result<Option<usize>> {
+        let (start, end) = self.zone_span(zi);
+        let first_page = start / RECORDS_PER_PAGE;
+        let last_page = (end.saturating_sub(1)) / RECORDS_PER_PAGE;
+        for page_idx in first_page..=last_page {
+            if page_idx >= self.file.num_pages() {
+                break;
+            }
+            let recs = self.file.read_page(&mut self.pager, page_idx)?;
+            if let Some(slot) = recs.iter().position(|r| r.key == key) {
+                let idx = page_idx * RECORDS_PER_PAGE + slot;
+                if idx >= start && idx < end {
+                    return Ok(Some(idx));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Recompute zone `zi`'s metadata by reading its pages.
+    fn recompute_zone(&mut self, zi: usize) -> Result<()> {
+        let (start, end) = self.zone_span(zi);
+        let mut z = Zone::empty();
+        if start < end {
+            let first_page = start / RECORDS_PER_PAGE;
+            let last_page = (end - 1) / RECORDS_PER_PAGE;
+            for page_idx in first_page..=last_page {
+                let recs = self.file.read_page(&mut self.pager, page_idx)?.to_vec();
+                for (i, r) in recs.iter().enumerate() {
+                    let idx = page_idx * RECORDS_PER_PAGE + i;
+                    if idx >= start && idx < end {
+                        z.absorb(r);
+                    }
+                }
+            }
+        }
+        if zi < self.zones.len() {
+            self.zones[zi] = z;
+            // Trim trailing empty zones.
+            while matches!(self.zones.last(), Some(last) if last.count == 0) {
+                self.zones.pop();
+            }
+            // Maintaining the sparse index costs one metadata write.
+            self.tracker.write(DataClass::Aux, Zone::BYTES);
+        }
+        Ok(())
+    }
+
+    /// SUM/COUNT over `[lo, hi]` answered from zone metadata where zones
+    /// are fully covered, reading pages only for partially covered zones —
+    /// the Small Materialized Aggregates trick.
+    pub fn aggregate(&mut self, lo: Key, hi: Key) -> Result<(u64, u64)> {
+        self.charge_zone_scan();
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for zi in 0..self.zones.len() {
+            let z = self.zones[zi];
+            if !z.overlaps(lo, hi) {
+                continue;
+            }
+            if z.min >= lo && z.max <= hi {
+                // Fully covered: metadata answers it.
+                count += z.count as u64;
+                sum = sum.wrapping_add(z.sum);
+            } else {
+                // Partially covered: fall back to data pages.
+                let (start, end) = self.zone_span(zi);
+                let first_page = start / RECORDS_PER_PAGE;
+                let last_page = (end.saturating_sub(1)) / RECORDS_PER_PAGE;
+                for page_idx in first_page..=last_page.min(self.file.num_pages().saturating_sub(1)) {
+                    let recs = self.file.read_page(&mut self.pager, page_idx)?.to_vec();
+                    for (i, r) in recs.iter().enumerate() {
+                        let idx = page_idx * RECORDS_PER_PAGE + i;
+                        if idx >= start && idx < end && r.key >= lo && r.key <= hi {
+                            count += 1;
+                            sum = sum.wrapping_add(r.value);
+                        }
+                    }
+                }
+            }
+        }
+        Ok((count, sum))
+    }
+}
+
+impl Default for ZoneMappedColumn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AccessMethod for ZoneMappedColumn {
+    fn name(&self) -> String {
+        "zonemap".into()
+    }
+
+    fn len(&self) -> usize {
+        self.file.len()
+    }
+
+    fn tracker(&self) -> &Arc<CostTracker> {
+        &self.tracker
+    }
+
+    fn space_profile(&self) -> SpaceProfile {
+        let physical = self.pager.physical_bytes()
+            + self.file.directory_bytes()
+            + self.zones.len() as u64 * Zone::BYTES;
+        SpaceProfile::from_physical(self.file.len(), physical)
+    }
+
+    fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+        self.charge_zone_scan();
+        for zi in 0..self.zones.len() {
+            if self.zones[zi].overlaps(key, key) {
+                if let Some(idx) = self.find_in_zone(zi, key)? {
+                    return Ok(Some(self.file.get(&mut self.pager, idx)?.value));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+        self.charge_zone_scan();
+        let mut out = Vec::new();
+        for zi in 0..self.zones.len() {
+            if !self.zones[zi].overlaps(lo, hi) {
+                continue;
+            }
+            let (start, end) = self.zone_span(zi);
+            let first_page = start / RECORDS_PER_PAGE;
+            let last_page = (end.saturating_sub(1)) / RECORDS_PER_PAGE;
+            for page_idx in first_page..=last_page.min(self.file.num_pages().saturating_sub(1)) {
+                let recs = self.file.read_page(&mut self.pager, page_idx)?.to_vec();
+                for (i, r) in recs.iter().enumerate() {
+                    let idx = page_idx * RECORDS_PER_PAGE + i;
+                    if idx >= start && idx < end && r.key >= lo && r.key <= hi {
+                        out.push(*r);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+        // Upsert: check zones for an existing copy first (skipped in
+        // blind-append mode, where the caller guarantees fresh keys).
+        self.charge_zone_scan();
+        for zi in 0..if self.config.blind_appends { 0 } else { self.zones.len() } {
+            if self.zones[zi].overlaps(key, key) {
+                if let Some(idx) = self.find_in_zone(zi, key)? {
+                    let old = self.file.get(&mut self.pager, idx)?;
+                    self.file
+                        .set(&mut self.pager, idx, Record::new(key, value))?;
+                    // Fix the SMA sum in place; min/max are unchanged by a
+                    // value update.
+                    let z = &mut self.zones[zi];
+                    z.sum = z.sum.wrapping_sub(old.value).wrapping_add(value);
+                    self.tracker.write(DataClass::Aux, Zone::BYTES);
+                    return Ok(());
+                }
+            }
+        }
+        // Append; extend the zone directory as needed.
+        let idx = self.file.len();
+        self.file.push(&mut self.pager, Record::new(key, value))?;
+        let zi = self.zone_of(idx);
+        if zi >= self.zones.len() {
+            self.zones.push(Zone::empty());
+        }
+        self.zones[zi].absorb(&Record::new(key, value));
+        self.tracker.write(DataClass::Aux, Zone::BYTES);
+        Ok(())
+    }
+
+    fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+        self.charge_zone_scan();
+        for zi in 0..self.zones.len() {
+            if self.zones[zi].overlaps(key, key) {
+                if let Some(idx) = self.find_in_zone(zi, key)? {
+                    let old = self.file.get(&mut self.pager, idx)?;
+                    self.file
+                        .set(&mut self.pager, idx, Record::new(key, value))?;
+                    let z = &mut self.zones[zi];
+                    z.sum = z.sum.wrapping_sub(old.value).wrapping_add(value);
+                    self.tracker.write(DataClass::Aux, Zone::BYTES);
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    fn delete_impl(&mut self, key: Key) -> Result<bool> {
+        self.charge_zone_scan();
+        for zi in 0..self.zones.len() {
+            if self.zones[zi].overlaps(key, key) {
+                if let Some(idx) = self.find_in_zone(zi, key)? {
+                    // Swap-remove with the global tail record.
+                    let last = self.file.len() - 1;
+                    let last_zone = self.zone_of(last);
+                    if idx != last {
+                        let tail = self.file.get(&mut self.pager, last)?;
+                        self.file.set(&mut self.pager, idx, tail)?;
+                    }
+                    self.file.pop(&mut self.pager)?;
+                    // Both affected zones need their metadata rebuilt: the
+                    // hole zone (a foreign record moved in) and the tail
+                    // zone (its last record left).
+                    if zi < self.zones.len() {
+                        self.recompute_zone(zi)?;
+                    }
+                    if last_zone != zi && last_zone < self.zones.len() {
+                        self.recompute_zone(last_zone)?;
+                    }
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+        check_bulk_input(records)?;
+        self.file.rebuild(&mut self.pager, records)?;
+        self.zones.clear();
+        for chunk in records.chunks(self.p()) {
+            let mut z = Zone::empty();
+            for r in chunk {
+                z.absorb(r);
+            }
+            self.zones.push(z);
+        }
+        self.tracker
+            .write(DataClass::Aux, self.zones.len() as u64 * Zone::BYTES);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded(n: u64, p: usize) -> ZoneMappedColumn {
+        let recs: Vec<Record> = (0..n).map(|k| Record::new(k, 1)).collect();
+        let mut z = ZoneMappedColumn::with_config(ZoneMapConfig {
+            partition_records: p,
+            ..Default::default()
+        });
+        z.bulk_load(&recs).unwrap();
+        z
+    }
+
+    #[test]
+    fn crud_roundtrip() {
+        let mut z = ZoneMappedColumn::new();
+        z.insert(10, 100).unwrap();
+        z.insert(20, 200).unwrap();
+        assert_eq!(z.get(10).unwrap(), Some(100));
+        assert_eq!(z.get(15).unwrap(), None);
+        assert!(z.update(20, 222).unwrap());
+        assert!(!z.update(21, 0).unwrap());
+        assert!(z.delete(10).unwrap());
+        assert!(!z.delete(10).unwrap());
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn insert_is_upsert() {
+        let mut z = ZoneMappedColumn::new();
+        z.insert(5, 1).unwrap();
+        z.insert(5, 2).unwrap();
+        assert_eq!(z.len(), 1);
+        assert_eq!(z.get(5).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn clustered_point_query_reads_one_zone() {
+        let p = 4 * RECORDS_PER_PAGE;
+        let mut z = loaded(64 * RECORDS_PER_PAGE as u64, p);
+        let zones = z.zone_count();
+        assert_eq!(zones, 16);
+        let before = z.tracker().snapshot();
+        z.get(12345).unwrap();
+        let reads = z.tracker().since(&before).page_reads as usize;
+        assert!(
+            reads <= p / RECORDS_PER_PAGE,
+            "clustered lookup should stay within one zone's {} pages, read {reads}",
+            p / RECORDS_PER_PAGE
+        );
+    }
+
+    #[test]
+    fn pruning_degrades_without_clustering() {
+        // Random-order inserts widen every zone to the full key domain, so
+        // a miss must scan everything — the hidden cost of the paper's
+        // "best case" assumption.
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let n = 16 * RECORDS_PER_PAGE as u64;
+        // Even keys only, so odd keys are in-domain misses.
+        let mut keys: Vec<u64> = (0..n).map(|k| k * 2).collect();
+        keys.shuffle(&mut StdRng::seed_from_u64(4));
+        let mut scattered = ZoneMappedColumn::with_config(ZoneMapConfig {
+            partition_records: 4 * RECORDS_PER_PAGE,
+            ..Default::default()
+        });
+        for &k in &keys {
+            scattered.insert(k, 1).unwrap();
+        }
+        let recs: Vec<Record> = (0..n).map(|k| Record::new(k * 2, 1)).collect();
+        let mut clustered = ZoneMappedColumn::with_config(ZoneMapConfig {
+            partition_records: 4 * RECORDS_PER_PAGE,
+            ..Default::default()
+        });
+        clustered.bulk_load(&recs).unwrap();
+
+        let cost = |z: &mut ZoneMappedColumn| {
+            let before = z.tracker().snapshot();
+            z.get(n + 1).unwrap(); // an in-domain miss (odd key)
+            z.tracker().since(&before).page_reads
+        };
+        let c_clustered = cost(&mut clustered);
+        let c_scattered = cost(&mut scattered);
+        assert!(
+            c_clustered <= 4,
+            "clustered miss confined to one zone, read {c_clustered}"
+        );
+        assert!(
+            c_scattered >= 12,
+            "scattered miss must scan most pages, read {c_scattered}"
+        );
+    }
+
+    #[test]
+    fn index_size_is_tiny() {
+        let z = loaded(64 * RECORDS_PER_PAGE as u64, 16 * RECORDS_PER_PAGE);
+        let p = z.space_profile();
+        let mo = p.space_amplification();
+        assert!(mo < 1.005, "zone maps are nearly free: mo = {mo}");
+        assert!(p.aux_bytes > 0);
+    }
+
+    #[test]
+    fn smaller_partitions_cost_more_space_but_prune_better() {
+        let n = 64 * RECORDS_PER_PAGE as u64;
+        let mut fine = loaded(n, RECORDS_PER_PAGE);
+        let mut coarse = loaded(n, 32 * RECORDS_PER_PAGE);
+        assert!(fine.space_profile().aux_bytes > coarse.space_profile().aux_bytes);
+        let cost = |z: &mut ZoneMappedColumn| {
+            let before = z.tracker().snapshot();
+            z.range(1000, 1100).unwrap();
+            z.tracker().since(&before).page_reads
+        };
+        assert!(cost(&mut fine) < cost(&mut coarse));
+    }
+
+    #[test]
+    fn range_results_are_correct() {
+        let mut z = loaded(3000, RECORDS_PER_PAGE);
+        let rs = z.range(500, 520).unwrap();
+        let keys: Vec<u64> = rs.iter().map(|r| r.key).collect();
+        assert_eq!(keys, (500..=520).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn aggregate_uses_metadata_for_covered_zones() {
+        let n = 16 * RECORDS_PER_PAGE as u64;
+        let mut z = loaded(n, 4 * RECORDS_PER_PAGE);
+        let before = z.tracker().snapshot();
+        // Whole-domain aggregate: every zone fully covered, zero page reads.
+        let (count, sum) = z.aggregate(0, u64::MAX).unwrap();
+        assert_eq!(count, n);
+        assert_eq!(sum, n); // every value is 1
+        assert_eq!(z.tracker().since(&before).page_reads, 0);
+        // Partial range: only boundary zones read pages.
+        let before = z.tracker().snapshot();
+        let (count, _) = z.aggregate(100, 2100).unwrap();
+        assert_eq!(count, 2001);
+        let reads = z.tracker().since(&before).page_reads;
+        assert!(reads <= 8, "only boundary zones read, got {reads}");
+    }
+
+    #[test]
+    fn delete_keeps_zones_consistent() {
+        let mut z = loaded(3 * RECORDS_PER_PAGE as u64, RECORDS_PER_PAGE);
+        for k in (0..200u64).step_by(3) {
+            assert!(z.delete(k).unwrap());
+        }
+        // Every remaining key still reachable, deleted ones gone.
+        for k in 0..200u64 {
+            let expect = if k % 3 == 0 { None } else { Some(1) };
+            assert_eq!(z.get(k).unwrap(), expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn model_check_random_ops() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut z = ZoneMappedColumn::with_config(ZoneMapConfig {
+            partition_records: RECORDS_PER_PAGE,
+            ..Default::default()
+        });
+        let mut model = std::collections::BTreeMap::new();
+        for step in 0..3000u64 {
+            let k = rng.gen_range(0..1000u64);
+            match rng.gen_range(0..5) {
+                0 | 1 => {
+                    z.insert(k, step).unwrap();
+                    model.insert(k, step);
+                }
+                2 => {
+                    assert_eq!(z.update(k, step).unwrap(), model.contains_key(&k));
+                    model.entry(k).and_modify(|v| *v = step);
+                }
+                3 => {
+                    assert_eq!(z.delete(k).unwrap(), model.remove(&k).is_some());
+                }
+                _ => {
+                    assert_eq!(z.get(k).unwrap(), model.get(&k).copied(), "step {step}");
+                }
+            }
+            assert_eq!(z.len(), model.len());
+        }
+        let all = z.range(0, u64::MAX).unwrap();
+        let expect: Vec<Record> = model.iter().map(|(&k, &v)| Record::new(k, v)).collect();
+        assert_eq!(all, expect);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the sparse indexes.
+
+use proptest::prelude::*;
+use rum_core::{AccessMethod, Record, RECORDS_PER_PAGE};
+use rum_sparse::{ColumnImprint, ZoneMapConfig, ZoneMappedColumn};
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn zonemap_matches_model(
+        base_keys in proptest::collection::btree_set(0u16..800, 0..150),
+        ops in proptest::collection::vec(
+            (0u8..5, any::<u16>(), any::<u32>()), 1..150
+        ),
+    ) {
+        let base: Vec<Record> = base_keys
+            .iter()
+            .map(|&k| Record::new(k as u64, 7))
+            .collect();
+        let mut z = ZoneMappedColumn::with_config(ZoneMapConfig {
+            partition_records: RECORDS_PER_PAGE,
+            ..Default::default()
+        });
+        z.bulk_load(&base).unwrap();
+        let mut model: BTreeMap<u64, u64> = base.iter().map(|r| (r.key, r.value)).collect();
+        for &(op, k, v) in &ops {
+            let k = k as u64;
+            match op {
+                0 => {
+                    z.insert(k, v as u64).unwrap();
+                    model.insert(k, v as u64);
+                }
+                1 => {
+                    prop_assert_eq!(z.update(k, v as u64).unwrap(), model.contains_key(&k));
+                    model.entry(k).and_modify(|x| *x = v as u64);
+                }
+                2 => {
+                    prop_assert_eq!(z.delete(k).unwrap(), model.remove(&k).is_some());
+                }
+                3 => {
+                    prop_assert_eq!(z.get(k).unwrap(), model.get(&k).copied());
+                }
+                _ => {
+                    let hi = k + (v % 64) as u64;
+                    let got = z.range(k, hi).unwrap();
+                    let expect: Vec<Record> = model
+                        .range(k..=hi)
+                        .map(|(&k, &v)| Record::new(k, v))
+                        .collect();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(z.len(), model.len());
+        }
+        // Aggregates agree with direct computation.
+        let (count, sum) = z.aggregate(0, u64::MAX).unwrap();
+        prop_assert_eq!(count as usize, model.len());
+        let expect_sum: u64 = model.values().fold(0u64, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(sum, expect_sum);
+    }
+
+    #[test]
+    fn imprint_scans_never_lose_records(
+        keys in proptest::collection::vec(0u64..100_000, 0..800),
+        queries in proptest::collection::vec((0u64..100_000, 0u64..20_000), 1..20),
+    ) {
+        let col: Vec<Record> = keys.iter().map(|&k| Record::new(k, k)).collect();
+        let imp = ColumnImprint::build(&col);
+        for &(lo, span) in &queries {
+            let hi = lo + span;
+            let (hits, _) = imp.scan(&col, lo, hi);
+            let mut expect: Vec<Record> = col
+                .iter()
+                .copied()
+                .filter(|r| r.key >= lo && r.key <= hi)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(hits, expect);
+        }
+    }
+}

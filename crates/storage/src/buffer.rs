@@ -1,0 +1,275 @@
+//! A buffer pool: an LRU page cache with dirty write-back in front of a
+//! block device. Caching more pages is literally "paying MO at level n−1
+//! to reduce RO and UO at level n" (Figure 2 of the paper) — the pool's
+//! footprint is memory overhead, and its hit rate is the read/write traffic
+//! it absorbs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rum_core::Result;
+
+use crate::device::{BlockDevice, IoStats};
+use crate::lru::LruSet;
+use crate::page::{PageBuf, PageId};
+
+/// Buffer pool hit/miss counters.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub write_backs: AtomicU64,
+}
+
+impl PoolStats {
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+    pub fn write_backs(&self) -> u64 {
+        self.write_backs.load(Ordering::Relaxed)
+    }
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// An LRU buffer pool over any [`BlockDevice`]. Implements [`BlockDevice`]
+/// itself so access methods are oblivious to whether they run cached.
+pub struct BufferPool<D: BlockDevice> {
+    inner: D,
+    frames: HashMap<PageId, PageBuf>,
+    lru: LruSet<PageId>,
+    pool_stats: Arc<PoolStats>,
+}
+
+impl<D: BlockDevice> BufferPool<D> {
+    /// Wrap `inner` with a cache of `capacity` pages.
+    pub fn new(inner: D, capacity: usize) -> Self {
+        BufferPool {
+            inner,
+            frames: HashMap::with_capacity(capacity.min(1 << 20)),
+            lru: LruSet::new(capacity),
+            pool_stats: Arc::new(PoolStats::default()),
+        }
+    }
+
+    pub fn pool_stats(&self) -> &Arc<PoolStats> {
+        &self.pool_stats
+    }
+
+    /// Pool capacity in pages — the MO this cache spends.
+    pub fn capacity(&self) -> usize {
+        self.lru.capacity()
+    }
+
+    /// Resident page count.
+    pub fn resident(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Access to the wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    fn handle_eviction(&mut self, evicted: Option<(PageId, bool)>) -> Result<()> {
+        if let Some((victim, dirty)) = evicted {
+            let frame = self.frames.remove(&victim);
+            if dirty {
+                if let Some(buf) = frame {
+                    self.pool_stats.write_backs.fetch_add(1, Ordering::Relaxed);
+                    self.inner.write_page(victim, &buf)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for BufferPool<D> {
+    fn allocate(&mut self) -> Result<PageId> {
+        self.inner.allocate()
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        // Discard any cached copy (dirty or not — the page is going away).
+        self.lru.remove(&id);
+        self.frames.remove(&id);
+        self.inner.free(id)
+    }
+
+    fn read_page(&mut self, id: PageId) -> Result<PageBuf> {
+        if self.lru.touch(&id) {
+            self.pool_stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.frames[&id].clone());
+        }
+        self.pool_stats.misses.fetch_add(1, Ordering::Relaxed);
+        let buf = self.inner.read_page(id)?;
+        if self.lru.capacity() > 0 {
+            self.frames.insert(id, buf.clone());
+            let evicted = self.lru.insert(id, false);
+            self.handle_eviction(evicted)?;
+        }
+        Ok(buf)
+    }
+
+    fn write_page(&mut self, id: PageId, page: &PageBuf) -> Result<()> {
+        if self.lru.capacity() == 0 {
+            return self.inner.write_page(id, page);
+        }
+        self.frames.insert(id, page.clone());
+        let evicted = self.lru.insert(id, true);
+        self.lru.mark_dirty(&id);
+        self.handle_eviction(evicted)
+    }
+
+    fn live_pages(&self) -> usize {
+        self.inner.live_pages()
+    }
+
+    fn stats(&self) -> &Arc<IoStats> {
+        self.inner.stats()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        for (id, dirty) in self.lru.drain() {
+            let frame = self.frames.remove(&id);
+            if dirty {
+                if let Some(buf) = frame {
+                    self.pool_stats.write_backs.fetch_add(1, Ordering::Relaxed);
+                    self.inner.write_page(id, &buf)?;
+                }
+            }
+        }
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+
+    fn pool(cap: usize) -> BufferPool<MemDevice> {
+        BufferPool::new(MemDevice::new(), cap)
+    }
+
+    #[test]
+    fn repeated_reads_hit_cache() {
+        let mut p = pool(4);
+        let id = p.allocate().unwrap();
+        p.read_page(id).unwrap(); // miss
+        p.read_page(id).unwrap(); // hit
+        p.read_page(id).unwrap(); // hit
+        assert_eq!(p.pool_stats().hits(), 2);
+        assert_eq!(p.pool_stats().misses(), 1);
+        assert_eq!(p.inner().stats().reads(), 1, "device saw only the miss");
+    }
+
+    #[test]
+    fn dirty_pages_write_back_on_eviction() {
+        let mut p = pool(1);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let mut buf = PageBuf::zeroed();
+        buf.write_u64(0, 11);
+        p.write_page(a, &buf).unwrap();
+        assert_eq!(p.inner().stats().writes(), 0, "write buffered");
+        // Touching b evicts a, forcing the write-back.
+        p.read_page(b).unwrap();
+        assert_eq!(p.inner().stats().writes(), 1);
+        assert_eq!(p.pool_stats().write_backs(), 1);
+        // Data must survive the round trip.
+        p.sync().unwrap();
+        assert_eq!(p.read_page(a).unwrap().read_u64(0), 11);
+    }
+
+    #[test]
+    fn sync_flushes_all_dirty() {
+        let mut p = pool(8);
+        let ids: Vec<_> = (0..5).map(|_| p.allocate().unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            let mut b = PageBuf::zeroed();
+            b.write_u64(0, i as u64);
+            p.write_page(*id, &b).unwrap();
+        }
+        assert_eq!(p.inner().stats().writes(), 0);
+        p.sync().unwrap();
+        assert_eq!(p.inner().stats().writes(), 5);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(p.read_page(*id).unwrap().read_u64(0), i as u64);
+        }
+    }
+
+    #[test]
+    fn free_discards_cached_copy() {
+        let mut p = pool(4);
+        let a = p.allocate().unwrap();
+        let mut b = PageBuf::zeroed();
+        b.write_u64(0, 5);
+        p.write_page(a, &b).unwrap();
+        p.free(a).unwrap();
+        // Freed page is gone; no write-back occurred.
+        assert_eq!(p.inner().stats().writes(), 0);
+        assert!(p.read_page(a).is_err());
+    }
+
+    #[test]
+    fn zero_capacity_pool_is_a_passthrough() {
+        let mut p = pool(0);
+        let a = p.allocate().unwrap();
+        let mut b = PageBuf::zeroed();
+        b.write_u64(0, 9);
+        p.write_page(a, &b).unwrap();
+        assert_eq!(p.inner().stats().writes(), 1);
+        p.read_page(a).unwrap();
+        p.read_page(a).unwrap();
+        assert_eq!(p.inner().stats().reads(), 2);
+        assert_eq!(p.resident(), 0);
+    }
+
+    #[test]
+    fn bigger_pool_absorbs_more_reads() {
+        // The Figure 2 mechanism in miniature: same access pattern, larger
+        // cache, fewer device reads.
+        let run = |cap: usize| {
+            let mut p = pool(cap);
+            let ids: Vec<_> = (0..16).map(|_| p.allocate().unwrap()).collect();
+            for round in 0..10 {
+                for id in &ids {
+                    let _ = round;
+                    p.read_page(*id).unwrap();
+                }
+            }
+            p.inner().stats().reads()
+        };
+        let small = run(2);
+        let large = run(16);
+        assert!(large < small, "large pool {large} >= small pool {small}");
+        assert_eq!(large, 16, "fully cached after first round");
+    }
+
+    #[test]
+    fn writes_coalesce_in_pool() {
+        // Many logical writes to the same page reach the device once.
+        let mut p = pool(2);
+        let a = p.allocate().unwrap();
+        for v in 0..100 {
+            let mut b = PageBuf::zeroed();
+            b.write_u64(0, v);
+            p.write_page(a, &b).unwrap();
+        }
+        p.sync().unwrap();
+        assert_eq!(p.inner().stats().writes(), 1);
+        assert_eq!(p.read_page(a).unwrap().read_u64(0), 99);
+    }
+}

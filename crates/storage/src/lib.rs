@@ -1,0 +1,47 @@
+//! # rum-storage
+//!
+//! The simulated block-storage substrate beneath every paged access method
+//! in the RUM reproduction.
+//!
+//! The paper's cost model (Aggarwal–Vitter I/O complexity, Table 1) counts
+//! block accesses; its §4 "Memory Hierarchy" discussion replays the RUM
+//! tradeoffs at every level of a cache/memory/storage stack. This crate
+//! provides both measurement substrates:
+//!
+//! * [`page`] / [`device`] — 4 KiB pages over an instrumented in-memory
+//!   block device ([`MemDevice`](device::MemDevice)) that counts reads,
+//!   writes, allocations and frees ([`IoStats`](device::IoStats)).
+//! * [`cost`] — a device cost model
+//!   ([`DeviceProfile`](cost::DeviceProfile)) translating page accesses
+//!   into simulated nanoseconds, with HDD / SSD / DRAM presets that honor
+//!   the sequential-vs-random distinction the paper calls out ("in the
+//!   1970s ... minimize the number of random accesses on disk; ... now we
+//!   minimize the number of random accesses to main memory").
+//! * [`lru`] — an intrusive O(1) LRU used by the buffer pool and cache
+//!   levels.
+//! * [`buffer`] — a [`BufferPool`](buffer::BufferPool) with hit/miss
+//!   accounting and dirty write-back.
+//! * [`pager`] — the [`Pager`](pager::Pager): the facade access methods
+//!   allocate and touch pages through; every access is charged to a
+//!   [`CostTracker`](rum_core::CostTracker) with its
+//!   [`DataClass`](rum_core::DataClass) (base vs. auxiliary), which is what
+//!   makes RO/UO/MO measurable.
+//! * [`hierarchy`] — the multi-level
+//!   [`MemoryHierarchy`](hierarchy::MemoryHierarchy) simulator behind the
+//!   Figure 2 experiment.
+
+pub mod buffer;
+pub mod cost;
+pub mod device;
+pub mod hierarchy;
+pub mod lru;
+pub mod page;
+pub mod pager;
+
+pub use buffer::BufferPool;
+pub use cost::DeviceProfile;
+pub use device::{BlockDevice, IoStats, MemDevice};
+pub use hierarchy::{HierarchySpec, LevelSpec, MemoryHierarchy};
+pub use lru::LruSet;
+pub use page::{PageBuf, PageId};
+pub use pager::Pager;

@@ -1,0 +1,169 @@
+//! Page identity and page buffers.
+
+use bytes::{Bytes, BytesMut};
+use rum_core::PAGE_SIZE;
+
+/// Identifier of a page on a block device. Dense, starting at 0.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel for "no page" (e.g. the next-pointer of the last B-tree
+    /// leaf).
+    pub const INVALID: PageId = PageId(u64::MAX);
+
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        *self != PageId::INVALID
+    }
+
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_valid() {
+            write!(f, "pg#{}", self.0)
+        } else {
+            write!(f, "pg#∅")
+        }
+    }
+}
+
+/// An owned, fixed-size page buffer. Reads copy out of the device into one
+/// of these; writes copy it back — page-granular traffic is the point of
+/// the simulation, and copying 4 KiB keeps the API free of borrow puzzles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageBuf {
+    data: BytesMut,
+}
+
+impl PageBuf {
+    /// A zeroed page.
+    pub fn zeroed() -> Self {
+        PageBuf {
+            data: BytesMut::zeroed(PAGE_SIZE),
+        }
+    }
+
+    /// Wrap raw bytes (must be exactly one page).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), PAGE_SIZE, "page must be {PAGE_SIZE} bytes");
+        let mut data = BytesMut::with_capacity(PAGE_SIZE);
+        data.extend_from_slice(bytes);
+        PageBuf { data }
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Freeze into an immutable, cheaply-clonable byte buffer.
+    pub fn freeze(self) -> Bytes {
+        self.data.freeze()
+    }
+
+    // ---- little-endian field accessors used by node layouts -------------
+
+    #[inline]
+    pub fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.data[off..off + 2].try_into().unwrap())
+    }
+
+    #[inline]
+    pub fn write_u16(&mut self, off: usize, v: u16) {
+        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn read_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+    }
+
+    #[inline]
+    pub fn write_u32(&mut self, off: usize, v: u32) {
+        self.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn read_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+    }
+
+    #[inline]
+    pub fn write_u64(&mut self, off: usize, v: u64) {
+        self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl Default for PageBuf {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl std::ops::Deref for PageBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for PageBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_page_sized() {
+        let p = PageBuf::zeroed();
+        assert_eq!(p.as_slice().len(), PAGE_SIZE);
+        assert!(p.as_slice().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn field_accessors_roundtrip() {
+        let mut p = PageBuf::zeroed();
+        p.write_u16(0, 0xBEEF);
+        p.write_u32(2, 0xDEAD_BEEF);
+        p.write_u64(8, u64::MAX - 3);
+        assert_eq!(p.read_u16(0), 0xBEEF);
+        assert_eq!(p.read_u32(2), 0xDEAD_BEEF);
+        assert_eq!(p.read_u64(8), u64::MAX - 3);
+    }
+
+    #[test]
+    fn from_bytes_roundtrip() {
+        let mut raw = vec![0u8; PAGE_SIZE];
+        raw[17] = 42;
+        let p = PageBuf::from_bytes(&raw);
+        assert_eq!(p.as_slice()[17], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "page must be")]
+    fn from_bytes_rejects_wrong_size() {
+        let _ = PageBuf::from_bytes(&[0u8; 100]);
+    }
+
+    #[test]
+    fn invalid_page_id() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+        assert_eq!(PageId(7).to_string(), "pg#7");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the storage substrate.
+
+use proptest::prelude::*;
+use rum_core::Result;
+use rum_storage::{
+    BlockDevice, BufferPool, DeviceProfile, HierarchySpec, LevelSpec, LruSet, MemDevice,
+    MemoryHierarchy, PageBuf, PageId,
+};
+
+/// Any sequence of device ops applied to a raw device, a buffered device,
+/// and a hierarchy must read back identical data.
+fn apply_ops(ops: &[(u8, u8, u64)]) -> Result<()> {
+    let mut raw = MemDevice::new();
+    let mut buf = BufferPool::new(MemDevice::new(), 3);
+    let mut hier = MemoryHierarchy::new(HierarchySpec {
+        caches: vec![
+            LevelSpec::new("l1", 2, DeviceProfile::CACHE),
+            LevelSpec::new("l2", 5, DeviceProfile::DRAM),
+        ],
+        storage_profile: DeviceProfile::SSD,
+    });
+    let mut ids: Vec<(PageId, PageId, PageId)> = Vec::new();
+
+    for &(op, slot, val) in ops {
+        match op % 3 {
+            0 => {
+                ids.push((raw.allocate()?, buf.allocate()?, hier.allocate()?));
+            }
+            1 if !ids.is_empty() => {
+                let (a, b, c) = ids[slot as usize % ids.len()];
+                let mut page = PageBuf::zeroed();
+                page.write_u64(0, val);
+                raw.write_page(a, &page)?;
+                buf.write_page(b, &page)?;
+                hier.write_page(c, &page)?;
+            }
+            _ if !ids.is_empty() => {
+                let (a, b, c) = ids[slot as usize % ids.len()];
+                let x = raw.read_page(a)?.read_u64(0);
+                let y = buf.read_page(b)?.read_u64(0);
+                let z = hier.read_page(c)?.read_u64(0);
+                assert_eq!(x, y, "buffer pool diverged");
+                assert_eq!(x, z, "hierarchy diverged");
+            }
+            _ => {}
+        }
+    }
+    // Final full comparison after sync.
+    buf.sync()?;
+    hier.sync()?;
+    for &(a, b, c) in &ids {
+        let x = raw.read_page(a)?.read_u64(0);
+        let y = buf.read_page(b)?.read_u64(0);
+        let z = hier.read_page(c)?.read_u64(0);
+        assert_eq!(x, y);
+        assert_eq!(x, z);
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn cached_devices_never_diverge_from_raw(
+        ops in proptest::collection::vec((0u8..3, any::<u8>(), any::<u64>()), 1..200)
+    ) {
+        apply_ops(&ops).unwrap();
+    }
+
+    #[test]
+    fn lru_set_matches_naive_model(
+        capacity in 1usize..12,
+        keys in proptest::collection::vec(0u64..24, 1..300),
+    ) {
+        let mut lru = LruSet::new(capacity);
+        // Naive model: Vec ordered MRU-first.
+        let mut model: Vec<u64> = Vec::new();
+        for k in keys {
+            if let Some(pos) = model.iter().position(|&x| x == k) {
+                model.remove(pos);
+            }
+            model.insert(0, k);
+            let evicted = lru.insert(k, false);
+            if model.len() > capacity {
+                let victim = model.pop().unwrap();
+                prop_assert_eq!(evicted.map(|(v, _)| v), Some(victim));
+            } else {
+                prop_assert!(evicted.is_none());
+            }
+            prop_assert_eq!(lru.len(), model.len());
+            prop_assert_eq!(lru.keys(), model.clone());
+        }
+    }
+}
