@@ -161,7 +161,7 @@ impl CrackedColumn {
             };
             if rhi - rlo > 64 {
                 let sample = self.data[self.rng.gen_range(rlo..rhi)].key;
-                if sample != pivot && self.index.get(&sample).is_none() {
+                if sample != pivot && !self.index.contains_key(&sample) {
                     let (plo, phi) = self.piece_of(sample);
                     if plo < phi {
                         let s = self.partition(plo, phi, sample);
@@ -191,7 +191,8 @@ impl CrackedColumn {
         }
         self.data.append(&mut self.pending);
         // The fold rewrites the region.
-        self.tracker.read(DataClass::Base, self.data.len() as u64 * CELL);
+        self.tracker
+            .read(DataClass::Base, self.data.len() as u64 * CELL);
         self.tracker
             .write(DataClass::Base, (self.data.len() as u64 + moved) * CELL);
         self.index.clear();
@@ -256,8 +257,7 @@ impl AccessMethod for CrackedColumn {
         let p1 = self.crack_at(key);
         let p2 = self.crack_at(key.saturating_add(1));
         // The piece [p1, p2) now contains exactly the matches.
-        self.tracker
-            .read(DataClass::Base, (p2 - p1) as u64 * CELL);
+        self.tracker.read(DataClass::Base, (p2 - p1) as u64 * CELL);
         Ok(self.data[p1..p2].first().map(|r| r.value))
     }
 
@@ -518,7 +518,11 @@ mod tests {
                     model.entry(k).and_modify(|v| *v = step);
                 }
                 3 => {
-                    assert_eq!(c.delete(k).unwrap(), model.remove(&k).is_some(), "step {step}");
+                    assert_eq!(
+                        c.delete(k).unwrap(),
+                        model.remove(&k).is_some(),
+                        "step {step}"
+                    );
                 }
                 4 => {
                     assert_eq!(c.get(k).unwrap(), model.get(&k).copied(), "step {step}");

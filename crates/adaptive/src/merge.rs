@@ -148,8 +148,10 @@ impl AdaptiveMerger {
                 let start = run.partition_point(|r| r.key < flo);
                 let end = run.partition_point(|r| r.key <= fhi);
                 // Binary searches over the run (auxiliary probing).
-                self.tracker
-                    .read(DataClass::Aux, 2 * 8 * (run.len().max(2) as f64).log2().ceil() as u64);
+                self.tracker.read(
+                    DataClass::Aux,
+                    2 * 8 * (run.len().max(2) as f64).log2().ceil() as u64,
+                );
                 if start == end {
                     continue;
                 }
@@ -321,10 +323,10 @@ mod tests {
             let mut s = IntervalSet::new();
             s.add(u64::MAX - 5, u64::MAX);
             assert!(s.contains(u64::MAX));
-            assert_eq!(s.uncovered(u64::MAX - 10, u64::MAX), vec![(
-                u64::MAX - 10,
-                u64::MAX - 6
-            )]);
+            assert_eq!(
+                s.uncovered(u64::MAX - 10, u64::MAX),
+                vec![(u64::MAX - 10, u64::MAX - 6)]
+            );
         }
 
         #[test]
@@ -343,8 +345,7 @@ mod tests {
                 // Verify covers/uncovered against the model.
                 let qlo = rng.gen_range(0..990u64);
                 let qhi = qlo + rng.gen_range(0..10u64);
-                let expect_cover =
-                    (qlo..=qhi).all(|i| model[i as usize]);
+                let expect_cover = (qlo..=qhi).all(|i| model[i as usize]);
                 assert_eq!(s.covers(qlo, qhi), expect_cover);
                 let unc = s.uncovered(qlo, qhi);
                 for i in qlo..=qhi {

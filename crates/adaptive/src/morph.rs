@@ -73,7 +73,10 @@ impl MorphingIndex {
     }
 
     pub fn with_config(config: MorphConfig) -> Self {
-        assert!(config.to_log_at < config.to_sorted_at, "hysteresis inverted");
+        assert!(
+            config.to_log_at < config.to_sorted_at,
+            "hysteresis inverted"
+        );
         assert!(config.window >= 8, "window too small to observe a mix");
         MorphingIndex {
             data: Vec::new(),
@@ -139,9 +142,7 @@ impl MorphingIndex {
             }
             Shape::Log => {
                 let pos = self.data.iter().rposition(|r| r.key == key);
-                let examined = pos
-                    .map(|p| self.data.len() - p)
-                    .unwrap_or(self.data.len());
+                let examined = pos.map(|p| self.data.len() - p).unwrap_or(self.data.len());
                 self.tracker.read(DataClass::Base, examined as u64 * CELL);
                 pos
             }
@@ -226,8 +227,7 @@ impl AccessMethod for MorphingIndex {
                     // Shifting the tail is the sorted shape's write debt.
                     let shifted = (self.data.len() - i) as u64;
                     self.data.insert(i, Record::new(key, value));
-                    self.tracker
-                        .write(DataClass::Base, (shifted + 1) * CELL);
+                    self.tracker.write(DataClass::Base, (shifted + 1) * CELL);
                 }
             },
         }
@@ -396,7 +396,7 @@ mod tests {
             m.tracker().since(&before).total_write_bytes()
         };
         let sorted_cost = insert_cost(&mut m, 1); // front insert: max shift
-        // Write burst flips it back to the log.
+                                                  // Write burst flips it back to the log.
         for i in 0..64u64 {
             m.insert(100_000 + i, 0).unwrap();
         }

@@ -48,7 +48,10 @@ fn run(method: &mut dyn AccessMethod, base: &[Record], ops: &[AOp]) {
                 );
             }
             AOp::Get(k) => {
-                assert_eq!(method.get(k as u64).unwrap(), model.get(&(k as u64)).copied());
+                assert_eq!(
+                    method.get(k as u64).unwrap(),
+                    model.get(&(k as u64)).copied()
+                );
             }
             AOp::Range(lo, span) => {
                 let (lo, hi) = (lo as u64, lo as u64 + span as u64);

@@ -20,12 +20,16 @@ fn bench_fig3(c: &mut Criterion) {
         });
         t.bulk_load(&data).unwrap();
         let mut i = 0u64;
-        g.bench_with_input(BenchmarkId::from_parameter(node_size), &node_size, |b, _| {
-            b.iter(|| {
-                i = (i + 7919) % n as u64;
-                std::hint::black_box(t.get(2 * i).unwrap())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(node_size),
+            &node_size,
+            |b, _| {
+                b.iter(|| {
+                    i = (i + 7919) % n as u64;
+                    std::hint::black_box(t.get(2 * i).unwrap())
+                })
+            },
+        );
     }
     g.finish();
 

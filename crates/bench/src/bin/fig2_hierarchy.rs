@@ -9,7 +9,11 @@ use rum_storage::DeviceProfile;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (n, ops) = if quick { (1 << 14, 20_000) } else { (1 << 17, 100_000) };
+    let (n, ops) = if quick {
+        (1 << 14, 20_000)
+    } else {
+        (1 << 17, 100_000)
+    };
     let sweep: &[usize] = &[16, 64, 256, 1024, 4096, 16384];
     let rows = fig2::run(n, ops, sweep, DeviceProfile::SSD);
     println!("{}", fig2::render(&rows, n, ops));

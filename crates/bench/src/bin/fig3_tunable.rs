@@ -7,7 +7,11 @@ use rum_bench::fig3;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (n, ops) = if quick { (1 << 13, 1 << 11) } else { (1 << 16, 1 << 13) };
+    let (n, ops) = if quick {
+        (1 << 13, 1 << 11)
+    } else {
+        (1 << 16, 1 << 13)
+    };
     let points = fig3::run(n, ops);
     println!("{}", fig3::render(&points));
     println!("=== Shape checks (each knob moves the method as the paper predicts) ===");

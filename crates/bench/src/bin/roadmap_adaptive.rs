@@ -132,8 +132,14 @@ fn section_lsm_retune() {
     let (w_fixed, r_fixed) = run(false);
     let (w_adapt, r_adapt) = run(true);
     println!("{:>24} {:>14} {:>14}", "", "ingest pg-wr", "read pg-rd");
-    println!("{:>24} {:>14} {:>14}", "fixed (tiered, 4b/key)", w_fixed, r_fixed);
-    println!("{:>24} {:>14} {:>14}", "retuned at the shift", w_adapt, r_adapt);
+    println!(
+        "{:>24} {:>14} {:>14}",
+        "fixed (tiered, 4b/key)", w_fixed, r_fixed
+    );
+    println!(
+        "{:>24} {:>14} {:>14}",
+        "retuned at the shift", w_adapt, r_adapt
+    );
     println!(
         "  -> identical ingest cost; re-tuning cuts the read phase by {:.1}x.\n",
         r_fixed as f64 / r_adapt.max(1) as f64
@@ -186,7 +192,9 @@ fn section_quotient_index() {
         qf.size_bytes() as f64 / qf.len().max(1) as f64,
         qf.load()
     );
-    println!("  -> deletes kept the filter accurate — the updatable-filter property §5 asks for.\n");
+    println!(
+        "  -> deletes kept the filter accurate — the updatable-filter property §5 asks for.\n"
+    );
 }
 
 fn main() {

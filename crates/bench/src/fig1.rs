@@ -16,8 +16,26 @@ pub struct Placement {
     pub point: RumPoint,
 }
 
-/// Run the Figure 1 experiment.
+/// Run the Figure 1 experiment on one worker per core.
 pub fn run(initial_records: usize, operations: usize, seed: u64) -> Vec<Placement> {
+    run_with_threads(
+        initial_records,
+        operations,
+        seed,
+        rum::core::runner::default_threads(),
+    )
+}
+
+/// Run the Figure 1 experiment with an explicit worker count (`1` =
+/// serial). The measurements are identical whatever the count — only the
+/// wall-clock changes — because every method carries its own tracker and
+/// the merged reports are sorted by name.
+pub fn run_with_threads(
+    initial_records: usize,
+    operations: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<Placement> {
     let spec = WorkloadSpec {
         initial_records,
         operations,
@@ -26,14 +44,14 @@ pub fn run(initial_records: usize, operations: usize, seed: u64) -> Vec<Placemen
         ..Default::default()
     };
     let workload = Workload::generate(&spec);
-    let mut out = Vec::new();
-    for mut method in rum::standard_suite() {
-        let report = run_workload(method.as_mut(), &workload)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()));
-        let point = rum_point(report.method.clone(), report.ro, report.uo, report.mo);
-        out.push(Placement { report, point });
-    }
-    out
+    run_suite_with_threads(&mut rum::standard_suite(), &workload, threads)
+        .unwrap_or_else(|e| panic!("suite run failed: {e}"))
+        .into_iter()
+        .map(|report| {
+            let point = rum_point(report.method.clone(), report.ro, report.uo, report.mo);
+            Placement { report, point }
+        })
+        .collect()
 }
 
 /// Render the experiment: per-method table, ASCII triangle, CSV.
@@ -45,6 +63,17 @@ pub fn render(placements: &[Placement]) -> String {
         out.push_str(&p.report.table_row());
         out.push('\n');
     }
+    let load_ms: f64 = placements
+        .iter()
+        .map(|p| p.report.load_wall_ns as f64 / 1e6)
+        .sum();
+    let ops_ms: f64 = placements
+        .iter()
+        .map(|p| p.report.wall_ns as f64 / 1e6)
+        .sum();
+    out.push_str(&format!(
+        "\ncpu time across methods: bulk load {load_ms:.1} ms, operation phase {ops_ms:.1} ms\n"
+    ));
     out.push('\n');
     let points: Vec<RumPoint> = placements.iter().map(|p| p.point.clone()).collect();
     out.push_str(&render_ascii(&points, 72, 24));

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rum_btree::{BTree, BTreeConfig};
+use rum_core::runner::{default_threads, parallel_map};
 use rum_core::workload::{value_for, Zipfian};
 use rum_core::AccessMethod;
 use rum_storage::{BlockDevice, DeviceProfile, HierarchySpec, MemoryHierarchy};
@@ -34,6 +35,10 @@ pub struct Fig2Row {
 
 /// Run the sweep: `n` records, a zipfian read/update workload of
 /// `operations` ops, buffer capacity swept over `buffer_sweep`.
+///
+/// Each buffer configuration builds its own hierarchy and tree, so the
+/// sweep entries are independent and run one per worker; `parallel_map`
+/// keeps the rows in sweep order.
 pub fn run(
     n: usize,
     operations: usize,
@@ -41,41 +46,38 @@ pub fn run(
     storage: DeviceProfile,
 ) -> Vec<Fig2Row> {
     let records = crate::dataset(n);
-    buffer_sweep
-        .iter()
-        .map(|&buffer_pages| {
-            let hierarchy =
-                MemoryHierarchy::new(HierarchySpec::buffer_and_storage(buffer_pages, storage));
-            let mut tree = BTree::with_device(hierarchy, BTreeConfig::default());
-            tree.bulk_load(&records).expect("load");
-            // Quiesce load traffic so the measurement is the workload's.
-            tree.device_mut().sync().expect("sync");
-            for lvl in 0..tree.device().levels() {
-                tree.device().level_stats(lvl).reset();
-            }
+    parallel_map(buffer_sweep.to_vec(), default_threads(), |buffer_pages| {
+        let hierarchy =
+            MemoryHierarchy::new(HierarchySpec::buffer_and_storage(buffer_pages, storage));
+        let mut tree = BTree::with_device(hierarchy, BTreeConfig::default());
+        tree.bulk_load(&records).expect("load");
+        // Quiesce load traffic so the measurement is the workload's.
+        tree.device_mut().sync().expect("sync");
+        for lvl in 0..tree.device().levels() {
+            tree.device().level_stats(lvl).reset();
+        }
 
-            let zipf = Zipfian::new(n, 0.9);
-            let mut rng = StdRng::seed_from_u64(0x0F16_0002);
-            for i in 0..operations {
-                let key = 2 * zipf.sample(&mut rng) as u64;
-                if i % 10 == 0 {
-                    tree.update(key, value_for(key, i as u64)).expect("update");
-                } else {
-                    tree.get(key).expect("get");
-                }
+        let zipf = Zipfian::new(n, 0.9);
+        let mut rng = StdRng::seed_from_u64(0x0F16_0002);
+        for i in 0..operations {
+            let key = 2 * zipf.sample(&mut rng) as u64;
+            if i % 10 == 0 {
+                tree.update(key, value_for(key, i as u64)).expect("update");
+            } else {
+                tree.get(key).expect("get");
             }
-            tree.device_mut().sync().expect("sync");
+        }
+        tree.device_mut().sync().expect("sync");
 
-            let h = tree.device();
-            Fig2Row {
-                buffer_pages,
-                buffer_reads: h.level_stats(0).reads(),
-                storage_reads: h.level_stats(1).reads(),
-                storage_writes: h.level_stats(1).writes(),
-                sim_ms: h.total_sim_ns() as f64 / 1e6,
-            }
-        })
-        .collect()
+        let h = tree.device();
+        Fig2Row {
+            buffer_pages,
+            buffer_reads: h.level_stats(0).reads(),
+            storage_reads: h.level_stats(1).reads(),
+            storage_writes: h.level_stats(1).writes(),
+            sim_ms: h.total_sim_ns() as f64 / 1e6,
+        }
+    })
 }
 
 /// Render the sweep as a table.

@@ -16,13 +16,13 @@
 //!   structures ... at the expense of additional space").
 
 use rum_btree::{BTree, BTreeConfig, PartitionedBTree, PbtConfig, SplitPolicy};
-use rum_core::runner::run_workload;
+use rum_core::runner::{default_threads, parallel_map, run_workload};
 use rum_core::triangle::{render_ascii, rum_point, RumPoint};
 use rum_core::workload::{OpMix, Workload, WorkloadSpec};
 use rum_core::AccessMethod;
+use rum_core::RECORDS_PER_PAGE;
 use rum_lsm::{CompactionPolicy, LsmConfig, LsmTree};
 use rum_sparse::{ZoneMapConfig, ZoneMappedColumn};
-use rum_core::RECORDS_PER_PAGE;
 
 /// One configuration's position in the RUM space.
 #[derive(Clone, Debug)]
@@ -44,8 +44,7 @@ fn measure(
     method: &mut dyn AccessMethod,
     workload: &Workload,
 ) -> SweepPoint {
-    let report = run_workload(method, workload)
-        .unwrap_or_else(|e| panic!("{sweep}={param}: {e}"));
+    let report = run_workload(method, workload).unwrap_or_else(|e| panic!("{sweep}={param}: {e}"));
     let (x, y) = rum_core::triangle::project(report.ro, report.uo, report.mo);
     SweepPoint {
         sweep: sweep.to_string(),
@@ -106,18 +105,21 @@ pub fn btree_fill(n: usize, ops: usize) -> Vec<SweepPoint> {
 
 /// Sweep the LSM size ratio `T` under both compaction policies.
 ///
-/// Uses an update-heavy mix so the hierarchy actually forms (flushes,
-/// overlapping runs): sequential fresh inserts alone produce disjoint
-/// runs whose fence pointers hide the read-cost differences between the
-/// policies.
+/// Uses a mixed read/update workload so the hierarchy actually forms
+/// (flushes, overlapping runs) *and* enough point lookups probe it that
+/// the per-level read cost shows up in RO: sequential fresh inserts alone
+/// produce disjoint runs whose fence pointers hide the read-cost
+/// differences between the policies. The small memtable keeps the merge
+/// hierarchy several levels deep even at test scale, where a 256-record
+/// buffer would absorb most of the write stream and flatten the sweep.
 pub fn lsm_ratio(n: usize, ops: usize) -> Vec<SweepPoint> {
     let w = Workload::generate(&WorkloadSpec {
         initial_records: n,
-        operations: 2 * ops,
+        operations: 4 * ops,
         mix: OpMix {
-            get: 0.25,
-            insert: 0.2,
-            update: 0.5,
+            get: 0.4,
+            insert: 0.15,
+            update: 0.4,
             delete: 0.05,
             range: 0.0,
         },
@@ -130,7 +132,7 @@ pub fn lsm_ratio(n: usize, ops: usize) -> Vec<SweepPoint> {
             let mut lsm = LsmTree::with_config(LsmConfig {
                 size_ratio: t,
                 policy,
-                memtable_records: 256,
+                memtable_records: 64,
                 ..Default::default()
             });
             let tag = match policy {
@@ -153,7 +155,12 @@ pub fn zonemap_partition(n: usize, ops: usize) -> Vec<SweepPoint> {
                 partition_records: pages * RECORDS_PER_PAGE,
                 ..Default::default()
             });
-            measure("zonemap-P", format!("{}r", pages * RECORDS_PER_PAGE), &mut z, &w)
+            measure(
+                "zonemap-P",
+                format!("{}r", pages * RECORDS_PER_PAGE),
+                &mut z,
+                &w,
+            )
         })
         .collect()
 }
@@ -212,16 +219,22 @@ pub fn pbt_partitions(n: usize, ops: usize) -> Vec<SweepPoint> {
         .collect()
 }
 
-/// Run every sweep.
+/// Run every sweep, one per worker; the concatenated output keeps the
+/// fixed sweep order regardless of which finishes first.
 pub fn run(n: usize, ops: usize) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
-    out.extend(btree_node_size(n, ops));
-    out.extend(btree_fill(n, ops));
-    out.extend(lsm_ratio(n, ops));
-    out.extend(zonemap_partition(n, ops));
-    out.extend(bloom_bits(n, ops));
-    out.extend(pbt_partitions(n, ops));
-    out
+    type Sweep = fn(usize, usize) -> Vec<SweepPoint>;
+    let sweeps: Vec<Sweep> = vec![
+        btree_node_size,
+        btree_fill,
+        lsm_ratio,
+        zonemap_partition,
+        bloom_bits,
+        pbt_partitions,
+    ];
+    parallel_map(sweeps, default_threads(), |sweep| sweep(n, ops))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Render all sweeps: tables plus one combined triangle.
@@ -271,9 +284,8 @@ pub fn render(points: &[SweepPoint]) -> String {
 /// Figure 3's claims, checked: every knob really moves the method in the
 /// expected direction.
 pub fn shape_checks(points: &[SweepPoint]) -> Vec<(String, bool)> {
-    let of = |sweep: &str| -> Vec<&SweepPoint> {
-        points.iter().filter(|p| p.sweep == sweep).collect()
-    };
+    let of =
+        |sweep: &str| -> Vec<&SweepPoint> { points.iter().filter(|p| p.sweep == sweep).collect() };
     let mut checks = Vec::new();
 
     // Larger LSM T (levelling): fewer levels → RO falls, merge batches
@@ -297,8 +309,14 @@ pub fn shape_checks(points: &[SweepPoint]) -> Vec<(String, bool)> {
     let lvl4 = all_lsm.iter().find(|p| p.param == "T=4 lvl");
     let tier4 = all_lsm.iter().find(|p| p.param == "T=4 tier");
     if let (Some(l), Some(t)) = (lvl4, tier4) {
-        checks.push(("tiering (T=4) has lower UO than levelling".into(), t.uo < l.uo));
-        checks.push(("tiering (T=4) has higher RO than levelling".into(), t.ro > l.ro));
+        checks.push((
+            "tiering (T=4) has lower UO than levelling".into(),
+            t.uo < l.uo,
+        ));
+        checks.push((
+            "tiering (T=4) has higher RO than levelling".into(),
+            t.ro > l.ro,
+        ));
     }
     // Finer zonemap partitions: better reads, more metadata.
     let zm = of("zonemap-P");

@@ -5,6 +5,7 @@
 //! * **Prop 3** `min(MO) = 1.0 ⇒ RO = N ∧ UO = 1.0` (dense array)
 
 use rum_columns::{AppendLog, DenseArray, DirectAddressArray};
+use rum_core::runner::{default_threads, parallel_map};
 use rum_core::{AccessMethod, Record, RECORD_SIZE};
 
 /// One measured data point of a proposition experiment.
@@ -21,38 +22,35 @@ pub struct PropPoint {
 /// a fixed population, measuring RO of hits, UO of relocations, and MO.
 pub fn proposition1(universe_sweep: &[u64]) -> Vec<PropPoint> {
     let population = 256u64;
-    universe_sweep
-        .iter()
-        .map(|&universe| {
-            let mut a = DirectAddressArray::new();
-            // `population` keys spread over [0, universe).
-            let step = (universe / population).max(1);
-            for i in 0..population {
-                a.insert(i * step, i).unwrap();
-            }
-            // RO: read every key once.
-            a.tracker().reset();
-            for i in 0..population {
-                a.get(i * step).unwrap();
-            }
-            let ro = a.tracker().snapshot().read_amplification();
-            // UO: relocate each key by one slot (the paper's "change a
-            // value": empty old block + write new block). Highest first so
-            // the destination slot is always free even at step = 1.
-            a.tracker().reset();
-            for i in (0..population).rev() {
-                a.relocate(i * step, i * step + 1).unwrap();
-            }
-            let uo = a.tracker().snapshot().write_amplification();
-            let mo = a.space_profile().space_amplification();
-            PropPoint {
-                x: universe,
-                ro,
-                uo,
-                mo,
-            }
-        })
-        .collect()
+    parallel_map(universe_sweep.to_vec(), default_threads(), |universe| {
+        let mut a = DirectAddressArray::new();
+        // `population` keys spread over [0, universe).
+        let step = (universe / population).max(1);
+        for i in 0..population {
+            a.insert(i * step, i).unwrap();
+        }
+        // RO: read every key once.
+        a.tracker().reset();
+        for i in 0..population {
+            a.get(i * step).unwrap();
+        }
+        let ro = a.tracker().snapshot().read_amplification();
+        // UO: relocate each key by one slot (the paper's "change a
+        // value": empty old block + write new block). Highest first so
+        // the destination slot is always free even at step = 1.
+        a.tracker().reset();
+        for i in (0..population).rev() {
+            a.relocate(i * step, i * step + 1).unwrap();
+        }
+        let uo = a.tracker().snapshot().write_amplification();
+        let mo = a.space_profile().space_amplification();
+        PropPoint {
+            x: universe,
+            ro,
+            uo,
+            mo,
+        }
+    })
 }
 
 /// Proposition 2: the append log. Fixed live population; each round
@@ -60,70 +58,64 @@ pub fn proposition1(universe_sweep: &[u64]) -> Vec<PropPoint> {
 /// climb without bound.
 pub fn proposition2(rounds_sweep: &[u64]) -> Vec<PropPoint> {
     let population = 2048u64;
-    rounds_sweep
-        .iter()
-        .map(|&rounds| {
-            let mut log = AppendLog::new();
-            let initial: Vec<Record> = (0..population).map(|k| Record::new(k, 0)).collect();
-            log.bulk_load(&initial).unwrap();
-            log.tracker().reset();
-            // Update every key except the probe keys, so their newest (and
-            // only) version stays buried at the head of the log.
-            for r in 1..=rounds {
-                for k in 16..population {
-                    log.update(k, r).unwrap();
-                }
+    parallel_map(rounds_sweep.to_vec(), default_threads(), |rounds| {
+        let mut log = AppendLog::new();
+        let initial: Vec<Record> = (0..population).map(|k| Record::new(k, 0)).collect();
+        log.bulk_load(&initial).unwrap();
+        log.tracker().reset();
+        // Update every key except the probe keys, so their newest (and
+        // only) version stays buried at the head of the log.
+        for r in 1..=rounds {
+            for k in 16..population {
+                log.update(k, r).unwrap();
             }
-            let uo = log.tracker().snapshot().write_amplification();
-            // RO: point-read the never-updated keys — the backward scan
-            // must walk the entire accumulated history to reach them.
-            log.tracker().reset();
-            for k in 0..16 {
-                log.get(k).unwrap();
-            }
-            let ro = log.tracker().snapshot().read_amplification();
-            let mo = log.space_profile().space_amplification();
-            PropPoint {
-                x: rounds,
-                ro,
-                uo,
-                mo,
-            }
-        })
-        .collect()
+        }
+        let uo = log.tracker().snapshot().write_amplification();
+        // RO: point-read the never-updated keys — the backward scan
+        // must walk the entire accumulated history to reach them.
+        log.tracker().reset();
+        for k in 0..16 {
+            log.get(k).unwrap();
+        }
+        let ro = log.tracker().snapshot().read_amplification();
+        let mo = log.space_profile().space_amplification();
+        PropPoint {
+            x: rounds,
+            ro,
+            uo,
+            mo,
+        }
+    })
 }
 
 /// Proposition 3: the dense array. Sweeps N; RO grows linearly, UO and MO
 /// pin to 1.0.
 pub fn proposition3(n_sweep: &[u64]) -> Vec<PropPoint> {
-    n_sweep
-        .iter()
-        .map(|&n| {
-            let mut a = DenseArray::new();
-            let recs: Vec<Record> = (0..n).map(|k| Record::new(k, 0)).collect();
-            a.bulk_load(&recs).unwrap();
-            // RO: in-domain misses force full scans (worst case = N).
-            a.tracker().reset();
-            for probe in 0..16u64 {
-                a.get(n + probe + 1).unwrap();
-            }
-            let scanned_per_probe =
-                a.tracker().snapshot().total_read_bytes() as f64 / 16.0 / RECORD_SIZE as f64;
-            // UO: in-place updates.
-            a.tracker().reset();
-            for k in (0..n).step_by((n / 64).max(1) as usize) {
-                a.update(k, 1).unwrap();
-            }
-            let uo = a.tracker().snapshot().write_amplification();
-            let mo = a.space_profile().space_amplification();
-            PropPoint {
-                x: n,
-                ro: scanned_per_probe, // in units of records = "RO = N"
-                uo,
-                mo,
-            }
-        })
-        .collect()
+    parallel_map(n_sweep.to_vec(), default_threads(), |n| {
+        let mut a = DenseArray::new();
+        let recs: Vec<Record> = (0..n).map(|k| Record::new(k, 0)).collect();
+        a.bulk_load(&recs).unwrap();
+        // RO: in-domain misses force full scans (worst case = N).
+        a.tracker().reset();
+        for probe in 0..16u64 {
+            a.get(n + probe + 1).unwrap();
+        }
+        let scanned_per_probe =
+            a.tracker().snapshot().total_read_bytes() as f64 / 16.0 / RECORD_SIZE as f64;
+        // UO: in-place updates.
+        a.tracker().reset();
+        for k in (0..n).step_by((n / 64).max(1) as usize) {
+            a.update(k, 1).unwrap();
+        }
+        let uo = a.tracker().snapshot().write_amplification();
+        let mo = a.space_profile().space_amplification();
+        PropPoint {
+            x: n,
+            ro: scanned_per_probe, // in units of records = "RO = N"
+            uo,
+            mo,
+        }
+    })
 }
 
 /// Render the full §2 report.
@@ -186,12 +178,15 @@ pub fn verdicts() -> Vec<(String, bool)> {
         p1[1].mo > 100.0 * p1[0].mo,
     ));
     let p2 = proposition2(&[0, 16]);
+    v.push(("P2: UO stays ~1.0 under appends".into(), p2[1].uo < 1.01));
     v.push((
-        "P2: UO stays ~1.0 under appends".into(),
-        p2[1].uo < 1.01,
+        "P2: RO grows with history".into(),
+        p2[1].ro > 4.0 * p2[0].ro.max(1.0),
     ));
-    v.push(("P2: RO grows with history".into(), p2[1].ro > 4.0 * p2[0].ro.max(1.0)));
-    v.push(("P2: MO grows with history".into(), p2[1].mo > 4.0 * p2[0].mo));
+    v.push((
+        "P2: MO grows with history".into(),
+        p2[1].mo > 4.0 * p2[0].mo,
+    ));
     let p3 = proposition3(&[1 << 10, 1 << 16]);
     v.push((
         "P3: MO is exactly 1.0".into(),

@@ -15,6 +15,7 @@
 
 use rum_btree::BTree;
 use rum_columns::{SortedColumn, UnsortedColumn};
+use rum_core::runner::{default_threads, parallel_map};
 use rum_core::{AccessMethod, RECORDS_PER_PAGE};
 use rum_hash::StaticHash;
 use rum_lsm::{LsmConfig, LsmTree};
@@ -66,10 +67,16 @@ pub struct Table1Row {
     pub update_pages: f64,
 }
 
+/// A boxed constructor for one Table 1 method.
+pub type MethodFactory = Box<dyn Fn() -> Box<dyn AccessMethod>>;
+
 /// The six methods of Table 1 as boxed factories.
-pub fn methods(p: Table1Params) -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn AccessMethod>>)> {
+pub fn methods(p: Table1Params) -> Vec<(&'static str, MethodFactory)> {
     vec![
-        ("B+-Tree", Box::new(|| Box::new(BTree::new()) as Box<dyn AccessMethod>)),
+        (
+            "B+-Tree",
+            Box::new(|| Box::new(BTree::new()) as Box<dyn AccessMethod>),
+        ),
         (
             "Perfect Hash",
             Box::new(|| Box::new(StaticHash::new()) as Box<dyn AccessMethod>),
@@ -167,18 +174,26 @@ pub fn measure(
     }
 }
 
-/// Run the full sweep.
+/// Run the full sweep. Every (N, method) cell is independent, so cells
+/// run one per worker; `parallel_map` keeps rows in sweep order. The
+/// method factories are rebuilt inside each worker because boxed
+/// closures are not `Send` — rebuilding them is free.
 pub fn run(ns: &[usize], params: Table1Params) -> Vec<Table1Row> {
-    let mut rows = Vec::new();
+    let method_count = methods(params).len();
+    let mut cells = Vec::with_capacity(ns.len() * method_count);
     for &n in ns {
-        for (name, factory) in methods(params) {
-            eprintln!("[table1] measuring {name} @ N={n} ...");
-            let t0 = std::time::Instant::now();
-            rows.push(measure(name, factory.as_ref(), n, &params));
-            eprintln!("[table1]   done in {:.1}s", t0.elapsed().as_secs_f32());
+        for index in 0..method_count {
+            cells.push((n, index));
         }
     }
-    rows
+    parallel_map(cells, default_threads(), |(n, index)| {
+        let (name, factory) = methods(params).swap_remove(index);
+        eprintln!("[table1] measuring {name} @ N={n} ...");
+        let t0 = std::time::Instant::now();
+        let row = measure(name, factory.as_ref(), n, &params);
+        eprintln!("[table1]   done in {:.1}s", t0.elapsed().as_secs_f32());
+        row
+    })
 }
 
 /// Analytic expectation (in page accesses) for a method/op, straight from
@@ -273,7 +288,9 @@ pub fn shape_checks(rows: &[Table1Row]) -> Vec<(String, bool)> {
             .find(|r| r.method == method && r.n == n)
             .expect("row")
     };
-    let growth = |method: &str, f: fn(&Table1Row) -> f64| f(get(method, large)) / f(get(method, small)).max(1e-9);
+    let growth = |method: &str, f: fn(&Table1Row) -> f64| {
+        f(get(method, large)) / f(get(method, small)).max(1e-9)
+    };
     let n_ratio = large as f64 / small as f64;
 
     let mut checks = Vec::new();
@@ -295,9 +312,15 @@ pub fn shape_checks(rows: &[Table1Row]) -> Vec<(String, bool)> {
     ));
     checks.push((
         "Hash Indexes offer the fastest point queries".into(),
-        ["B+-Tree", "ZoneMaps", "Levelled LSM", "Sorted column", "Unsorted column"]
-            .iter()
-            .all(|m| get("Perfect Hash", large).point_pages <= get(m, large).point_pages),
+        [
+            "B+-Tree",
+            "ZoneMaps",
+            "Levelled LSM",
+            "Sorted column",
+            "Unsorted column",
+        ]
+        .iter()
+        .all(|m| get("Perfect Hash", large).point_pages <= get(m, large).point_pages),
     ));
     checks.push((
         "B+-Trees offer the fastest range queries (vs hash/zonemap/columns)".into(),
@@ -307,10 +330,8 @@ pub fn shape_checks(rows: &[Table1Row]) -> Vec<(String, bool)> {
     ));
     checks.push((
         "\"LSM can support efficient range queries\": within 1.5x of the B+-tree".into(),
-        get("Levelled LSM", large).range_pages
-            <= get("B+-Tree", large).range_pages * 1.5
-            && get("Levelled LSM", large).range_pages * 1.5
-                >= get("B+-Tree", large).range_pages,
+        get("Levelled LSM", large).range_pages <= get("B+-Tree", large).range_pages * 1.5
+            && get("Levelled LSM", large).range_pages * 1.5 >= get("B+-Tree", large).range_pages,
     ));
     checks.push((
         // Small epsilon: at test-scale N the LSM's single bloom-free run
@@ -346,14 +367,11 @@ pub fn shape_checks(rows: &[Table1Row]) -> Vec<(String, bool)> {
         "sorted/unsorted columns carry no auxiliary space (MO ≈ 1)".into(),
         get("Sorted column", large).mo < 1.05 && get("Unsorted column", large).mo < 1.05,
     ));
-    checks.push((
-        "there is no single winner across all columns".into(),
-        {
-            // The point-query winner must lose a different column.
-            let point_winner = "Perfect Hash";
-            get(point_winner, large).range_pages > get("B+-Tree", large).range_pages
-                && get(point_winner, large).mo > get("Sorted column", large).mo
-        },
-    ));
+    checks.push(("there is no single winner across all columns".into(), {
+        // The point-query winner must lose a different column.
+        let point_winner = "Perfect Hash";
+        get(point_winner, large).range_pages > get("B+-Tree", large).range_pages
+            && get(point_winner, large).mo > get("Sorted column", large).mo
+    }));
     checks
 }

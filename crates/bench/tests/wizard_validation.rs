@@ -6,7 +6,6 @@
 use rum_bench::{dataset, insert_cost, point_query_cost, range_query_cost, table1};
 use rum_core::wizard::{recommend, Constraints, Environment, Family};
 use rum_core::workload::OpMix;
-use rum_core::AccessMethod;
 
 fn measured_cost(family: Family, mix: &OpMix, n: usize) -> f64 {
     // Map wizard families onto the Table 1 implementations.
@@ -84,7 +83,10 @@ fn wizard_point_cost_predictions_order_correctly() {
     // For pure point reads the wizard's per-family point costs must rank
     // hash < btree < sorted < unsorted, and the measurements must agree.
     let n = 1 << 14;
-    let env = Environment { n, ..Default::default() };
+    let env = Environment {
+        n,
+        ..Default::default()
+    };
     let analytic: Vec<(Family, f64)> = [
         Family::HashIndex,
         Family::BTree,

@@ -9,11 +9,11 @@
 
 use std::sync::Arc;
 
+use rum_columns::packed::PackedFile;
 use rum_core::{
     check_bulk_input, AccessMethod, CostTracker, DataClass, Key, Record, Result, SpaceProfile,
     Value,
 };
-use rum_columns::packed::PackedFile;
 use rum_storage::{MemDevice, Pager};
 
 use crate::updatable::UpdateFriendlyBitmap;
@@ -141,8 +141,7 @@ impl AccessMethod for BitmapIndex {
 
     fn space_profile(&self) -> SpaceProfile {
         let bitmap_bytes: u64 = self.bitmaps.iter().map(|b| b.size_bytes()).sum();
-        let physical =
-            self.pager.physical_bytes() + self.rows.directory_bytes() + bitmap_bytes;
+        let physical = self.pager.physical_bytes() + self.rows.directory_bytes() + bitmap_bytes;
         SpaceProfile::from_physical(self.live, physical)
     }
 
@@ -382,6 +381,9 @@ mod tests {
         assert!(cost(&mut fine) <= cost(&mut coarse));
         let fine_aux = fine.space_profile().aux_bytes;
         let coarse_aux = coarse.space_profile().aux_bytes;
-        assert!(fine_aux >= coarse_aux, "fine {fine_aux} vs coarse {coarse_aux}");
+        assert!(
+            fine_aux >= coarse_aux,
+            "fine {fine_aux} vs coarse {coarse_aux}"
+        );
     }
 }

@@ -159,7 +159,12 @@ impl<D: BlockDevice> BTree<D> {
     fn descend(
         &mut self,
         key: Key,
-    ) -> Result<(Vec<(NodeId, Vec<Key>, Vec<NodeId>, usize)>, NodeId, Vec<Record>, NodeId)> {
+    ) -> Result<(
+        Vec<(NodeId, Vec<Key>, Vec<NodeId>, usize)>,
+        NodeId,
+        Vec<Record>,
+        NodeId,
+    )> {
         let mut path = Vec::with_capacity(self.height);
         let mut cur = self.root;
         let mut depth = 0usize;
@@ -223,8 +228,7 @@ impl<D: BlockDevice> BTree<D> {
         match records.binary_search_by_key(&key, |r| r.key) {
             Ok(i) => {
                 records[i].value = value;
-                self
-                    .store
+                self.store
                     .write(leaf_id, DataClass::Base, &Node::Leaf { records, next })
             }
             Err(i) => {
@@ -232,9 +236,11 @@ impl<D: BlockDevice> BTree<D> {
                 self.len += 1;
                 let inserted_at_end = i == records.len() - 1;
                 if records.len() <= self.leaf_cap() {
-                    return self
-                        .store
-                        .write(leaf_id, DataClass::Base, &Node::Leaf { records, next });
+                    return self.store.write(
+                        leaf_id,
+                        DataClass::Base,
+                        &Node::Leaf { records, next },
+                    );
                 }
                 // Leaf split.
                 let (left, right_id, sep, _right) =
@@ -254,9 +260,11 @@ impl<D: BlockDevice> BTree<D> {
                     keys.insert(slot, sep);
                     children.insert(slot + 1, new_child);
                     if keys.len() <= self.internal_cap() {
-                        return self
-                            .store
-                            .write(node_id, DataClass::Aux, &Node::Internal { keys, children });
+                        return self.store.write(
+                            node_id,
+                            DataClass::Aux,
+                            &Node::Internal { keys, children },
+                        );
                     }
                     // Internal split.
                     let mid = keys.len() / 2;
@@ -274,8 +282,11 @@ impl<D: BlockDevice> BTree<D> {
                             children: right_children,
                         },
                     )?;
-                    self.store
-                        .write(node_id, DataClass::Aux, &Node::Internal { keys, children })?;
+                    self.store.write(
+                        node_id,
+                        DataClass::Aux,
+                        &Node::Internal { keys, children },
+                    )?;
                     sep = promoted;
                     new_child = right_internal;
                 }
@@ -405,8 +416,8 @@ impl<D: BlockDevice> AccessMethod for BTree<D> {
         }
 
         // Pack leaves at the fill factor, left to right.
-        let per_leaf = ((self.leaf_cap() as f64 * self.config.fill_factor) as usize)
-            .clamp(1, self.leaf_cap());
+        let per_leaf =
+            ((self.leaf_cap() as f64 * self.config.fill_factor) as usize).clamp(1, self.leaf_cap());
         let chunks: Vec<&[Record]> = records.chunks(per_leaf).collect();
         let leaf_ids: Vec<NodeId> = (0..chunks.len())
             .map(|_| self.store.allocate())
@@ -594,8 +605,7 @@ mod tests {
         half.bulk_load(&recs).unwrap();
         assert!(half.node_count() > full.node_count());
         assert!(
-            half.space_profile().space_amplification()
-                > full.space_profile().space_amplification()
+            half.space_profile().space_amplification() > full.space_profile().space_amplification()
         );
         // Both still answer queries.
         assert_eq!(half.get(1000).unwrap(), Some(1000));

@@ -43,8 +43,7 @@ impl DenseArray {
             Some(i) => i + 1,
             None => self.data.len(),
         };
-        self.tracker
-            .read(DataClass::Base, examined as u64 * CELL);
+        self.tracker.read(DataClass::Base, examined as u64 * CELL);
         pos
     }
 }
@@ -175,7 +174,11 @@ mod tests {
             a.tracker().snapshot().total_read_bytes()
         };
         assert_eq!(cost_of_miss(1000), 1000 * CELL);
-        assert_eq!(cost_of_miss(4000), 4000 * CELL, "RO = N: linear in the relation");
+        assert_eq!(
+            cost_of_miss(4000),
+            4000 * CELL,
+            "RO = N: linear in the relation"
+        );
     }
 
     #[test]

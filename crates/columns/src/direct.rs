@@ -280,10 +280,7 @@ mod tests {
         assert!(a.delete(3).unwrap());
         assert!(!a.delete(3).unwrap());
         let rs = a.range(0, 20).unwrap();
-        assert_eq!(
-            rs,
-            vec![Record::new(7, 777), Record::new(11, 1100)]
-        );
+        assert_eq!(rs, vec![Record::new(7, 777), Record::new(11, 1100)]);
         assert_eq!(a.len(), 2);
     }
 

@@ -137,8 +137,7 @@ impl AccessMethod for AppendLog {
     }
 
     fn space_profile(&self) -> SpaceProfile {
-        let physical =
-            self.pager.physical_bytes() + (self.tail.len() * RECORD_SIZE) as u64;
+        let physical = self.pager.physical_bytes() + (self.tail.len() * RECORD_SIZE) as u64;
         SpaceProfile::from_physical(self.live.len(), physical)
     }
 
@@ -297,7 +296,10 @@ mod tests {
             }
         }
         let mo2 = log.space_profile().space_amplification();
-        assert!(mo2 > 3.0 * mo1, "MO must grow with dead versions: {mo1} -> {mo2}");
+        assert!(
+            mo2 > 3.0 * mo1,
+            "MO must grow with dead versions: {mo1} -> {mo2}"
+        );
         assert_eq!(log.len(), 256, "live count unchanged");
     }
 

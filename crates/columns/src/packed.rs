@@ -291,7 +291,10 @@ mod tests {
     use rum_storage::MemDevice;
 
     fn setup() -> (PackedFile, Pager<MemDevice>) {
-        (PackedFile::new(), Pager::new(MemDevice::new(), CostTracker::new()))
+        (
+            PackedFile::new(),
+            Pager::new(MemDevice::new(), CostTracker::new()),
+        )
     }
 
     fn rec(k: u64) -> Record {

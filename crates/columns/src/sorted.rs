@@ -123,7 +123,8 @@ impl AccessMethod for SortedColumn {
     fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
         match self.search(key)? {
             Ok(idx) => {
-                self.file.set(&mut self.pager, idx, Record::new(key, value))?;
+                self.file
+                    .set(&mut self.pager, idx, Record::new(key, value))?;
                 Ok(true)
             }
             Err(_) => Ok(false),
@@ -219,11 +220,17 @@ mod tests {
         let before = c.tracker().snapshot();
         c.insert(1, 0).unwrap(); // lands near the front: nearly all pages shift
         let writes = c.tracker().since(&before).page_writes;
-        assert!(writes >= 16, "front insert must rewrite ~all pages, got {writes}");
+        assert!(
+            writes >= 16,
+            "front insert must rewrite ~all pages, got {writes}"
+        );
         let before = c.tracker().snapshot();
         c.insert(u64::MAX, 0).unwrap(); // lands at the back: 1 page write
         let writes = c.tracker().since(&before).page_writes;
-        assert!(writes <= 2, "back insert should touch the tail, got {writes}");
+        assert!(
+            writes <= 2,
+            "back insert should touch the tail, got {writes}"
+        );
     }
 
     #[test]

@@ -117,7 +117,8 @@ impl AccessMethod for UnsortedColumn {
     fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
         match self.find(key)? {
             Some(idx) => {
-                self.file.set(&mut self.pager, idx, Record::new(key, value))?;
+                self.file
+                    .set(&mut self.pager, idx, Record::new(key, value))?;
                 Ok(true)
             }
             None => Ok(false),

@@ -83,7 +83,14 @@ impl SpaceProfile {
 ///   ascending key and replaces the current contents.
 ///
 /// [`RumError::Unsupported`]: crate::error::RumError::Unsupported
-pub trait AccessMethod {
+///
+/// Methods are `Send` so the measurement harness can fan a suite out
+/// across worker threads ([`run_suite_parallel`]); each instance is still
+/// driven from one thread at a time (`&mut self`), so no `Sync` bound is
+/// needed.
+///
+/// [`run_suite_parallel`]: crate::runner::run_suite_parallel
+pub trait AccessMethod: Send {
     /// Human-readable name used in reports and plots.
     fn name(&self) -> String;
 
@@ -141,8 +148,7 @@ pub trait AccessMethod {
     /// Inclusive range scan; charges the result size as logical reads.
     fn range(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
         let rs = self.range_impl(lo, hi)?;
-        self.tracker()
-            .logical_read((rs.len() * RECORD_SIZE) as u64);
+        self.tracker().logical_read((rs.len() * RECORD_SIZE) as u64);
         Ok(rs)
     }
 

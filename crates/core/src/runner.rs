@@ -1,10 +1,14 @@
 //! Drives an [`AccessMethod`] through a [`Workload`] and measures the RUM
 //! overheads, separating read-path and write-path traffic so RO and UO are
 //! attributed to the operations that incur them.
+//!
+//! Suites of methods are measured with [`run_suite`] (serial) or
+//! [`run_suite_parallel`] (one worker thread per core, one method at a time
+//! per worker). Both return reports sorted by method name, so their output
+//! is identical apart from wall-clock timings.
 
+use std::sync::Mutex;
 use std::time::Instant;
-
-use serde::Serialize;
 
 use crate::access::AccessMethod;
 use crate::error::Result;
@@ -12,7 +16,7 @@ use crate::tracker::CostSnapshot;
 use crate::workload::{Op, Workload};
 
 /// The measured RUM profile of one method over one workload.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RumReport {
     pub method: String,
     /// Live records at the end of the run.
@@ -38,6 +42,8 @@ pub struct RumReport {
     pub pages_per_write_op: f64,
     /// Wall-clock time of the operation phase, nanoseconds.
     pub wall_ns: u128,
+    /// Wall-clock time of the initial bulk load, nanoseconds.
+    pub load_wall_ns: u128,
     /// Simulated device time of the operation phase, nanoseconds.
     pub sim_ns: u64,
 }
@@ -66,16 +72,22 @@ impl RumReport {
     }
 
     /// CSV row (method, ro, uo, mo, pages/read, pages/write, sim_ns).
+    ///
+    /// Amplifications are clamped to finite values like
+    /// [`table_row`](Self::table_row): a method that serves a workload with
+    /// zero logical bytes in one class (e.g. a read-only run measured for
+    /// UO) reports infinite amplification, and `inf`/`NaN` literals break
+    /// most CSV consumers.
     pub fn csv_row(&self) -> String {
         format!(
             "{},{},{},{},{},{},{},{}",
             self.method,
             self.n_final,
-            self.ro,
-            self.uo,
-            self.mo,
-            self.pages_per_read_op,
-            self.pages_per_write_op,
+            finite(self.ro),
+            finite(self.uo),
+            finite(self.mo),
+            finite(self.pages_per_read_op),
+            finite(self.pages_per_write_op),
             self.sim_ns
         )
     }
@@ -95,7 +107,9 @@ pub fn run_workload(method: &mut dyn AccessMethod, workload: &Workload) -> Resul
     let tracker = std::sync::Arc::clone(method.tracker());
     tracker.reset();
 
+    let load_started = Instant::now();
     method.bulk_load(&workload.initial)?;
+    let load_wall_ns = load_started.elapsed().as_nanos();
     let load_costs = tracker.snapshot();
 
     let mut read_costs = CostSnapshot::default();
@@ -104,8 +118,28 @@ pub fn run_workload(method: &mut dyn AccessMethod, workload: &Workload) -> Resul
     let mut write_ops = 0u64;
 
     let started = Instant::now();
+    // Costs are attributed per operation *class*, not per operation: the
+    // tracker is snapshotted (9 atomic loads) only when the stream switches
+    // between the read class (get/range) and the write class
+    // (insert/update/delete), plus once at the end. Between switches every
+    // byte the tracker accrues comes from operations of the running class,
+    // so the batched sums equal the per-op sums exactly while the hot loop
+    // sheds the per-op snapshot.
     let mut mark = tracker.snapshot();
+    let mut batch_is_read = None;
     for op in &workload.ops {
+        let is_read = op.is_read();
+        if batch_is_read != Some(is_read) {
+            let now = tracker.snapshot();
+            let d = now.delta(&mark);
+            mark = now;
+            match batch_is_read {
+                Some(true) => read_costs = read_costs.add(&d),
+                Some(false) => write_costs = write_costs.add(&d),
+                None => {} // nothing ran since the load snapshot
+            }
+            batch_is_read = Some(is_read);
+        }
         match *op {
             Op::Get(k) => {
                 method.get(k)?;
@@ -123,16 +157,17 @@ pub fn run_workload(method: &mut dyn AccessMethod, workload: &Workload) -> Resul
                 method.delete(k)?;
             }
         }
-        let now = tracker.snapshot();
-        let d = now.delta(&mark);
-        mark = now;
-        if op.is_read() {
+        if is_read {
             read_ops += 1;
-            read_costs = read_costs.add(&d);
         } else {
             write_ops += 1;
-            write_costs = write_costs.add(&d);
         }
+    }
+    let tail = tracker.snapshot().delta(&mark);
+    match batch_is_read {
+        Some(true) => read_costs = read_costs.add(&tail),
+        Some(false) => write_costs = write_costs.add(&tail),
+        None => {}
     }
     let wall_ns = started.elapsed().as_nanos();
 
@@ -153,8 +188,105 @@ pub fn run_workload(method: &mut dyn AccessMethod, workload: &Workload) -> Resul
         write_costs,
         load_costs,
         wall_ns,
+        load_wall_ns,
         sim_ns,
     })
+}
+
+/// Run every method in `methods` over the same workload, serially, and
+/// return the reports **sorted by method name**. [`run_suite_parallel`]
+/// produces identical output (apart from wall-clock fields), so the two are
+/// interchangeable wherever determinism matters.
+pub fn run_suite(
+    methods: &mut [Box<dyn AccessMethod>],
+    workload: &Workload,
+) -> Result<Vec<RumReport>> {
+    let mut reports = Vec::with_capacity(methods.len());
+    for method in methods.iter_mut() {
+        reports.push(run_workload(method.as_mut(), workload)?);
+    }
+    sort_reports(&mut reports);
+    Ok(reports)
+}
+
+/// [`run_suite`] fanned across one worker thread per available core.
+///
+/// Each worker owns one method at a time (methods are `Send` and carry
+/// their own private [`CostTracker`](crate::tracker::CostTracker), so no
+/// cost traffic crosses methods) and the merged reports are sorted by
+/// method name, making the output deterministic and byte-identical to the
+/// serial run apart from wall-clock timings.
+pub fn run_suite_parallel(
+    methods: &mut [Box<dyn AccessMethod>],
+    workload: &Workload,
+) -> Result<Vec<RumReport>> {
+    run_suite_with_threads(methods, workload, default_threads())
+}
+
+/// [`run_suite_parallel`] with an explicit worker count. `threads <= 1`
+/// degenerates to the serial path.
+pub fn run_suite_with_threads(
+    methods: &mut [Box<dyn AccessMethod>],
+    workload: &Workload,
+    threads: usize,
+) -> Result<Vec<RumReport>> {
+    let results = parallel_map(methods.iter_mut().collect(), threads, |method| {
+        run_workload(method.as_mut(), workload)
+    });
+    let mut reports = results.into_iter().collect::<Result<Vec<_>>>()?;
+    sort_reports(&mut reports);
+    Ok(reports)
+}
+
+/// Number of workers [`run_suite_parallel`] uses: one per available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Stable name order; insertion order breaks ties, so duplicate names keep
+/// a deterministic relative order too.
+fn sort_reports(reports: &mut [RumReport]) {
+    reports.sort_by(|a, b| a.method.cmp(&b.method));
+}
+
+/// Apply `f` to every item on a pool of `threads` scoped workers and return
+/// the results **in input order**. Items are pulled from a shared queue, so
+/// uneven per-item costs balance across workers; `threads <= 1` (or a
+/// single item) runs inline without spawning. A panicking `f` propagates to
+/// the caller when the scope joins.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().unwrap().pop();
+                let Some((index, item)) = next else { break };
+                *slots[index].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every queue slot is filled before the scope joins")
+        })
+        .collect()
 }
 
 fn per_op(total: u64, ops: u64) -> f64 {
@@ -168,10 +300,7 @@ fn per_op(total: u64, ops: u64) -> f64 {
 /// Measure the average cost of a single operation kind, for Table 1 style
 /// experiments: runs `ops` against an already-loaded method and returns the
 /// per-operation page accesses and cost delta.
-pub fn measure_ops(
-    method: &mut dyn AccessMethod,
-    ops: &[Op],
-) -> Result<(f64, CostSnapshot)> {
+pub fn measure_ops(method: &mut dyn AccessMethod, ops: &[Op]) -> Result<(f64, CostSnapshot)> {
     let tracker = std::sync::Arc::clone(method.tracker());
     let before = tracker.snapshot();
     for op in ops {
@@ -209,13 +338,19 @@ mod tests {
     /// Minimal sorted-vec method that charges 2 bytes of physical traffic
     /// per byte of logical traffic, so amplification is exactly 2.
     struct Amp2 {
+        name: String,
         data: std::collections::BTreeMap<Key, Value>,
         tracker: Arc<CostTracker>,
     }
 
     impl Amp2 {
         fn new() -> Self {
+            Amp2::named("amp2")
+        }
+
+        fn named(name: &str) -> Self {
             Amp2 {
+                name: name.to_string(),
                 data: Default::default(),
                 tracker: CostTracker::new(),
             }
@@ -224,7 +359,7 @@ mod tests {
 
     impl AccessMethod for Amp2 {
         fn name(&self) -> String {
-            "amp2".into()
+            self.name.clone()
         }
         fn len(&self) -> usize {
             self.data.len()
@@ -330,5 +465,73 @@ mod tests {
         assert!(report.table_row().contains("amp2"));
         assert!(RumReport::table_header().contains("MO"));
         assert_eq!(report.csv_row().split(',').count(), 8);
+    }
+
+    #[test]
+    fn csv_row_clamps_non_finite_values() {
+        let report = RumReport {
+            method: "degenerate".into(),
+            n_final: 0,
+            read_ops: 0,
+            write_ops: 0,
+            read_costs: CostSnapshot::default(),
+            write_costs: CostSnapshot::default(),
+            load_costs: CostSnapshot::default(),
+            ro: f64::INFINITY,
+            uo: f64::NAN,
+            mo: f64::NEG_INFINITY,
+            pages_per_read_op: f64::INFINITY,
+            pages_per_write_op: 0.0,
+            wall_ns: 0,
+            load_wall_ns: 0,
+            sim_ns: 0,
+        };
+        let row = report.csv_row();
+        assert_eq!(row.split(',').count(), 8);
+        assert!(
+            !row.contains("inf") && !row.contains("NaN"),
+            "csv_row leaked a non-finite literal: {row}"
+        );
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+        assert_eq!(parallel_map(items.clone(), 1, |x| x * x), expected);
+        assert_eq!(parallel_map(items, 8, |x| x * x), expected);
+        assert_eq!(parallel_map(Vec::<usize>::new(), 4, |x: usize| x), vec![]);
+    }
+
+    #[test]
+    fn parallel_suite_matches_serial_suite() {
+        let w = Workload::generate(&WorkloadSpec {
+            initial_records: 400,
+            operations: 800,
+            mix: OpMix::BALANCED,
+            seed: 11,
+            ..Default::default()
+        });
+        let make_suite = || -> Vec<Box<dyn AccessMethod>> {
+            vec![
+                Box::new(Amp2::named("zeta")),
+                Box::new(Amp2::named("alpha")),
+                Box::new(Amp2::named("mid")),
+            ]
+        };
+        let serial = run_suite(&mut make_suite(), &w).unwrap();
+        let parallel = run_suite_with_threads(&mut make_suite(), &w, 3).unwrap();
+        let names: Vec<&str> = serial.iter().map(|r| r.method.as_str()).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"], "reports sorted by name");
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.method, p.method);
+            assert_eq!(s.n_final, p.n_final);
+            assert_eq!((s.read_ops, s.write_ops), (p.read_ops, p.write_ops));
+            assert_eq!(s.read_costs, p.read_costs);
+            assert_eq!(s.write_costs, p.write_costs);
+            assert_eq!(s.load_costs, p.load_costs);
+            assert_eq!((s.ro, s.uo, s.mo), (p.ro, p.uo, p.mo));
+        }
     }
 }

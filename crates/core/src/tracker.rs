@@ -23,8 +23,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// Whether a physical access touched base data or auxiliary data.
 ///
 /// The distinction mirrors the paper's §2: the overheads "quantify the
@@ -145,9 +143,7 @@ impl CostTracker {
 }
 
 /// A frozen view of a [`CostTracker`], or a delta between two views.
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CostSnapshot {
     pub base_read_bytes: u64,
     pub aux_read_bytes: u64,

@@ -11,10 +11,8 @@
 //! unbalanced methods (e.g. a full scan with RO = N) inside the triangle
 //! instead of squashed onto an edge.
 
-use serde::Serialize;
-
 /// A point in the RUM triangle, with the measurements that produced it.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RumPoint {
     pub label: String,
     pub ro: f64,
@@ -81,14 +79,14 @@ pub fn render_ascii(points: &[RumPoint], width: usize, height: usize) -> String 
     let mut grid = vec![vec![' '; width]; height];
 
     // Triangle outline: apex top-center, base along the bottom row.
-    for row in 0..height {
+    for (row, cells) in grid.iter_mut().enumerate() {
         let t = row as f64 / (height - 1) as f64; // 0 at apex, 1 at base
         let half = t * (width - 1) as f64 / 2.0;
         let cx = (width - 1) as f64 / 2.0;
         let left = (cx - half).round() as usize;
         let right = (cx + half).round() as usize;
-        grid[row][left.min(width - 1)] = '.';
-        grid[row][right.min(width - 1)] = '.';
+        cells[left.min(width - 1)] = '.';
+        cells[right.min(width - 1)] = '.';
     }
     for c in grid[height - 1].iter_mut() {
         *c = '.';

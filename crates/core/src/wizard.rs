@@ -8,8 +8,6 @@
 //! workload's operation mix, and honors hard caps the user places on any of
 //! the three RUM overheads.
 
-use serde::Serialize;
-
 use crate::types::RECORDS_PER_PAGE;
 use crate::workload::OpMix;
 
@@ -49,7 +47,7 @@ pub struct Constraints {
 
 /// The access-method families the wizard knows (those of Table 1 plus the
 /// adaptive middle ground).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Family {
     BTree,
     HashIndex,
@@ -86,7 +84,7 @@ impl Family {
 
 /// Analytic per-operation page-access costs (Table 1), plus nominal RUM
 /// amplification estimates used against [`Constraints`].
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FamilyProfile {
     pub family: Family,
     pub point_cost: f64,
@@ -120,8 +118,8 @@ pub fn profile(family: Family, env: &Environment) -> FamilyProfile {
             range_cost: log_b(n, b) + m / b,
             insert_cost: log_b(n, b) + 1.0,
             read_amp: log_b(n, b).max(1.0) * b / 1.0, // page-granular probes
-            write_amp: b, // rewrite a leaf page per record update
-            space_amp: 1.0 + 1.0 / (b - 1.0) + 0.07, // internal nodes + slack
+            write_amp: b,                             // rewrite a leaf page per record update
+            space_amp: 1.0 + 1.0 / (b - 1.0) + 0.07,  // internal nodes + slack
             supports_ranges: true,
         },
         Family::HashIndex => FamilyProfile {
@@ -193,7 +191,7 @@ pub fn profile(family: Family, env: &Environment) -> FamilyProfile {
 }
 
 /// One ranked recommendation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Recommendation {
     pub family: Family,
     /// Expected page accesses per operation under the mix (lower = better).
@@ -287,7 +285,10 @@ mod tests {
             &Constraints::default(),
         );
         assert!(
-            matches!(recs[0].family, Family::UnsortedColumn | Family::LsmTree | Family::HashIndex),
+            matches!(
+                recs[0].family,
+                Family::UnsortedColumn | Family::LsmTree | Family::HashIndex
+            ),
             "got {:?}",
             recs[0].family
         );
@@ -348,8 +349,20 @@ mod tests {
         );
         assert!(large.point_cost > small.point_cost);
         // Hash stays O(1).
-        let hs = profile(Family::HashIndex, &Environment { n: 1 << 12, ..Default::default() });
-        let hl = profile(Family::HashIndex, &Environment { n: 1 << 24, ..Default::default() });
+        let hs = profile(
+            Family::HashIndex,
+            &Environment {
+                n: 1 << 12,
+                ..Default::default()
+            },
+        );
+        let hl = profile(
+            Family::HashIndex,
+            &Environment {
+                n: 1 << 24,
+                ..Default::default()
+            },
+        );
         assert_eq!(hs.point_cost, hl.point_cost);
     }
 

@@ -224,18 +224,36 @@ impl Zipfian {
 
     /// Re-target the generator at a different domain size, reusing the skew.
     pub fn resized(&self, n: usize) -> Zipfian {
+        let mut z = self.clone();
+        z.resize_to(n);
+        z
+    }
+
+    /// Re-target the generator at a different domain size in place.
+    ///
+    /// `zetan` is maintained incrementally — `ζ(n±1) = ζ(n) ± (n±1)^-θ` —
+    /// so tracking a live population that drifts by one key per operation
+    /// costs O(|Δn|) instead of the O(n) full harmonic recomputation.
+    pub fn resize_to(&mut self, n: usize) {
+        assert!(n > 0, "zipfian over empty domain");
         if n == self.n {
-            self.clone()
-        } else {
-            let zetan = Self::zeta(n, self.theta);
-            let eta = (1.0 - (2.0 / n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / zetan);
-            Zipfian {
-                n,
-                zetan,
-                eta,
-                ..*self
-            }
+            return;
         }
+        if n.abs_diff(self.n) < n / 2 {
+            while self.n < n {
+                self.n += 1;
+                self.zetan += 1.0 / (self.n as f64).powf(self.theta);
+            }
+            while self.n > n {
+                self.zetan -= 1.0 / (self.n as f64).powf(self.theta);
+                self.n -= 1;
+            }
+        } else {
+            self.n = n;
+            self.zetan = Self::zeta(n, self.theta);
+        }
+        self.eta =
+            (1.0 - (2.0 / n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / self.zetan);
     }
 }
 
@@ -294,7 +312,7 @@ impl Workload {
             KeySpace::Sparse { universe_factor } => universe_factor.max(1),
         };
 
-        let zipf = match spec.dist {
+        let mut zipf = match spec.dist {
             KeyDist::Zipf { theta } => Some(Zipfian::new(spec.initial_records.max(2), theta)),
             KeyDist::Uniform => None,
         };
@@ -310,6 +328,18 @@ impl Workload {
 
         let mut ops = Vec::with_capacity(spec.operations);
         let mut version: u64 = 1;
+        // INSERT, also the fallback whenever an arm needs a live key and
+        // none exists: every slot of the stream must emit an operation, or
+        // the generated workload silently falls short of `spec.operations`
+        // (an empty-start write-heavy spec could lose most of its slots).
+        let fresh_insert =
+            |live: &mut LiveSet, next_fresh: &mut Key, version: &mut u64, rng: &mut StdRng| {
+                let k = *next_fresh;
+                *next_fresh += fresh_step.max(1) + (rng.gen::<u64>() % fresh_step.max(1)) / 2;
+                live.insert(k);
+                *version += 1;
+                Op::Insert(k, value_for(k, *version))
+            };
         // Average key spacing, used to size range spans for a target result
         // count. Recomputed cheaply from the live population bounds.
         for _ in 0..spec.operations {
@@ -326,39 +356,37 @@ impl Workload {
                     }
                     Op::Get(k)
                 } else {
-                    Op::Get(pick_live(&live, &zipf, &mut rng))
+                    Op::Get(pick_live(&live, &mut zipf, &mut rng))
                 }
             } else if dice < thresholds[1] {
-                // INSERT
-                let k = next_fresh;
-                next_fresh += fresh_step.max(1) + (rng.gen::<u64>() % fresh_step.max(1)) / 2;
-                live.insert(k);
-                version += 1;
-                Op::Insert(k, value_for(k, version))
+                fresh_insert(&mut live, &mut next_fresh, &mut version, &mut rng)
             } else if dice < thresholds[2] {
                 // UPDATE
                 if live.len() == 0 {
-                    continue;
+                    fresh_insert(&mut live, &mut next_fresh, &mut version, &mut rng)
+                } else {
+                    let k = pick_live(&live, &mut zipf, &mut rng);
+                    version += 1;
+                    Op::Update(k, value_for(k, version))
                 }
-                let k = pick_live(&live, &zipf, &mut rng);
-                version += 1;
-                Op::Update(k, value_for(k, version))
             } else if dice < thresholds[3] {
                 // DELETE
                 if live.len() == 0 {
-                    continue;
+                    fresh_insert(&mut live, &mut next_fresh, &mut version, &mut rng)
+                } else {
+                    let k = pick_live(&live, &mut zipf, &mut rng);
+                    live.remove(k);
+                    Op::Delete(k)
                 }
-                let k = pick_live(&live, &zipf, &mut rng);
-                live.remove(k);
-                Op::Delete(k)
             } else {
                 // RANGE: span sized so the expected result count ≈ range_len.
                 if live.len() == 0 {
-                    continue;
+                    fresh_insert(&mut live, &mut next_fresh, &mut version, &mut rng)
+                } else {
+                    let lo = pick_live(&live, &mut zipf, &mut rng);
+                    let span = expected_span(spec, next_fresh, live.len());
+                    Op::Range(lo, lo.saturating_add(span))
                 }
-                let lo = pick_live(&live, &zipf, &mut rng);
-                let span = expected_span(spec, next_fresh, live.len());
-                Op::Range(lo, lo.saturating_add(span))
             };
             ops.push(op);
         }
@@ -371,11 +399,20 @@ impl Workload {
     }
 }
 
-fn pick_live(live: &LiveSet, zipf: &Option<Zipfian>, rng: &mut StdRng) -> Key {
+/// Pick a live key: uniformly, or by zipfian rank over the *current* live
+/// population. The zipfian generator is resized (incrementally — see
+/// [`Zipfian::resize_to`]) to track the population, rather than sampling
+/// over the initial size and wrapping with `% n`: the wrap aliased distinct
+/// ranks onto the same slot (distorting the skew whenever the population
+/// shrank) and could never reach keys inserted after generation started.
+fn pick_live(live: &LiveSet, zipf: &mut Option<Zipfian>, rng: &mut StdRng) -> Key {
     let n = live.len();
     debug_assert!(n > 0);
     let rank = match zipf {
-        Some(z) => z.sample(rng) % n,
+        Some(z) => {
+            z.resize_to(n);
+            z.sample(rng)
+        }
         None => rng.gen_range(0..n),
     };
     live.at(rank)
@@ -480,8 +517,7 @@ mod tests {
             mix: OpMix::BALANCED,
             ..spec()
         });
-        let mut live: std::collections::HashSet<Key> =
-            w.initial.iter().map(|r| r.key).collect();
+        let mut live: std::collections::HashSet<Key> = w.initial.iter().map(|r| r.key).collect();
         for op in &w.ops {
             match *op {
                 Op::Insert(k, _) => {
@@ -540,6 +576,99 @@ mod tests {
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 10);
         }
+    }
+
+    #[test]
+    fn zipfian_incremental_resize_matches_fresh_construction() {
+        // Drift a generator up and down one step at a time; its state must
+        // track what a from-scratch construction would compute.
+        let theta = 0.99;
+        let mut z = Zipfian::new(500, theta);
+        for n in (2..=600).chain((2..600).rev()).chain([250, 500]) {
+            z.resize_to(n);
+            let fresh = Zipfian::new(n, theta);
+            assert!(
+                (z.zetan - fresh.zetan).abs() < 1e-9 * fresh.zetan,
+                "n={n}: drifted zetan {} vs fresh {}",
+                z.zetan,
+                fresh.zetan
+            );
+            // At n=2 eta is 0/0 (never consulted: sampling short-circuits
+            // to ranks 0/1 first), so only finite etas are comparable.
+            if fresh.eta.is_finite() {
+                assert!((z.eta - fresh.eta).abs() < 1e-6, "n={n}: eta drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn op_count_always_matches_spec() {
+        // Every slot of the stream must emit an operation — including from
+        // an empty initial population, where update/delete/range arms have
+        // no live key and must fall back to an insert.
+        let drain = OpMix {
+            get: 0.0,
+            insert: 0.0,
+            update: 0.3,
+            delete: 0.6,
+            range: 0.1,
+        };
+        for mix in [
+            OpMix::BALANCED,
+            OpMix::READ_HEAVY,
+            OpMix::WRITE_HEAVY,
+            OpMix::SCAN_HEAVY,
+            drain,
+        ] {
+            for initial in [0usize, 1, 1000] {
+                for dist in [KeyDist::Uniform, KeyDist::Zipf { theta: 0.99 }] {
+                    let w = Workload::generate(&WorkloadSpec {
+                        initial_records: initial,
+                        operations: 3000,
+                        mix,
+                        dist,
+                        seed: 9,
+                        ..Default::default()
+                    });
+                    assert_eq!(
+                        w.ops.len(),
+                        3000,
+                        "short stream for mix {mix:?}, initial {initial}, dist {dist:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_stream_reaches_keys_inserted_mid_stream() {
+        // The zipfian picker must cover the *current* live population; the
+        // old `sample() % n` over the initial size could never rank past
+        // the initial population, so keys inserted mid-stream were
+        // unreachable by gets and updates.
+        let w = Workload::generate(&WorkloadSpec {
+            initial_records: 50,
+            operations: 5000,
+            mix: OpMix {
+                get: 0.5,
+                insert: 0.3,
+                update: 0.2,
+                delete: 0.0,
+                range: 0.0,
+            },
+            dist: KeyDist::Zipf { theta: 0.9 },
+            seed: 21,
+            ..Default::default()
+        });
+        let max_initial = w.initial.last().unwrap().key;
+        let touched_new = w
+            .ops
+            .iter()
+            .any(|op| matches!(*op, Op::Get(k) | Op::Update(k, _) if k > max_initial));
+        assert!(
+            touched_new,
+            "no get/update ever reached a mid-stream insert"
+        );
     }
 
     #[test]

@@ -200,7 +200,6 @@ impl ExtendibleHash {
     }
 }
 
-
 impl Default for ExtendibleHash {
     fn default() -> Self {
         Self::new()

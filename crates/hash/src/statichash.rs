@@ -131,10 +131,9 @@ impl StaticHash {
             match rec.key {
                 k if k == key => return Ok((slot, Some(rec))),
                 EMPTY => return Ok((first_free.unwrap_or(slot), None)),
-                GRAVE
-                    if first_free.is_none() => {
-                        first_free = Some(slot);
-                    }
+                GRAVE if first_free.is_none() => {
+                    first_free = Some(slot);
+                }
                 _ => {}
             }
             slot = (slot + 1) & (self.slots - 1);

@@ -44,7 +44,10 @@ fn run(method: &mut dyn AccessMethod, ops: &[HOp]) {
                 );
             }
             HOp::Get(k) => {
-                assert_eq!(method.get(k as u64).unwrap(), model.get(&(k as u64)).copied());
+                assert_eq!(
+                    method.get(k as u64).unwrap(),
+                    model.get(&(k as u64)).copied()
+                );
             }
         }
         assert_eq!(method.len(), model.len());

@@ -4,8 +4,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use rum_core::{
-    check_bulk_input, AccessMethod, CostTracker, Key, Record, Result, RumError, SpaceProfile,
-    Value,
+    check_bulk_input, AccessMethod, CostTracker, Key, Record, Result, RumError, SpaceProfile, Value,
 };
 use rum_storage::{MemDevice, Pager};
 
@@ -481,7 +480,10 @@ mod tests {
             for k in 0..20_000u64 {
                 t.insert(k, k).unwrap();
             }
-            (t.stats().compactions, t.tracker().snapshot().total_write_bytes())
+            (
+                t.stats().compactions,
+                t.tracker().snapshot().total_write_bytes(),
+            )
         };
         let (lc, lw) = run(CompactionPolicy::Levelling);
         let (tc, tw) = run(CompactionPolicy::Tiering);

@@ -37,11 +37,17 @@ fn run(config: LsmConfig, ops: &[LsmOp]) {
                 model.insert(k as u64, v as u64);
             }
             LsmOp::Update(k, v) => {
-                assert_eq!(t.update(k as u64, v as u64).unwrap(), model.contains_key(&(k as u64)));
+                assert_eq!(
+                    t.update(k as u64, v as u64).unwrap(),
+                    model.contains_key(&(k as u64))
+                );
                 model.entry(k as u64).and_modify(|x| *x = v as u64);
             }
             LsmOp::Delete(k) => {
-                assert_eq!(t.delete(k as u64).unwrap(), model.remove(&(k as u64)).is_some());
+                assert_eq!(
+                    t.delete(k as u64).unwrap(),
+                    model.remove(&(k as u64)).is_some()
+                );
             }
             LsmOp::Get(k) => {
                 assert_eq!(t.get(k as u64).unwrap(), model.get(&(k as u64)).copied());

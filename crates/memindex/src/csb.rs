@@ -25,7 +25,6 @@ const NODE_KEYS: usize = 14;
 /// Records per leaf.
 const LEAF_RECORDS: usize = 14;
 
-
 #[derive(Clone, Debug)]
 enum CsbNode {
     Internal {
@@ -135,7 +134,13 @@ impl CsbTree {
     /// Recursive insert below `groups[group].nodes[idx]`; on split returns
     /// the separator and the new right node (the CALLER rebuilds its child
     /// group to place it).
-    fn insert_at(&mut self, group: usize, idx: usize, key: Key, value: Value) -> Option<(Key, CsbNode)> {
+    fn insert_at(
+        &mut self,
+        group: usize,
+        idx: usize,
+        key: Key,
+        value: Value,
+    ) -> Option<(Key, CsbNode)> {
         let node = &self.groups[group].nodes[idx];
         self.charge_visit(node);
         match node {
@@ -161,10 +166,8 @@ impl CsbTree {
                         let mid = records.len() / 2;
                         let right = records.split_off(mid);
                         let sep = right[0].key;
-                        self.tracker.write(
-                            DataClass::Base,
-                            right.len() as u64 * RECORD_SIZE as u64,
-                        );
+                        self.tracker
+                            .write(DataClass::Base, right.len() as u64 * RECORD_SIZE as u64);
                         Some((sep, CsbNode::Leaf { records: right }))
                     }
                 }

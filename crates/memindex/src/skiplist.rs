@@ -190,8 +190,7 @@ impl AccessMethod for SkipList {
         // Writing the new record and its tower.
         self.tracker.write(DataClass::Base, RECORD_SIZE as u64);
         self.tracker.write(DataClass::Aux, height as u64 * PTR);
-        for l in 0..height {
-            let pred = update[l];
+        for (l, &pred) in update.iter().enumerate().take(height) {
             if pred == NIL {
                 self.nodes[idx].forward[l] = self.head[l];
                 self.head[l] = idx;
@@ -223,8 +222,7 @@ impl AccessMethod for SkipList {
             return Ok(false);
         }
         let height = self.nodes[cand].forward.len();
-        for l in 0..height {
-            let pred = update[l];
+        for (l, &pred) in update.iter().enumerate().take(height) {
             let next = self.nodes[cand].forward[l];
             if pred == NIL {
                 if self.head[l] == cand {
@@ -261,13 +259,13 @@ impl AccessMethod for SkipList {
             let idx = self.alloc(*r, height);
             self.tracker.write(DataClass::Base, RECORD_SIZE as u64);
             self.tracker.write(DataClass::Aux, height as u64 * PTR);
-            for l in 0..height {
-                if tails[l] == NIL {
+            for (l, tail) in tails.iter_mut().enumerate().take(height) {
+                if *tail == NIL {
                     self.head[l] = idx;
                 } else {
-                    self.nodes[tails[l]].forward[l] = idx;
+                    self.nodes[*tail].forward[l] = idx;
                 }
-                tails[l] = idx;
+                *tail = idx;
             }
             self.len += 1;
         }

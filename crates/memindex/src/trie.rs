@@ -117,7 +117,15 @@ impl RadixTrie {
         (path, true)
     }
 
-    fn collect_range(&self, node: u32, depth: usize, prefix: u64, lo: Key, hi: Key, out: &mut Vec<Record>) {
+    fn collect_range(
+        &self,
+        node: u32,
+        depth: usize,
+        prefix: u64,
+        lo: Key,
+        hi: Key,
+        out: &mut Vec<Record>,
+    ) {
         self.charge_step();
         let n = &self.nodes[node as usize];
         if depth == DEPTH {

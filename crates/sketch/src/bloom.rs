@@ -219,11 +219,13 @@ mod tests {
         }
         assert!(f.may_contain(500));
         f.remove(500);
-        assert!(!f.may_contain(500) || {
-            // Residual collisions may keep it positive; removing again the
-            // same key must not underflow others.
-            true
-        });
+        assert!(
+            !f.may_contain(500) || {
+                // Residual collisions may keep it positive; removing again the
+                // same key must not underflow others.
+                true
+            }
+        );
         // Other keys keep their no-false-negative guarantee.
         for k in 0..1000u64 {
             if k != 500 {

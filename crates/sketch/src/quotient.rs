@@ -50,10 +50,7 @@ impl QuotientFilter {
 
     /// Filter sized for `expected` keys with ~`2^-rbits` false positives.
     pub fn with_capacity(expected: usize, rbits: u32) -> Self {
-        let qbits = (expected.max(8) as f64 / MAX_LOAD)
-            .log2()
-            .ceil()
-            .max(3.0) as u32;
+        let qbits = (expected.max(8) as f64 / MAX_LOAD).log2().ceil().max(3.0) as u32;
         Self::new(qbits, rbits)
     }
 
@@ -144,7 +141,14 @@ impl QuotientFilter {
     /// displaced entries right. `fix_displaced_head` demotes the entry
     /// previously at `pos` to a continuation (used when the new entry
     /// becomes its run's head).
-    fn shift_insert(&mut self, fq: usize, pos: usize, r: u64, cont: bool, fix_displaced_head: bool) {
+    fn shift_insert(
+        &mut self,
+        fq: usize,
+        pos: usize,
+        r: u64,
+        cont: bool,
+        fix_displaced_head: bool,
+    ) {
         let mut i = pos;
         let mut r_cur = r;
         let mut c_cur = cont;
@@ -387,10 +391,7 @@ mod tests {
         for k in (1..500u64).step_by(2) {
             assert!(f.may_contain(k), "survivor {k} lost");
         }
-        let false_pos = (0..500u64)
-            .step_by(2)
-            .filter(|&k| f.may_contain(k))
-            .count();
+        let false_pos = (0..500u64).step_by(2).filter(|&k| f.may_contain(k)).count();
         // Deleted keys should now miss (up to fingerprint collisions).
         assert!(false_pos < 10, "{false_pos} deleted keys still positive");
     }

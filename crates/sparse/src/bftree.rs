@@ -15,11 +15,11 @@
 
 use std::sync::Arc;
 
+use rum_columns::packed::PackedFile;
 use rum_core::{
     check_bulk_input, AccessMethod, CostTracker, DataClass, Key, Record, Result, SpaceProfile,
     Value, RECORDS_PER_PAGE,
 };
-use rum_columns::packed::PackedFile;
 use rum_sketch::QuotientFilter;
 use rum_storage::{MemDevice, Pager};
 
@@ -130,8 +130,7 @@ impl BfTree {
         for zi in 0..n.div_ceil(zr) {
             let start = zi * zr;
             let end = ((zi + 1) * zr).min(n);
-            let mut filter =
-                QuotientFilter::with_capacity(zr.max(16), self.config.remainder_bits);
+            let mut filter = QuotientFilter::with_capacity(zr.max(16), self.config.remainder_bits);
             let mut min_key = Key::MAX;
             for idx in start..end {
                 let r = self.file.get(&mut self.pager, idx)?;
@@ -280,7 +279,8 @@ impl AccessMethod for BfTree {
     fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
         match self.search(key)? {
             Ok(idx) => {
-                self.file.set(&mut self.pager, idx, Record::new(key, value))?;
+                self.file
+                    .set(&mut self.pager, idx, Record::new(key, value))?;
                 Ok(true)
             }
             Err(_) => Ok(false),
@@ -404,19 +404,28 @@ mod tests {
             fine < coarse,
             "12-bit remainders ({fine} reads) should beat 3-bit ({coarse})"
         );
-        assert!(coarse > 20, "3-bit filters must show false positives: {coarse}");
+        assert!(
+            coarse > 20,
+            "3-bit filters must show false positives: {coarse}"
+        );
     }
 
     #[test]
     fn filter_space_tracks_remainder_bits() {
-        let t4 = loaded(8 * RECORDS_PER_PAGE as u64, BfTreeConfig {
-            remainder_bits: 4,
-            ..Default::default()
-        });
-        let t12 = loaded(8 * RECORDS_PER_PAGE as u64, BfTreeConfig {
-            remainder_bits: 12,
-            ..Default::default()
-        });
+        let t4 = loaded(
+            8 * RECORDS_PER_PAGE as u64,
+            BfTreeConfig {
+                remainder_bits: 4,
+                ..Default::default()
+            },
+        );
+        let t12 = loaded(
+            8 * RECORDS_PER_PAGE as u64,
+            BfTreeConfig {
+                remainder_bits: 12,
+                ..Default::default()
+            },
+        );
         assert!(t12.filter_bytes() > t4.filter_bytes());
         // The whole index stays small either way (quotient filters round
         // their slot count up to a power of two, so allow some slack).

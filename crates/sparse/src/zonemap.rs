@@ -203,7 +203,8 @@ impl ZoneMappedColumn {
                 let (start, end) = self.zone_span(zi);
                 let first_page = start / RECORDS_PER_PAGE;
                 let last_page = (end.saturating_sub(1)) / RECORDS_PER_PAGE;
-                for page_idx in first_page..=last_page.min(self.file.num_pages().saturating_sub(1)) {
+                for page_idx in first_page..=last_page.min(self.file.num_pages().saturating_sub(1))
+                {
                     let recs = self.file.read_page(&mut self.pager, page_idx)?.to_vec();
                     for (i, r) in recs.iter().enumerate() {
                         let idx = page_idx * RECORDS_PER_PAGE + i;
@@ -285,7 +286,11 @@ impl AccessMethod for ZoneMappedColumn {
         // Upsert: check zones for an existing copy first (skipped in
         // blind-append mode, where the caller guarantees fresh keys).
         self.charge_zone_scan();
-        for zi in 0..if self.config.blind_appends { 0 } else { self.zones.len() } {
+        for zi in 0..if self.config.blind_appends {
+            0
+        } else {
+            self.zones.len()
+        } {
             if self.zones[zi].overlaps(key, key) {
                 if let Some(idx) = self.find_in_zone(zi, key)? {
                     let old = self.file.get(&mut self.pager, idx)?;

@@ -45,7 +45,10 @@ impl IoStats {
 }
 
 /// A page-granular block device.
-pub trait BlockDevice {
+///
+/// Devices are `Send` so the access methods built on them can be measured
+/// on worker threads by the parallel suite runner.
+pub trait BlockDevice: Send {
     /// Allocate a fresh zeroed page.
     fn allocate(&mut self) -> Result<PageId>;
 
@@ -173,7 +176,11 @@ mod tests {
         assert_eq!(d.live_pages(), 0);
         let b = d.allocate().unwrap();
         assert_eq!(a, b, "free list should recycle the slot");
-        assert_eq!(d.read_page(b).unwrap().read_u64(0), 0, "recycled page zeroed");
+        assert_eq!(
+            d.read_page(b).unwrap().read_u64(0),
+            0,
+            "recycled page zeroed"
+        );
     }
 
     #[test]

@@ -155,11 +155,7 @@ impl MemoryHierarchy {
 
     /// Total simulated time across all levels, nanoseconds.
     pub fn total_sim_ns(&self) -> u64 {
-        self.caches
-            .iter()
-            .map(|c| c.stats.sim_ns())
-            .sum::<u64>()
-            + self.storage_stats.sim_ns()
+        self.caches.iter().map(|c| c.stats.sim_ns()).sum::<u64>() + self.storage_stats.sim_ns()
     }
 
     fn slot(&self, id: PageId) -> Result<()> {
@@ -171,7 +167,9 @@ impl MemoryHierarchy {
     }
 
     fn charge_storage_read(&mut self, id: PageId) {
-        self.storage_stats.page_reads.fetch_add(1, Ordering::Relaxed);
+        self.storage_stats
+            .page_reads
+            .fetch_add(1, Ordering::Relaxed);
         let ns = self.storage_classifier.read(&self.storage_profile, id);
         self.storage_stats
             .sim_time_ns
@@ -338,7 +336,11 @@ mod tests {
         for _ in 0..100 {
             h.read_page(id).unwrap();
         }
-        assert_eq!(h.level_stats(2).reads(), storage_before, "no more storage reads");
+        assert_eq!(
+            h.level_stats(2).reads(),
+            storage_before,
+            "no more storage reads"
+        );
         assert!(h.level_stats(0).reads() >= 100);
     }
 
@@ -376,10 +378,7 @@ mod tests {
 
     #[test]
     fn dirty_evictions_cascade_to_storage() {
-        let mut h = MemoryHierarchy::new(HierarchySpec::buffer_and_storage(
-            2,
-            DeviceProfile::HDD,
-        ));
+        let mut h = MemoryHierarchy::new(HierarchySpec::buffer_and_storage(2, DeviceProfile::HDD));
         let ids: Vec<_> = (0..6).map(|_| h.allocate().unwrap()).collect();
         for (i, id) in ids.iter().enumerate() {
             write_marker(&mut h, *id, i as u64);
@@ -392,10 +391,7 @@ mod tests {
 
     #[test]
     fn write_coalescing_in_upper_level() {
-        let mut h = MemoryHierarchy::new(HierarchySpec::buffer_and_storage(
-            4,
-            DeviceProfile::SSD,
-        ));
+        let mut h = MemoryHierarchy::new(HierarchySpec::buffer_and_storage(4, DeviceProfile::SSD));
         let id = h.allocate().unwrap();
         for v in 0..50 {
             write_marker(&mut h, id, v);

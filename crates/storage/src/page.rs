@@ -1,6 +1,5 @@
 //! Page identity and page buffers.
 
-use bytes::{Bytes, BytesMut};
 use rum_core::PAGE_SIZE;
 
 /// Identifier of a page on a block device. Dense, starting at 0.
@@ -38,23 +37,23 @@ impl std::fmt::Display for PageId {
 /// the simulation, and copying 4 KiB keeps the API free of borrow puzzles.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PageBuf {
-    data: BytesMut,
+    data: Box<[u8]>,
 }
 
 impl PageBuf {
     /// A zeroed page.
     pub fn zeroed() -> Self {
         PageBuf {
-            data: BytesMut::zeroed(PAGE_SIZE),
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
         }
     }
 
     /// Wrap raw bytes (must be exactly one page).
     pub fn from_bytes(bytes: &[u8]) -> Self {
         assert_eq!(bytes.len(), PAGE_SIZE, "page must be {PAGE_SIZE} bytes");
-        let mut data = BytesMut::with_capacity(PAGE_SIZE);
-        data.extend_from_slice(bytes);
-        PageBuf { data }
+        PageBuf {
+            data: bytes.to_vec().into_boxed_slice(),
+        }
     }
 
     #[inline]
@@ -68,8 +67,8 @@ impl PageBuf {
     }
 
     /// Freeze into an immutable, cheaply-clonable byte buffer.
-    pub fn freeze(self) -> Bytes {
-        self.data.freeze()
+    pub fn freeze(self) -> std::sync::Arc<[u8]> {
+        self.data.into()
     }
 
     // ---- little-endian field accessors used by node layouts -------------

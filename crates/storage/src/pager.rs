@@ -157,11 +157,8 @@ mod tests {
     #[test]
     fn hdd_profile_charges_more_for_random() {
         let tracker = CostTracker::new();
-        let mut pager = Pager::with_profile(
-            MemDevice::new(),
-            Arc::clone(&tracker),
-            DeviceProfile::HDD,
-        );
+        let mut pager =
+            Pager::with_profile(MemDevice::new(), Arc::clone(&tracker), DeviceProfile::HDD);
         let ids: Vec<_> = (0..3).map(|_| pager.allocate().unwrap()).collect();
         // Sequential: 0,1,2.
         for id in &ids {

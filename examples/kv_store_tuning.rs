@@ -71,7 +71,9 @@ fn main() -> Result<()> {
     let before = read_phase(&mut t)?;
     retune(&mut t, cfg)?;
     let after = read_phase(&mut t)?;
-    println!("read-phase page reads: {before} before retune, {after} after ({:.1}x better)",
-        before as f64 / after.max(1) as f64);
+    println!(
+        "read-phase page reads: {before} before retune, {after} after ({:.1}x better)",
+        before as f64 / after.max(1) as f64
+    );
     Ok(())
 }

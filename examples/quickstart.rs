@@ -26,14 +26,15 @@ fn main() -> Result<()> {
     // 3. Run it and compare the measured RUM overheads.
     println!("{}", RumReport::table_header());
     let mut points = Vec::new();
-    for method in [
-        &mut btree as &mut dyn AccessMethod,
-        &mut lsm,
-        &mut zonemap,
-    ] {
+    for method in [&mut btree as &mut dyn AccessMethod, &mut lsm, &mut zonemap] {
         let report = run_workload(method, &workload)?;
         println!("{}", report.table_row());
-        points.push(rum_point(report.method.clone(), report.ro, report.uo, report.mo));
+        points.push(rum_point(
+            report.method.clone(),
+            report.ro,
+            report.uo,
+            report.mo,
+        ));
     }
 
     // 4. The paper's Figure-1 view of the same numbers.

@@ -1,0 +1,146 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's bench targets use so that
+//! `cargo bench` (and the bench-target compilation `cargo test` performs)
+//! works without crates.io access. Statistical sampling is replaced by a
+//! single timed iteration per benchmark — enough to smoke-test every bench
+//! path and print an order-of-magnitude number, not a rigorous measurement.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing handle passed to closures.
+#[derive(Default)]
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Run the routine once and record its wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let started = Instant::now();
+        black_box(routine());
+        self.elapsed_ns = started.elapsed().as_nanos();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sampling configuration is accepted and ignored (single iteration).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        println!(
+            "{}/{id}: {} ns/iter (1 iteration, shim)",
+            self.name, b.elapsed_ns
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        println!(
+            "{}/{id}: {} ns/iter (1 iteration, shim)",
+            self.name, b.elapsed_ns
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        println!("{id}: {} ns/iter (1 iteration, shim)", b.elapsed_ns);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness-less bench binaries with `--test`:
+            // compile coverage is the point there, not timing.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

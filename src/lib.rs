@@ -65,7 +65,10 @@ pub use rum_storage as storage;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use rum_core::runner::{measure_ops, run_workload, RumReport};
+    pub use rum_core::runner::{
+        measure_ops, parallel_map, run_suite, run_suite_parallel, run_suite_with_threads,
+        run_workload, RumReport,
+    };
     pub use rum_core::triangle::{render_ascii, rum_point, to_csv, RumPoint};
     pub use rum_core::workload::{KeyDist, KeySpace, Op, OpMix, Workload, WorkloadSpec};
     pub use rum_core::{
@@ -144,9 +147,12 @@ mod tests {
             ..Default::default()
         };
         let workload = Workload::generate(&spec);
-        for mut method in standard_suite() {
-            let report = run_workload(method.as_mut(), &workload)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()));
+        let mut suite = standard_suite();
+        let expected = suite.len();
+        let reports = run_suite_parallel(&mut suite, &workload)
+            .unwrap_or_else(|e| panic!("suite run failed: {e}"));
+        assert_eq!(reports.len(), expected);
+        for report in reports {
             assert!(report.mo >= 1.0, "{}: mo {}", report.method, report.mo);
             assert!(report.n_final > 0, "{}", report.method);
         }

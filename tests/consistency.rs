@@ -72,9 +72,14 @@ fn differential_run(method: &mut dyn AccessMethod, seed: u64, steps: u64) {
 
 #[test]
 fn every_suite_method_matches_the_model() {
-    for (i, mut method) in rum::standard_suite().into_iter().enumerate() {
-        differential_run(method.as_mut(), i as u64, 2500);
-    }
+    // Each differential run is independent, so fan them across cores.
+    let methods: Vec<(usize, Box<dyn AccessMethod>)> =
+        rum::standard_suite().into_iter().enumerate().collect();
+    parallel_map(
+        methods,
+        rum::core::runner::default_threads(),
+        |(i, mut method)| differential_run(method.as_mut(), i as u64, 2500),
+    );
 }
 
 #[test]
@@ -135,9 +140,13 @@ fn zipfian_streams_are_handled() {
         ..Default::default()
     };
     let workload = Workload::generate(&spec);
-    for mut method in rum::standard_suite() {
-        let report = run_workload(method.as_mut(), &workload)
-            .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
-        assert!(report.ro >= 1.0 || report.read_ops == 0, "{}", report.method);
+    let reports = run_suite_parallel(&mut rum::standard_suite(), &workload)
+        .unwrap_or_else(|e| panic!("suite run failed: {e}"));
+    for report in reports {
+        assert!(
+            report.ro >= 1.0 || report.read_ops == 0,
+            "{}",
+            report.method
+        );
     }
 }

@@ -1,0 +1,79 @@
+//! The parallel harness's contract: `run_suite_parallel` produces exactly
+//! the same reports as the serial `run_suite` — same methods, same order
+//! (sorted by name), same costs and amplifications — with only the
+//! wall-clock fields free to differ. Checked across a balanced mix, a
+//! read-heavy mix, and a skewed (zipfian) stream.
+
+use rum::prelude::*;
+
+/// Every field of the two reports except the wall-clock ones must match
+/// bit-for-bit.
+fn assert_reports_identical(s: &RumReport, p: &RumReport) {
+    let ctx = &s.method;
+    assert_eq!(s.method, p.method);
+    assert_eq!(s.n_final, p.n_final, "{ctx}: n_final");
+    assert_eq!(s.read_ops, p.read_ops, "{ctx}: read_ops");
+    assert_eq!(s.write_ops, p.write_ops, "{ctx}: write_ops");
+    assert_eq!(s.read_costs, p.read_costs, "{ctx}: read_costs");
+    assert_eq!(s.write_costs, p.write_costs, "{ctx}: write_costs");
+    assert_eq!(s.load_costs, p.load_costs, "{ctx}: load_costs");
+    assert_eq!(s.ro.to_bits(), p.ro.to_bits(), "{ctx}: ro");
+    assert_eq!(s.uo.to_bits(), p.uo.to_bits(), "{ctx}: uo");
+    assert_eq!(s.mo.to_bits(), p.mo.to_bits(), "{ctx}: mo");
+    assert_eq!(
+        s.pages_per_read_op.to_bits(),
+        p.pages_per_read_op.to_bits(),
+        "{ctx}: pages_per_read_op"
+    );
+    assert_eq!(
+        s.pages_per_write_op.to_bits(),
+        p.pages_per_write_op.to_bits(),
+        "{ctx}: pages_per_write_op"
+    );
+    assert_eq!(s.sim_ns, p.sim_ns, "{ctx}: sim_ns");
+    // And the rendered (wall-clock-free) forms must therefore agree too.
+    assert_eq!(s.table_row(), p.table_row(), "{ctx}: table_row");
+    assert_eq!(s.csv_row(), p.csv_row(), "{ctx}: csv_row");
+}
+
+#[test]
+fn parallel_suite_reports_match_serial_bit_for_bit() {
+    let specs = [
+        WorkloadSpec {
+            initial_records: 2048,
+            operations: 2048,
+            mix: OpMix::BALANCED,
+            seed: 0xE0_45,
+            ..Default::default()
+        },
+        WorkloadSpec {
+            initial_records: 2048,
+            operations: 2048,
+            mix: OpMix::READ_HEAVY,
+            seed: 17,
+            ..Default::default()
+        },
+        WorkloadSpec {
+            initial_records: 1024,
+            operations: 3072,
+            mix: OpMix::BALANCED,
+            dist: KeyDist::Zipf { theta: 0.99 },
+            seed: 23,
+            ..Default::default()
+        },
+    ];
+    for spec in specs {
+        let workload = Workload::generate(&spec);
+        let serial = run_suite(&mut rum::standard_suite(), &workload).expect("serial");
+        // An awkward worker count (3) exercises the queue re-balancing;
+        // default_threads() covers whatever the machine really has.
+        for threads in [3, rum::core::runner::default_threads()] {
+            let parallel = run_suite_with_threads(&mut rum::standard_suite(), &workload, threads)
+                .expect("parallel");
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_reports_identical(s, p);
+            }
+        }
+    }
+}

@@ -23,17 +23,14 @@ struct Measured {
 
 fn measure_suite(spec: &WorkloadSpec) -> Vec<Measured> {
     let workload = Workload::generate(spec);
-    rum::standard_suite()
+    run_suite_parallel(&mut rum::standard_suite(), &workload)
+        .unwrap_or_else(|e| panic!("suite run failed: {e}"))
         .into_iter()
-        .map(|mut m| {
-            let r = run_workload(m.as_mut(), &workload)
-                .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
-            Measured {
-                name: r.method,
-                ro: r.ro,
-                uo: r.uo,
-                mo: r.mo,
-            }
+        .map(|r| Measured {
+            name: r.method,
+            ro: r.ro,
+            uo: r.uo,
+            mo: r.mo,
         })
         .collect()
 }
