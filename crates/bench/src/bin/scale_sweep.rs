@@ -1,0 +1,50 @@
+//! Scale sweep: streaming workload generation + sharded concurrent
+//! execution, at op counts the materialized harness cannot reach.
+//!
+//! Usage:
+//!   cargo run --release -p rum-bench --bin scale_sweep [--quick | --smoke]
+//!
+//! Default sweep: n ∈ {10^5, 10^6, 10^7} ops × K ∈ {1, 2, 4, 8} shards.
+//! `--quick` caps n at 10^6; `--smoke` is the CI job (n = 10^5,
+//! K ∈ {1, 2}) and exits non-zero on any non-finite value or any
+//! serial≠streamed mismatch. Results land in `results/scale_sweep.csv`
+//! and `results/scale_sweep.txt`.
+
+use rum_bench::scale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke {
+        scale::ScaleConfig::smoke()
+    } else if quick {
+        scale::ScaleConfig {
+            ns: vec![100_000, 1_000_000],
+            ..Default::default()
+        }
+    } else {
+        scale::ScaleConfig::default()
+    };
+
+    let rows = scale::run(&config);
+    let rendered = scale::render(&rows);
+    println!("{rendered}");
+
+    println!("=== Checks ===");
+    let mut all_ok = true;
+    for (desc, ok) in scale::checks(&rows) {
+        println!("  [{}] {desc}", if ok { "PASS" } else { "FAIL" });
+        all_ok &= ok;
+    }
+
+    if !smoke {
+        std::fs::create_dir_all("results").expect("results dir");
+        std::fs::write("results/scale_sweep.csv", scale::to_csv(&rows)).expect("write csv");
+        std::fs::write("results/scale_sweep.txt", &rendered).expect("write txt");
+        println!("wrote results/scale_sweep.csv and results/scale_sweep.txt");
+    }
+
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -30,6 +30,10 @@ pub fn run(initial_records: usize, operations: usize, seed: u64) -> Vec<Placemen
 /// serial). The measurements are identical whatever the count — only the
 /// wall-clock changes — because every method carries its own tracker and
 /// the merged reports are sorted by name.
+///
+/// The workload is never materialized: each worker draws ops straight
+/// from its own [`OpStream`], which generates the identical sequence
+/// `Workload::generate` would for this spec.
 pub fn run_with_threads(
     initial_records: usize,
     operations: usize,
@@ -43,8 +47,7 @@ pub fn run_with_threads(
         seed,
         ..Default::default()
     };
-    let workload = Workload::generate(&spec);
-    run_suite_with_threads(&mut rum::standard_suite(), &workload, threads)
+    run_suite_stream(&mut rum::standard_suite(), &spec, threads)
         .unwrap_or_else(|e| panic!("suite run failed: {e}"))
         .into_iter()
         .map(|report| {

@@ -9,12 +9,9 @@
 //! storage level's reads (RO_n) and writes (UO_n) fall monotonically as
 //! the buffer grows.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use rum_btree::{BTree, BTreeConfig};
 use rum_core::runner::{default_threads, parallel_map};
-use rum_core::workload::{value_for, Zipfian};
+use rum_core::workload::{KeyDist, KeySpace, Op, OpMix, OpStream, WorkloadSpec};
 use rum_core::AccessMethod;
 use rum_storage::{BlockDevice, DeviceProfile, HierarchySpec, MemoryHierarchy};
 
@@ -45,26 +42,48 @@ pub fn run(
     buffer_sweep: &[usize],
     storage: DeviceProfile,
 ) -> Vec<Fig2Row> {
-    let records = crate::dataset(n);
+    // A seeded zipfian 90/10 read/update stream over the dense even-key
+    // dataset. The spec-driven `OpStream` replaces the old hand-rolled
+    // zipf loop: same skew and mix, O(live-set) memory, and every sweep
+    // entry replays the identical sequence.
+    let spec = WorkloadSpec {
+        initial_records: n,
+        operations,
+        mix: OpMix {
+            get: 0.9,
+            insert: 0.0,
+            update: 0.1,
+            delete: 0.0,
+            range: 0.0,
+        },
+        dist: KeyDist::Zipf { theta: 0.9 },
+        key_space: KeySpace::Dense { spacing: 2 },
+        seed: 0x0F16_0002,
+        ..Default::default()
+    };
     parallel_map(buffer_sweep.to_vec(), default_threads(), |buffer_pages| {
+        let mut stream = OpStream::new(&spec);
+        let records = stream.take_initial();
         let hierarchy =
             MemoryHierarchy::new(HierarchySpec::buffer_and_storage(buffer_pages, storage));
         let mut tree = BTree::with_device(hierarchy, BTreeConfig::default());
         tree.bulk_load(&records).expect("load");
+        drop(records);
         // Quiesce load traffic so the measurement is the workload's.
         tree.device_mut().sync().expect("sync");
         for lvl in 0..tree.device().levels() {
             tree.device().level_stats(lvl).reset();
         }
 
-        let zipf = Zipfian::new(n, 0.9);
-        let mut rng = StdRng::seed_from_u64(0x0F16_0002);
-        for i in 0..operations {
-            let key = 2 * zipf.sample(&mut rng) as u64;
-            if i % 10 == 0 {
-                tree.update(key, value_for(key, i as u64)).expect("update");
-            } else {
-                tree.get(key).expect("get");
+        for op in stream {
+            match op {
+                Op::Get(key) => {
+                    tree.get(key).expect("get");
+                }
+                Op::Update(key, value) => {
+                    tree.update(key, value).expect("update");
+                }
+                other => unreachable!("mix generates only gets and updates, got {other:?}"),
             }
         }
         tree.device_mut().sync().expect("sync");

@@ -16,9 +16,9 @@
 //!   structures ... at the expense of additional space").
 
 use rum_btree::{BTree, BTreeConfig, PartitionedBTree, PbtConfig, SplitPolicy};
-use rum_core::runner::{default_threads, parallel_map, run_workload};
+use rum_core::runner::{default_threads, parallel_map, run_stream};
 use rum_core::triangle::{render_ascii, rum_point, RumPoint};
-use rum_core::workload::{OpMix, Workload, WorkloadSpec};
+use rum_core::workload::{OpMix, OpStream, WorkloadSpec};
 use rum_core::AccessMethod;
 use rum_core::RECORDS_PER_PAGE;
 use rum_lsm::{CompactionPolicy, LsmConfig, LsmTree};
@@ -42,9 +42,13 @@ fn measure(
     sweep: &str,
     param: String,
     method: &mut dyn AccessMethod,
-    workload: &Workload,
+    spec: &WorkloadSpec,
 ) -> SweepPoint {
-    let report = run_workload(method, workload).unwrap_or_else(|e| panic!("{sweep}={param}: {e}"));
+    // Each configuration streams its own copy of the seeded op sequence:
+    // identical measurements to a materialized workload, without sharing
+    // (or even allocating) a Vec<Op> across sweep entries.
+    let report =
+        run_stream(method, OpStream::new(spec)).unwrap_or_else(|e| panic!("{sweep}={param}: {e}"));
     let (x, y) = rum_core::triangle::project(report.ro, report.uo, report.mo);
     SweepPoint {
         sweep: sweep.to_string(),
@@ -57,19 +61,19 @@ fn measure(
     }
 }
 
-fn standard_workload(n: usize, ops: usize) -> Workload {
-    Workload::generate(&WorkloadSpec {
+fn standard_spec(n: usize, ops: usize) -> WorkloadSpec {
+    WorkloadSpec {
         initial_records: n,
         operations: ops,
         mix: OpMix::BALANCED,
         seed: 0x0F16_0003,
         ..Default::default()
-    })
+    }
 }
 
 /// Sweep the B+-tree node size.
 pub fn btree_node_size(n: usize, ops: usize) -> Vec<SweepPoint> {
-    let w = standard_workload(n, ops);
+    let w = standard_spec(n, ops);
     [512usize, 1024, 2048, 4096, 8192, 16384, 32768]
         .iter()
         .map(|&node_size| {
@@ -84,7 +88,7 @@ pub fn btree_node_size(n: usize, ops: usize) -> Vec<SweepPoint> {
 
 /// Sweep the B+-tree bulk-load fill factor (and split policy at 1.0).
 pub fn btree_fill(n: usize, ops: usize) -> Vec<SweepPoint> {
-    let w = standard_workload(n, ops);
+    let w = standard_spec(n, ops);
     let mut out: Vec<SweepPoint> = [0.5f64, 0.7, 0.9, 1.0]
         .iter()
         .map(|&fill| {
@@ -113,7 +117,7 @@ pub fn btree_fill(n: usize, ops: usize) -> Vec<SweepPoint> {
 /// hierarchy several levels deep even at test scale, where a 256-record
 /// buffer would absorb most of the write stream and flatten the sweep.
 pub fn lsm_ratio(n: usize, ops: usize) -> Vec<SweepPoint> {
-    let w = Workload::generate(&WorkloadSpec {
+    let w = WorkloadSpec {
         initial_records: n,
         operations: 4 * ops,
         mix: OpMix {
@@ -125,7 +129,7 @@ pub fn lsm_ratio(n: usize, ops: usize) -> Vec<SweepPoint> {
         },
         seed: 0x0F16_0005,
         ..Default::default()
-    });
+    };
     let mut out = Vec::new();
     for policy in [CompactionPolicy::Levelling, CompactionPolicy::Tiering] {
         for t in [2usize, 4, 8, 16] {
@@ -147,7 +151,7 @@ pub fn lsm_ratio(n: usize, ops: usize) -> Vec<SweepPoint> {
 
 /// Sweep the ZoneMap partition size `P`.
 pub fn zonemap_partition(n: usize, ops: usize) -> Vec<SweepPoint> {
-    let w = standard_workload(n, ops);
+    let w = standard_spec(n, ops);
     [1usize, 4, 16, 64]
         .iter()
         .map(|&pages| {
@@ -168,14 +172,14 @@ pub fn zonemap_partition(n: usize, ops: usize) -> Vec<SweepPoint> {
 /// Sweep LSM Bloom bits per key on a miss-heavy read workload (where the
 /// filters earn their keep).
 pub fn bloom_bits(n: usize, ops: usize) -> Vec<SweepPoint> {
-    let w = Workload::generate(&WorkloadSpec {
+    let w = WorkloadSpec {
         initial_records: n,
         operations: ops,
         mix: OpMix::READ_HEAVY,
         miss_fraction: 0.5,
         seed: 0x0F16_0004,
         ..Default::default()
-    });
+    };
     [0.0f64, 2.0, 5.0, 10.0, 16.0]
         .iter()
         .map(|&bits| {
@@ -193,7 +197,7 @@ pub fn bloom_bits(n: usize, ops: usize) -> Vec<SweepPoint> {
 /// partitions in PBT" — the paper's own example of a tunable parameter).
 pub fn pbt_partitions(n: usize, ops: usize) -> Vec<SweepPoint> {
     // Update-heavy so copies pile up across partitions.
-    let w = Workload::generate(&WorkloadSpec {
+    let w = WorkloadSpec {
         initial_records: n,
         operations: 2 * ops,
         mix: OpMix {
@@ -205,7 +209,7 @@ pub fn pbt_partitions(n: usize, ops: usize) -> Vec<SweepPoint> {
         },
         seed: 0x0F16_0006,
         ..Default::default()
-    });
+    };
     [2usize, 4, 8, 16]
         .iter()
         .map(|&max_partitions| {

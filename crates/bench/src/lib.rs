@@ -11,6 +11,7 @@
 //! | `fig2_hierarchy` | Figure 2 (RUM overheads across a memory hierarchy) |
 //! | `fig3_tunable` | Figure 3 (tunable methods tracing curves in the space) |
 //! | `roadmap_adaptive` | §5 roadmap items (cracking, bitmaps, LSM retuning, filters) |
+//! | `scale_sweep` | streaming workloads × sharded execution, n up to 10^7, K up to 8 |
 //!
 //! This library holds the measurement machinery those binaries (and the
 //! criterion benches) share, so experiments are reproducible from tests
@@ -27,6 +28,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod props;
+pub mod scale;
 pub mod table1;
 
 /// Sorted unique records with even keys `0, 2, ..., 2(n-1)` and

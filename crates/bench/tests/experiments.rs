@@ -2,7 +2,7 @@
 //! (proposition, table, figure) must hold on a small, fast configuration
 //! so `cargo test` guards the reproduction end to end.
 
-use rum_bench::{fig1, fig2, fig3, props, table1};
+use rum_bench::{fig1, fig2, fig3, props, scale, table1};
 use rum_storage::DeviceProfile;
 
 fn assert_all(checks: Vec<(String, bool)>, what: &str) {
@@ -48,6 +48,21 @@ fn fig2_vertical_tradeoff_holds() {
 fn fig3_knobs_move_methods_as_predicted() {
     let points = fig3::run(1 << 12, 1 << 10);
     assert_all(fig3::shape_checks(&points), "Figure 3");
+}
+
+#[test]
+fn scale_sweep_holds_at_test_scale() {
+    // A miniature of the CI smoke job: stream a few batches across 1, 2,
+    // and 4 shards, cross-check every K against the serial per-op run,
+    // and require finite, well-formed RUM values throughout.
+    let config = scale::ScaleConfig {
+        ns: vec![4096],
+        ks: vec![1, 2, 4],
+        batch: 512,
+        verify: true,
+    };
+    let rows = scale::run(&config);
+    assert_all(scale::checks(&rows), "scale sweep");
 }
 
 #[test]

@@ -34,6 +34,7 @@
 pub mod access;
 pub mod error;
 pub mod runner;
+pub mod shard;
 pub mod tracker;
 pub mod triangle;
 pub mod types;
@@ -42,5 +43,6 @@ pub mod workload;
 
 pub use access::{check_bulk_input, AccessMethod, SpaceProfile};
 pub use error::{Result, RumError};
+pub use shard::ShardedMethod;
 pub use tracker::{CostSnapshot, CostTracker, DataClass};
 pub use types::{Key, Record, Value, PAGE_SIZE, RECORDS_PER_PAGE, RECORD_SIZE};

@@ -12,8 +12,9 @@ use std::time::Instant;
 
 use crate::access::AccessMethod;
 use crate::error::Result;
+use crate::shard::ShardedMethod;
 use crate::tracker::CostSnapshot;
-use crate::workload::{Op, Workload};
+use crate::workload::{Op, OpStream, Workload, WorkloadSpec};
 
 /// The measured RUM profile of one method over one workload.
 #[derive(Clone, Debug)]
@@ -46,13 +47,18 @@ pub struct RumReport {
     pub load_wall_ns: u128,
     /// Simulated device time of the operation phase, nanoseconds.
     pub sim_ns: u64,
+    /// Measured operation throughput: `(read_ops + write_ops) / wall_ns`,
+    /// in operations per second. Infinite when the op phase was too fast
+    /// for the clock (`wall_ns == 0`); rendered finite-clamped like the
+    /// amplification columns.
+    pub ops_per_sec: f64,
 }
 
 impl RumReport {
     /// One line suitable for a fixed-width table.
     pub fn table_row(&self) -> String {
         format!(
-            "{:<28} {:>9} {:>9.3} {:>9.3} {:>9.3} {:>10.2} {:>10.2}",
+            "{:<28} {:>9} {:>9.3} {:>9.3} {:>9.3} {:>10.2} {:>10.2} {:>11.0}",
             self.method,
             self.n_final,
             finite(self.ro),
@@ -60,27 +66,30 @@ impl RumReport {
             finite(self.mo),
             self.pages_per_read_op,
             self.pages_per_write_op,
+            finite(self.ops_per_sec),
         )
     }
 
     /// Header matching [`table_row`](Self::table_row).
     pub fn table_header() -> String {
         format!(
-            "{:<28} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
-            "method", "N", "RO", "UO", "MO", "pg/read", "pg/write"
+            "{:<28} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10} {:>11}",
+            "method", "N", "RO", "UO", "MO", "pg/read", "pg/write", "ops/s"
         )
     }
 
-    /// CSV row (method, ro, uo, mo, pages/read, pages/write, sim_ns).
+    /// CSV row (method, n, ro, uo, mo, pages/read, pages/write, sim_ns,
+    /// ops_per_sec).
     ///
     /// Amplifications are clamped to finite values like
     /// [`table_row`](Self::table_row): a method that serves a workload with
     /// zero logical bytes in one class (e.g. a read-only run measured for
     /// UO) reports infinite amplification, and `inf`/`NaN` literals break
-    /// most CSV consumers.
+    /// most CSV consumers. `ops_per_sec` is wall-clock-derived, so it is
+    /// the one column that varies between otherwise identical runs.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{}",
             self.method,
             self.n_final,
             finite(self.ro),
@@ -88,7 +97,8 @@ impl RumReport {
             finite(self.mo),
             finite(self.pages_per_read_op),
             finite(self.pages_per_write_op),
-            self.sim_ns
+            self.sim_ns,
+            finite(self.ops_per_sec),
         )
     }
 }
@@ -101,80 +111,131 @@ fn finite(x: f64) -> f64 {
     }
 }
 
-/// Run `workload` against `method`: bulk-load the initial records, then play
-/// the operation stream, attributing costs per operation class.
-pub fn run_workload(method: &mut dyn AccessMethod, workload: &Workload) -> Result<RumReport> {
-    let tracker = std::sync::Arc::clone(method.tracker());
-    tracker.reset();
+/// Per-class cost totals of an operation phase, accumulated by
+/// [`OpPhase`]: traffic and op counts split by read vs write class.
+struct PhaseTotals {
+    read_costs: CostSnapshot,
+    write_costs: CostSnapshot,
+    read_ops: u64,
+    write_ops: u64,
+    wall_ns: u128,
+}
 
-    let load_started = Instant::now();
-    method.bulk_load(&workload.initial)?;
-    let load_wall_ns = load_started.elapsed().as_nanos();
-    let load_costs = tracker.snapshot();
+/// Class-transition cost attribution shared by every runner entry point.
+///
+/// Costs are attributed per operation *class*, not per operation: the
+/// tracker is snapshotted (9 atomic loads) only when the stream switches
+/// between the read class (get/range) and the write class
+/// (insert/update/delete), plus once at the end. Between switches every
+/// byte the tracker accrues comes from operations of the running class,
+/// so the batched sums equal the per-op sums exactly while the hot loop
+/// sheds the per-op snapshot.
+struct OpPhase {
+    totals: PhaseTotals,
+    mark: CostSnapshot,
+    batch_is_read: Option<bool>,
+    started: Instant,
+}
 
-    let mut read_costs = CostSnapshot::default();
-    let mut write_costs = CostSnapshot::default();
-    let mut read_ops = 0u64;
-    let mut write_ops = 0u64;
-
-    let started = Instant::now();
-    // Costs are attributed per operation *class*, not per operation: the
-    // tracker is snapshotted (9 atomic loads) only when the stream switches
-    // between the read class (get/range) and the write class
-    // (insert/update/delete), plus once at the end. Between switches every
-    // byte the tracker accrues comes from operations of the running class,
-    // so the batched sums equal the per-op sums exactly while the hot loop
-    // sheds the per-op snapshot.
-    let mut mark = tracker.snapshot();
-    let mut batch_is_read = None;
-    for op in &workload.ops {
-        let is_read = op.is_read();
-        if batch_is_read != Some(is_read) {
-            let now = tracker.snapshot();
-            let d = now.delta(&mark);
-            mark = now;
-            match batch_is_read {
-                Some(true) => read_costs = read_costs.add(&d),
-                Some(false) => write_costs = write_costs.add(&d),
-                None => {} // nothing ran since the load snapshot
-            }
-            batch_is_read = Some(is_read);
+impl OpPhase {
+    fn start(tracker: &crate::tracker::CostTracker) -> Self {
+        OpPhase {
+            totals: PhaseTotals {
+                read_costs: CostSnapshot::default(),
+                write_costs: CostSnapshot::default(),
+                read_ops: 0,
+                write_ops: 0,
+                wall_ns: 0,
+            },
+            mark: tracker.snapshot(),
+            batch_is_read: None,
+            started: Instant::now(),
         }
-        match *op {
-            Op::Get(k) => {
-                method.get(k)?;
-            }
-            Op::Range(lo, hi) => {
-                method.range(lo, hi)?;
-            }
-            Op::Insert(k, v) => {
-                method.insert(k, v)?;
-            }
-            Op::Update(k, v) => {
-                method.update(k, v)?;
-            }
-            Op::Delete(k) => {
-                method.delete(k)?;
-            }
+    }
+
+    /// Fold the traffic since the previous settle point into the running
+    /// class, then switch the running class to `next`.
+    fn settle(&mut self, tracker: &crate::tracker::CostTracker, next: Option<bool>) {
+        let now = tracker.snapshot();
+        let d = now.delta(&self.mark);
+        self.mark = now;
+        match self.batch_is_read {
+            Some(true) => self.totals.read_costs = self.totals.read_costs.add(&d),
+            Some(false) => self.totals.write_costs = self.totals.write_costs.add(&d),
+            None => {} // nothing ran since the phase started
         }
+        self.batch_is_read = next;
+    }
+
+    /// Note `count` ops of the running class having executed. Only counts;
+    /// traffic is folded at the next [`settle`](Self::settle).
+    fn count(&mut self, is_read: bool, count: u64) {
         if is_read {
-            read_ops += 1;
+            self.totals.read_ops += count;
         } else {
-            write_ops += 1;
+            self.totals.write_ops += count;
         }
     }
-    let tail = tracker.snapshot().delta(&mark);
-    match batch_is_read {
-        Some(true) => read_costs = read_costs.add(&tail),
-        Some(false) => write_costs = write_costs.add(&tail),
-        None => {}
-    }
-    let wall_ns = started.elapsed().as_nanos();
 
+    fn finish(mut self, tracker: &crate::tracker::CostTracker) -> PhaseTotals {
+        self.settle(tracker, None);
+        self.totals.wall_ns = self.started.elapsed().as_nanos();
+        self.totals
+    }
+}
+
+/// Execute one op against `method` through the instrumented wrappers,
+/// discarding the result (runners measure costs, not answers).
+#[inline]
+fn execute_op(method: &mut dyn AccessMethod, op: Op) -> Result<()> {
+    match op {
+        Op::Get(k) => {
+            method.get(k)?;
+        }
+        Op::Range(lo, hi) => {
+            method.range(lo, hi)?;
+        }
+        Op::Insert(k, v) => {
+            method.insert(k, v)?;
+        }
+        Op::Update(k, v) => {
+            method.update(k, v)?;
+        }
+        Op::Delete(k) => {
+            method.delete(k)?;
+        }
+    }
+    Ok(())
+}
+
+/// Assemble the final report from the load and op-phase measurements.
+fn assemble_report(
+    method: &dyn AccessMethod,
+    load_costs: CostSnapshot,
+    load_wall_ns: u128,
+    totals: PhaseTotals,
+) -> RumReport {
+    let PhaseTotals {
+        read_costs,
+        write_costs,
+        read_ops,
+        write_ops,
+        wall_ns,
+    } = totals;
     let profile = method.space_profile();
     let sim_ns = read_costs.sim_time_ns + write_costs.sim_time_ns;
+    let total_ops = read_ops + write_ops;
+    let ops_per_sec = if wall_ns == 0 {
+        if total_ops == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        total_ops as f64 * 1e9 / wall_ns as f64
+    };
 
-    Ok(RumReport {
+    RumReport {
         method: method.name(),
         n_final: method.len(),
         read_ops,
@@ -190,7 +251,122 @@ pub fn run_workload(method: &mut dyn AccessMethod, workload: &Workload) -> Resul
         wall_ns,
         load_wall_ns,
         sim_ns,
-    })
+        ops_per_sec,
+    }
+}
+
+/// Bulk-load `initial` with the tracker freshly reset, returning the load
+/// costs and wall time.
+fn load_phase(
+    method: &mut dyn AccessMethod,
+    initial: &[crate::types::Record],
+) -> Result<(CostSnapshot, u128)> {
+    method.tracker().reset();
+    let load_started = Instant::now();
+    method.bulk_load(initial)?;
+    let load_wall_ns = load_started.elapsed().as_nanos();
+    let load_costs = method.tracker().snapshot();
+    Ok((load_costs, load_wall_ns))
+}
+
+/// Run `workload` against `method`: bulk-load the initial records, then play
+/// the operation stream, attributing costs per operation class.
+pub fn run_workload(method: &mut dyn AccessMethod, workload: &Workload) -> Result<RumReport> {
+    let (load_costs, load_wall_ns) = load_phase(method, &workload.initial)?;
+    let tracker = std::sync::Arc::clone(method.tracker());
+
+    let mut phase = OpPhase::start(&tracker);
+    for &op in &workload.ops {
+        let is_read = op.is_read();
+        if phase.batch_is_read != Some(is_read) {
+            phase.settle(&tracker, Some(is_read));
+        }
+        execute_op(method, op)?;
+        phase.count(is_read, 1);
+    }
+    let totals = phase.finish(&tracker);
+    Ok(assemble_report(method, load_costs, load_wall_ns, totals))
+}
+
+/// Run a streaming workload against `method` without ever materializing a
+/// `Vec<Op>`: ops are drawn from the [`OpStream`] one at a time, so peak
+/// memory is O(live-set) no matter how many operations the spec asks for.
+///
+/// Produces a report bit-identical (apart from wall-clock fields) to
+/// [`run_workload`] on `Workload::generate(stream.spec())` — the stream
+/// yields the same op sequence by construction, and cost attribution uses
+/// the same class-transition batching.
+pub fn run_stream(method: &mut dyn AccessMethod, mut stream: OpStream) -> Result<RumReport> {
+    let initial = stream.take_initial();
+    let (load_costs, load_wall_ns) = load_phase(method, &initial)?;
+    drop(initial);
+    let tracker = std::sync::Arc::clone(method.tracker());
+
+    let mut phase = OpPhase::start(&tracker);
+    for op in stream {
+        let is_read = op.is_read();
+        if phase.batch_is_read != Some(is_read) {
+            phase.settle(&tracker, Some(is_read));
+        }
+        execute_op(method, op)?;
+        phase.count(is_read, 1);
+    }
+    let totals = phase.finish(&tracker);
+    Ok(assemble_report(method, load_costs, load_wall_ns, totals))
+}
+
+/// Ops pulled from the stream per [`ShardedMethod::execute_batch`] call in
+/// [`run_stream_sharded`]: large enough to amortize thread dispatch, small
+/// enough that per-shard sub-batches stay cache-resident.
+pub const DEFAULT_STREAM_BATCH: usize = 8192;
+
+/// Run a streaming workload against a [`ShardedMethod`], executing
+/// class-contiguous batches of up to `batch` ops concurrently across the
+/// wrapper's shard workers.
+///
+/// Batches never mix read-class and write-class ops (a lookahead op that
+/// switches class is held back for the next batch), so the wrapper
+/// tracker's delta per batch is attributable to exactly one class — the
+/// same attribution [`run_workload`] performs at class transitions. All
+/// counted traffic is deterministic, so RO / UO / MO and every cost field
+/// are **bit-identical** to driving the same `ShardedMethod` serially with
+/// [`run_workload`]; only the wall-clock fields differ.
+pub fn run_stream_sharded(
+    method: &mut ShardedMethod,
+    mut stream: OpStream,
+    batch: usize,
+) -> Result<RumReport> {
+    let batch = batch.max(1);
+    let initial = stream.take_initial();
+    let (load_costs, load_wall_ns) = load_phase(method, &initial)?;
+    drop(initial);
+    let tracker = std::sync::Arc::clone(method.tracker());
+
+    let mut phase = OpPhase::start(&tracker);
+    let mut pending: Option<Op> = None;
+    let mut buf: Vec<Op> = Vec::with_capacity(batch);
+    while let Some(first) = pending.take().or_else(|| stream.next()) {
+        let is_read = first.is_read();
+        buf.clear();
+        buf.push(first);
+        while buf.len() < batch {
+            match stream.next() {
+                Some(op) if op.is_read() == is_read => buf.push(op),
+                Some(op) => {
+                    pending = Some(op);
+                    break;
+                }
+                None => break,
+            }
+        }
+        if phase.batch_is_read != Some(is_read) {
+            phase.settle(&tracker, Some(is_read));
+        }
+        method.execute_batch(&buf)?;
+        phase.count(is_read, buf.len() as u64);
+    }
+    let totals = phase.finish(&tracker);
+    Ok(assemble_report(method, load_costs, load_wall_ns, totals))
 }
 
 /// Run every method in `methods` over the same workload, serially, and
@@ -238,8 +414,41 @@ pub fn run_suite_with_threads(
     Ok(reports)
 }
 
-/// Number of workers [`run_suite_parallel`] uses: one per available core.
+/// [`run_suite_with_threads`] for streaming workloads: every worker
+/// regenerates its own [`OpStream`] from `spec` (generation is seeded and
+/// cheap relative to execution), so no materialized `Vec<Op>` is shared —
+/// peak memory stays O(live-set) per worker. Reports are sorted by method
+/// name and match [`run_suite`] on `Workload::generate(spec)` bit-for-bit
+/// apart from wall-clock fields.
+pub fn run_suite_stream(
+    methods: &mut [Box<dyn AccessMethod>],
+    spec: &WorkloadSpec,
+    threads: usize,
+) -> Result<Vec<RumReport>> {
+    let results = parallel_map(methods.iter_mut().collect(), threads, |method| {
+        run_stream(method.as_mut(), OpStream::new(spec))
+    });
+    let mut reports = results.into_iter().collect::<Result<Vec<_>>>()?;
+    sort_reports(&mut reports);
+    Ok(reports)
+}
+
+/// Number of workers [`run_suite_parallel`] uses: one per available core,
+/// unless the `RUM_THREADS` environment variable overrides it.
+///
+/// `RUM_THREADS` must parse as a positive integer; unset, empty, zero, or
+/// unparsable values fall back to the core count. CI and single-core
+/// containers use it to pin parallelism explicitly (e.g. `RUM_THREADS=1`
+/// for perfectly serial runs, or `RUM_THREADS=4` to exercise the threaded
+/// paths on a 1-core host).
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -263,10 +472,13 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let workers = threads.clamp(1, n.max(1));
-    if workers <= 1 {
+    // Short-circuit: one worker (single-core hosts, RUM_THREADS=1) or at
+    // most one item means threading can't help — run inline and skip the
+    // queue, the slot mutexes, and the scoped spawns entirely.
+    if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
+    let workers = threads.min(n);
 
     let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -464,7 +676,8 @@ mod tests {
         let report = run_workload(&mut m, &w).unwrap();
         assert!(report.table_row().contains("amp2"));
         assert!(RumReport::table_header().contains("MO"));
-        assert_eq!(report.csv_row().split(',').count(), 8);
+        assert!(RumReport::table_header().contains("ops/s"));
+        assert_eq!(report.csv_row().split(',').count(), 9);
     }
 
     #[test]
@@ -485,9 +698,10 @@ mod tests {
             wall_ns: 0,
             load_wall_ns: 0,
             sim_ns: 0,
+            ops_per_sec: f64::INFINITY,
         };
         let row = report.csv_row();
-        assert_eq!(row.split(',').count(), 8);
+        assert_eq!(row.split(',').count(), 9);
         assert!(
             !row.contains("inf") && !row.contains("NaN"),
             "csv_row leaked a non-finite literal: {row}"
@@ -533,5 +747,119 @@ mod tests {
             assert_eq!(s.load_costs, p.load_costs);
             assert_eq!((s.ro, s.uo, s.mo), (p.ro, p.uo, p.mo));
         }
+    }
+
+    fn assert_same_measurements(a: &RumReport, b: &RumReport) {
+        assert_eq!(a.method, b.method);
+        assert_eq!(a.n_final, b.n_final);
+        assert_eq!((a.read_ops, a.write_ops), (b.read_ops, b.write_ops));
+        assert_eq!(a.read_costs, b.read_costs);
+        assert_eq!(a.write_costs, b.write_costs);
+        assert_eq!(a.load_costs, b.load_costs);
+        assert_eq!(a.ro.to_bits(), b.ro.to_bits(), "RO must be bit-identical");
+        assert_eq!(a.uo.to_bits(), b.uo.to_bits(), "UO must be bit-identical");
+        assert_eq!(a.mo.to_bits(), b.mo.to_bits(), "MO must be bit-identical");
+    }
+
+    #[test]
+    fn run_stream_matches_run_workload() {
+        let spec = WorkloadSpec {
+            initial_records: 300,
+            operations: 1500,
+            mix: OpMix::BALANCED,
+            seed: 21,
+            ..Default::default()
+        };
+        let w = Workload::generate(&spec);
+        let mut serial = Amp2::new();
+        let mut streamed = Amp2::new();
+        let a = run_workload(&mut serial, &w).unwrap();
+        let b = run_stream(&mut streamed, crate::workload::OpStream::new(&spec)).unwrap();
+        assert_same_measurements(&a, &b);
+    }
+
+    #[test]
+    fn run_stream_sharded_matches_serial_sharded() {
+        let spec = WorkloadSpec {
+            initial_records: 400,
+            operations: 2000,
+            mix: OpMix::BALANCED,
+            seed: 33,
+            ..Default::default()
+        };
+        let factory = |_: usize| -> Box<dyn AccessMethod> { Box::new(Amp2::new()) };
+        let w = Workload::generate(&spec);
+        let mut serial = crate::shard::ShardedMethod::new(4, factory);
+        let a = run_workload(&mut serial, &w).unwrap();
+        let mut concurrent = crate::shard::ShardedMethod::new(4, factory);
+        let b = run_stream_sharded(
+            &mut concurrent,
+            crate::workload::OpStream::new(&spec),
+            257, // deliberately odd batch size so batches straddle transitions
+        )
+        .unwrap();
+        assert_same_measurements(&a, &b);
+    }
+
+    #[test]
+    fn run_suite_stream_matches_run_suite() {
+        let spec = WorkloadSpec {
+            initial_records: 200,
+            operations: 600,
+            mix: OpMix::BALANCED,
+            seed: 17,
+            ..Default::default()
+        };
+        let w = Workload::generate(&spec);
+        let make_suite = || -> Vec<Box<dyn AccessMethod>> {
+            vec![Box::new(Amp2::named("b")), Box::new(Amp2::named("a"))]
+        };
+        let serial = run_suite(&mut make_suite(), &w).unwrap();
+        let streamed = run_suite_stream(&mut make_suite(), &spec, 2).unwrap();
+        assert_eq!(serial.len(), streamed.len());
+        for (s, p) in serial.iter().zip(&streamed) {
+            assert_same_measurements(s, p);
+        }
+    }
+
+    #[test]
+    fn ops_per_sec_is_positive_for_real_runs() {
+        let w = Workload::generate(&WorkloadSpec {
+            initial_records: 100,
+            operations: 500,
+            seed: 5,
+            ..Default::default()
+        });
+        let mut m = Amp2::new();
+        let report = run_workload(&mut m, &w).unwrap();
+        assert!(report.ops_per_sec > 0.0);
+        // The rendered column is always finite, even if the clock was too
+        // coarse to observe the run.
+        let rendered: f64 = report
+            .csv_row()
+            .rsplit(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(rendered.is_finite());
+    }
+
+    #[test]
+    fn rum_threads_env_overrides_default_threads() {
+        // Process-global env: keep every probe inside this one test.
+        std::env::set_var("RUM_THREADS", "7");
+        assert_eq!(default_threads(), 7);
+        std::env::set_var("RUM_THREADS", " 3 ");
+        assert_eq!(default_threads(), 3, "whitespace is trimmed");
+        let fallback = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        for junk in ["0", "", "-2", "lots"] {
+            std::env::set_var("RUM_THREADS", junk);
+            assert_eq!(default_threads(), fallback, "junk value {junk:?}");
+        }
+        std::env::remove_var("RUM_THREADS");
+        assert_eq!(default_threads(), fallback);
     }
 }

@@ -1,0 +1,562 @@
+//! Hash-sharded composition of access methods: one logical
+//! [`AccessMethod`] backed by `K` inner instances, each owning a disjoint
+//! key partition, its own storage, and its own private
+//! [`CostTracker`](crate::tracker::CostTracker).
+//!
+//! Sharding is the paper's RUM tradeoff applied at the *system* level: the
+//! K auxiliary structures cost MO (K roots, K directories, K memtables...)
+//! and range queries pay a fan-out, in exchange for write and read traffic
+//! that can be absorbed by K workers concurrently. The cost model stays
+//! deterministic: every physical byte a shard touches is folded back into
+//! the wrapper's tracker as a u64 sum, so RO/UO/MO from a concurrent run
+//! are **bit-identical** to the same sharded structure driven serially —
+//! only wall-clock time changes. `tests/shard_equivalence.rs` pins this.
+//!
+//! ## Cost accounting
+//!
+//! The wrapper's tracker is the single source of truth. Inner trackers are
+//! scratch space: after every delegated call (or per-shard batch), the
+//! inner tracker's delta is [`absorb`](crate::tracker::CostTracker::absorb)ed
+//! into the wrapper's tracker. Logical traffic is charged exactly once —
+//! by the wrapper's instrumented entry points on the per-op path, or by
+//! the inner wrappers on the batched path — so both paths report the same
+//! totals.
+
+use std::sync::Arc;
+
+use crate::access::{AccessMethod, SpaceProfile};
+use crate::error::Result;
+use crate::tracker::{CostSnapshot, CostTracker};
+use crate::types::{Key, Record, Value};
+use crate::workload::Op;
+
+/// `K` instances of an access method behind one [`AccessMethod`] facade,
+/// partitioned by key hash. Built from a factory so every shard gets its
+/// own storage and tracker:
+///
+/// ```
+/// use rum_core::shard::ShardedMethod;
+/// # use rum_core::access::{AccessMethod, SpaceProfile};
+/// # use rum_core::tracker::CostTracker;
+/// # use rum_core::types::{Key, Record, Value, RECORD_SIZE};
+/// # use std::sync::Arc;
+/// # struct Toy { data: std::collections::BTreeMap<Key, Value>, t: Arc<CostTracker> }
+/// # impl Toy { fn new() -> Self { Toy { data: Default::default(), t: CostTracker::new() } } }
+/// # impl AccessMethod for Toy {
+/// #     fn name(&self) -> String { "toy".into() }
+/// #     fn len(&self) -> usize { self.data.len() }
+/// #     fn tracker(&self) -> &Arc<CostTracker> { &self.t }
+/// #     fn space_profile(&self) -> SpaceProfile {
+/// #         SpaceProfile::from_physical(self.data.len(), (self.data.len() * RECORD_SIZE) as u64)
+/// #     }
+/// #     fn get_impl(&mut self, k: Key) -> rum_core::Result<Option<Value>> { Ok(self.data.get(&k).copied()) }
+/// #     fn range_impl(&mut self, lo: Key, hi: Key) -> rum_core::Result<Vec<Record>> {
+/// #         Ok(self.data.range(lo..=hi).map(|(&k, &v)| Record::new(k, v)).collect())
+/// #     }
+/// #     fn insert_impl(&mut self, k: Key, v: Value) -> rum_core::Result<()> { self.data.insert(k, v); Ok(()) }
+/// #     fn update_impl(&mut self, k: Key, v: Value) -> rum_core::Result<bool> {
+/// #         Ok(self.data.get_mut(&k).map(|slot| *slot = v).is_some())
+/// #     }
+/// #     fn delete_impl(&mut self, k: Key) -> rum_core::Result<bool> { Ok(self.data.remove(&k).is_some()) }
+/// #     fn bulk_load_impl(&mut self, rs: &[Record]) -> rum_core::Result<()> {
+/// #         self.data = rs.iter().map(|r| (r.key, r.value)).collect(); Ok(())
+/// #     }
+/// # }
+/// let mut sharded = ShardedMethod::new(4, |_| Box::new(Toy::new()));
+/// sharded.insert(7, 70).unwrap();
+/// assert_eq!(sharded.get(7).unwrap(), Some(70));
+/// assert_eq!(sharded.shards(), 4);
+/// ```
+pub struct ShardedMethod {
+    name: String,
+    shards: Vec<Box<dyn AccessMethod>>,
+    /// The externally visible tracker: logical charges from the wrapper
+    /// entry points plus every absorbed inner delta.
+    tracker: Arc<CostTracker>,
+    /// Worker threads for [`execute_batch`](Self::execute_batch) and bulk
+    /// load; `<= 1` runs shards inline (identical costs, no spawns).
+    threads: usize,
+}
+
+impl ShardedMethod {
+    /// `k` shards from `factory(shard_index)`, one batch worker per shard.
+    pub fn new<F>(k: usize, factory: F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn AccessMethod>,
+    {
+        Self::with_threads(k, k, factory)
+    }
+
+    /// `k` shards with an explicit batch worker count (capped at `k`;
+    /// `threads <= 1` executes batches inline, in shard order).
+    pub fn with_threads<F>(k: usize, threads: usize, factory: F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn AccessMethod>,
+    {
+        assert!(k >= 1, "a sharded method needs at least one shard");
+        let shards: Vec<Box<dyn AccessMethod>> = (0..k).map(&factory).collect();
+        let name = format!("{}-x{}", shards[0].name(), k);
+        ShardedMethod {
+            name,
+            shards,
+            tracker: CostTracker::new(),
+            threads: threads.clamp(1, k),
+        }
+    }
+
+    /// Number of shards (the paper's `K`).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Batch worker threads this wrapper will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Which shard owns `key`. Fibonacci hashing, so dense sequential key
+    /// universes spread evenly instead of aliasing onto `key % K`.
+    #[inline]
+    pub fn shard_of(&self, key: Key) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % self.shards.len()
+        }
+    }
+
+    /// Run `f` against one shard and fold the physical traffic it accrued
+    /// on its private tracker into the wrapper tracker.
+    fn mirrored<T>(
+        &mut self,
+        shard: usize,
+        f: impl FnOnce(&mut dyn AccessMethod) -> Result<T>,
+    ) -> Result<T> {
+        let inner = self.shards[shard].as_mut();
+        let before = inner.tracker().snapshot();
+        let out = f(inner);
+        let delta = inner.tracker().since(&before);
+        self.tracker.absorb(&delta);
+        out
+    }
+
+    /// Execute a batch of operations, partitioned per shard (ranges fan
+    /// out to every shard), each shard's sub-batch on its own scoped
+    /// worker thread when `threads > 1`.
+    ///
+    /// Per-shard sub-batches preserve the batch's relative op order, and
+    /// every key deterministically maps to one shard, so each shard's
+    /// state and cost evolution is identical to the serial execution —
+    /// cross-shard interleaving only changes wall-clock time. Results are
+    /// discarded (this is the measurement path); per-op logical traffic is
+    /// charged by the inner instrumented wrappers and folded into the
+    /// wrapper tracker afterwards, giving totals bit-identical to driving
+    /// the wrapper one op at a time.
+    pub fn execute_batch(&mut self, ops: &[Op]) -> Result<()> {
+        let k = self.shards.len();
+        let mut parts: Vec<Vec<Op>> = vec![Vec::new(); k];
+        for &op in ops {
+            match op {
+                Op::Range(..) => {
+                    for part in parts.iter_mut() {
+                        part.push(op);
+                    }
+                }
+                Op::Get(key) | Op::Insert(key, _) | Op::Update(key, _) | Op::Delete(key) => {
+                    let shard = self.shard_of(key);
+                    parts[shard].push(op);
+                }
+            }
+        }
+        self.run_on_shards(&parts, |shard, part| {
+            for &op in part {
+                match op {
+                    Op::Get(key) => {
+                        shard.get(key)?;
+                    }
+                    Op::Range(lo, hi) => {
+                        shard.range(lo, hi)?;
+                    }
+                    Op::Insert(key, value) => {
+                        shard.insert(key, value)?;
+                    }
+                    Op::Update(key, value) => {
+                        shard.update(key, value)?;
+                    }
+                    Op::Delete(key) => {
+                        shard.delete(key)?;
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Run `f(shard, job)` for every shard with its job — threaded when
+    /// configured — then fold every shard's tracker delta into the wrapper
+    /// tracker (in shard order; the sums are order-independent anyway).
+    fn run_on_shards<J: Sync>(
+        &mut self,
+        jobs: &[J],
+        f: impl Fn(&mut dyn AccessMethod, &J) -> Result<()> + Sync,
+    ) -> Result<()> {
+        debug_assert_eq!(jobs.len(), self.shards.len());
+        let marks: Vec<CostSnapshot> = self.shards.iter().map(|s| s.tracker().snapshot()).collect();
+        let outcome: Result<()> = if self.threads <= 1 || self.shards.len() <= 1 {
+            self.shards
+                .iter_mut()
+                .zip(jobs)
+                .try_for_each(|(shard, job)| f(shard.as_mut(), job))
+        } else {
+            let results: Vec<Result<()>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(jobs)
+                    .map(|(shard, job)| scope.spawn(|| f(shard.as_mut(), job)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            results.into_iter().collect()
+        };
+        for (shard, mark) in self.shards.iter().zip(&marks) {
+            self.tracker.absorb(&shard.tracker().since(mark));
+        }
+        outcome
+    }
+}
+
+impl AccessMethod for ShardedMethod {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    fn tracker(&self) -> &Arc<CostTracker> {
+        &self.tracker
+    }
+
+    /// Sum of the shard footprints: base bytes add up to the same live
+    /// data, while the K auxiliary structures are exactly the MO sharding
+    /// spends to buy concurrency.
+    fn space_profile(&self) -> SpaceProfile {
+        self.shards
+            .iter()
+            .fold(SpaceProfile::default(), |acc, shard| {
+                let p = shard.space_profile();
+                SpaceProfile {
+                    base_bytes: acc.base_bytes + p.base_bytes,
+                    aux_bytes: acc.aux_bytes + p.aux_bytes,
+                }
+            })
+    }
+
+    fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+        let shard = self.shard_of(key);
+        self.mirrored(shard, |m| m.get_impl(key))
+    }
+
+    /// Fan out to every shard and k-way merge the (individually sorted,
+    /// key-disjoint) partial results into ascending key order.
+    fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+        let k = self.shards.len();
+        let mut partials: Vec<Vec<Record>> = Vec::with_capacity(k);
+        for shard in 0..k {
+            partials.push(self.mirrored(shard, |m| m.range_impl(lo, hi))?);
+        }
+        let total: usize = partials.iter().map(Vec::len).sum();
+        let mut merged = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; k];
+        for _ in 0..total {
+            let mut best: Option<usize> = None;
+            for (shard, &cursor) in cursors.iter().enumerate() {
+                if cursor < partials[shard].len()
+                    && best
+                        .is_none_or(|b| partials[shard][cursor].key < partials[b][cursors[b]].key)
+                {
+                    best = Some(shard);
+                }
+            }
+            let shard = best.expect("total counts a remaining record");
+            merged.push(partials[shard][cursors[shard]]);
+            cursors[shard] += 1;
+        }
+        Ok(merged)
+    }
+
+    fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+        let shard = self.shard_of(key);
+        self.mirrored(shard, |m| m.insert_impl(key, value))
+    }
+
+    fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+        let shard = self.shard_of(key);
+        self.mirrored(shard, |m| m.update_impl(key, value))
+    }
+
+    fn delete_impl(&mut self, key: Key) -> Result<bool> {
+        let shard = self.shard_of(key);
+        self.mirrored(shard, |m| m.delete_impl(key))
+    }
+
+    /// Partition the (ascending) input per shard — each partition stays
+    /// strictly ascending — and load shards concurrently.
+    fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+        let k = self.shards.len();
+        let mut parts: Vec<Vec<Record>> = vec![Vec::new(); k];
+        for &r in records {
+            let shard = self.shard_of(r.key);
+            parts[shard].push(r);
+        }
+        // Every shard loads its partition, including empty ones: bulk load
+        // replaces prior contents everywhere.
+        self.run_on_shards(&parts, |shard, part| shard.bulk_load_impl(part))
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        for shard in 0..self.shards.len() {
+            self.mirrored(shard, |m| m.flush())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::DataClass;
+    use crate::types::RECORD_SIZE;
+
+    /// In-memory method with a deterministic cost model: every physical
+    /// access charges 2 bytes per logical byte.
+    struct Amp2 {
+        data: std::collections::BTreeMap<Key, Value>,
+        tracker: Arc<CostTracker>,
+    }
+
+    impl Amp2 {
+        fn boxed(_shard: usize) -> Box<dyn AccessMethod> {
+            Box::new(Amp2 {
+                data: Default::default(),
+                tracker: CostTracker::new(),
+            })
+        }
+    }
+
+    impl AccessMethod for Amp2 {
+        fn name(&self) -> String {
+            "amp2".into()
+        }
+        fn len(&self) -> usize {
+            self.data.len()
+        }
+        fn tracker(&self) -> &Arc<CostTracker> {
+            &self.tracker
+        }
+        fn space_profile(&self) -> SpaceProfile {
+            SpaceProfile::from_physical(self.data.len(), (self.data.len() * 3 * RECORD_SIZE) as u64)
+        }
+        fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+            let r = self.data.get(&key).copied();
+            if r.is_some() {
+                self.tracker.read(DataClass::Base, 2 * RECORD_SIZE as u64);
+            }
+            Ok(r)
+        }
+        fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+            let out: Vec<Record> = self
+                .data
+                .range(lo..=hi)
+                .map(|(&k, &v)| Record::new(k, v))
+                .collect();
+            self.tracker
+                .read(DataClass::Base, (2 * out.len() * RECORD_SIZE) as u64);
+            Ok(out)
+        }
+        fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+            self.tracker.write(DataClass::Base, 2 * RECORD_SIZE as u64);
+            self.data.insert(key, value);
+            Ok(())
+        }
+        fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+            if let std::collections::btree_map::Entry::Occupied(mut e) = self.data.entry(key) {
+                self.tracker.write(DataClass::Base, 2 * RECORD_SIZE as u64);
+                e.insert(value);
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        }
+        fn delete_impl(&mut self, key: Key) -> Result<bool> {
+            if self.data.remove(&key).is_some() {
+                self.tracker.write(DataClass::Base, 2 * RECORD_SIZE as u64);
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        }
+        fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+            self.tracker
+                .write(DataClass::Base, (records.len() * RECORD_SIZE) as u64);
+            self.data = records.iter().map(|r| (r.key, r.value)).collect();
+            Ok(())
+        }
+    }
+
+    fn sample_records(n: u64) -> Vec<Record> {
+        (0..n).map(|k| Record::new(3 * k, k)).collect()
+    }
+
+    #[test]
+    fn routing_covers_every_shard() {
+        let sharded = ShardedMethod::new(8, Amp2::boxed);
+        let mut hit = [false; 8];
+        for k in 0..10_000u64 {
+            hit[sharded.shard_of(k)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "dense keys must reach all shards");
+    }
+
+    #[test]
+    fn behaves_like_one_method() {
+        let mut sharded = ShardedMethod::new(4, Amp2::boxed);
+        sharded.bulk_load(&sample_records(100)).unwrap();
+        assert_eq!(sharded.len(), 100);
+        assert_eq!(sharded.get(30).unwrap(), Some(10));
+        assert_eq!(sharded.get(31).unwrap(), None);
+        assert!(sharded.update(30, 99).unwrap());
+        assert_eq!(sharded.get(30).unwrap(), Some(99));
+        assert!(sharded.delete(30).unwrap());
+        assert!(!sharded.delete(30).unwrap());
+        assert_eq!(sharded.len(), 99);
+        // Range results merge across shards in ascending order.
+        let rs = sharded.range(0, 60).unwrap();
+        let keys: Vec<Key> = rs.iter().map(|r| r.key).collect();
+        assert_eq!(
+            keys,
+            vec![0, 3, 6, 9, 12, 15, 18, 21, 24, 27, 33, 36, 39, 42, 45, 48, 51, 54, 57, 60]
+        );
+    }
+
+    #[test]
+    fn one_shard_is_cost_transparent() {
+        // K=1 routes everything to the single inner instance: reports and
+        // contents must match the bare method exactly.
+        let records = sample_records(200);
+        let ops: Vec<Op> = (0..600u64)
+            .map(|i| match i % 4 {
+                0 => Op::Get(3 * (i % 200)),
+                1 => Op::Insert(3 * i + 1, i),
+                2 => Op::Update(3 * (i % 200), i),
+                _ => Op::Range(3 * (i % 100), 3 * (i % 100) + 30),
+            })
+            .collect();
+
+        let mut bare = Amp2::boxed(0);
+        let mut sharded = ShardedMethod::new(1, Amp2::boxed);
+        bare.bulk_load(&records).unwrap();
+        sharded.bulk_load(&records).unwrap();
+        for &op in &ops {
+            for m in [bare.as_mut(), &mut sharded as &mut dyn AccessMethod] {
+                match op {
+                    Op::Get(k) => {
+                        m.get(k).unwrap();
+                    }
+                    Op::Range(lo, hi) => {
+                        m.range(lo, hi).unwrap();
+                    }
+                    Op::Insert(k, v) => m.insert(k, v).unwrap(),
+                    Op::Update(k, v) => {
+                        m.update(k, v).unwrap();
+                    }
+                    Op::Delete(k) => {
+                        m.delete(k).unwrap();
+                    }
+                }
+            }
+        }
+        assert_eq!(bare.len(), sharded.len());
+        assert_eq!(bare.tracker().snapshot(), sharded.tracker().snapshot());
+        let bp = bare.space_profile();
+        let sp = sharded.space_profile();
+        assert_eq!((bp.base_bytes, bp.aux_bytes), (sp.base_bytes, sp.aux_bytes));
+    }
+
+    #[test]
+    fn batched_concurrent_costs_match_per_op_serial() {
+        // The same op sequence, driven (a) one op at a time through the
+        // wrapper and (b) as threaded per-shard batches, must leave both
+        // wrappers with bit-identical tracker totals and contents.
+        let records = sample_records(500);
+        let ops: Vec<Op> = (0..4000u64)
+            .map(|i| match i % 5 {
+                0 => Op::Get(3 * (i % 500)),
+                1 => Op::Insert(3 * i + 2, i),
+                2 => Op::Update(3 * (i % 500), i),
+                3 => Op::Delete(3 * ((i / 5) % 500)),
+                _ => Op::Range(3 * (i % 300), 3 * (i % 300) + 90),
+            })
+            .collect();
+
+        let mut per_op = ShardedMethod::with_threads(4, 1, Amp2::boxed);
+        per_op.bulk_load(&records).unwrap();
+        for &op in &ops {
+            match op {
+                Op::Get(k) => {
+                    per_op.get(k).unwrap();
+                }
+                Op::Range(lo, hi) => {
+                    per_op.range(lo, hi).unwrap();
+                }
+                Op::Insert(k, v) => per_op.insert(k, v).unwrap(),
+                Op::Update(k, v) => {
+                    per_op.update(k, v).unwrap();
+                }
+                Op::Delete(k) => {
+                    per_op.delete(k).unwrap();
+                }
+            }
+        }
+
+        let mut batched = ShardedMethod::with_threads(4, 4, Amp2::boxed);
+        batched.bulk_load(&records).unwrap();
+        for chunk in ops.chunks(257) {
+            batched.execute_batch(chunk).unwrap();
+        }
+
+        assert_eq!(per_op.len(), batched.len());
+        assert_eq!(
+            per_op.tracker().snapshot(),
+            batched.tracker().snapshot(),
+            "threaded batches must not change a single counted byte"
+        );
+        assert_eq!(
+            per_op.range(0, Key::MAX).unwrap(),
+            batched.range(0, Key::MAX).unwrap()
+        );
+    }
+
+    #[test]
+    fn bulk_load_replaces_contents_on_every_shard() {
+        let mut sharded = ShardedMethod::new(4, Amp2::boxed);
+        for k in 0..100u64 {
+            sharded.insert(k * 7 + 1, 1).unwrap();
+        }
+        sharded.bulk_load(&sample_records(10)).unwrap();
+        assert_eq!(sharded.len(), 10);
+        assert_eq!(sharded.get(8).unwrap(), None);
+    }
+
+    #[test]
+    fn name_and_profile_reflect_k() {
+        let sharded = ShardedMethod::new(4, Amp2::boxed);
+        assert_eq!(sharded.name(), "amp2-x4");
+        assert_eq!(sharded.shards(), 4);
+    }
+}

@@ -140,6 +140,30 @@ impl CostTracker {
     pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
         self.snapshot().delta(earlier)
     }
+
+    /// Add a whole snapshot (usually a delta from another tracker) into
+    /// this tracker's counters. This is how a sharded wrapper folds the
+    /// traffic its inner shards accrued on their private trackers into the
+    /// tracker the measurement harness watches: u64 sums commute, so the
+    /// merged totals are identical no matter which order (or from which
+    /// worker thread) the deltas arrive.
+    pub fn absorb(&self, d: &CostSnapshot) {
+        self.base_read_bytes
+            .fetch_add(d.base_read_bytes, Ordering::Relaxed);
+        self.aux_read_bytes
+            .fetch_add(d.aux_read_bytes, Ordering::Relaxed);
+        self.base_write_bytes
+            .fetch_add(d.base_write_bytes, Ordering::Relaxed);
+        self.aux_write_bytes
+            .fetch_add(d.aux_write_bytes, Ordering::Relaxed);
+        self.logical_read_bytes
+            .fetch_add(d.logical_read_bytes, Ordering::Relaxed);
+        self.logical_write_bytes
+            .fetch_add(d.logical_write_bytes, Ordering::Relaxed);
+        self.page_reads.fetch_add(d.page_reads, Ordering::Relaxed);
+        self.page_writes.fetch_add(d.page_writes, Ordering::Relaxed);
+        self.sim_time_ns.fetch_add(d.sim_time_ns, Ordering::Relaxed);
+    }
 }
 
 /// A frozen view of a [`CostTracker`], or a delta between two views.
@@ -298,6 +322,24 @@ mod tests {
         t.sim_time(99);
         t.reset();
         assert_eq!(t.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn absorb_merges_another_trackers_delta() {
+        let a = CostTracker::new();
+        let b = CostTracker::new();
+        a.read(DataClass::Base, 100);
+        b.read(DataClass::Aux, 7);
+        b.logical_write(3);
+        b.page_write();
+        b.sim_time(11);
+        a.absorb(&b.snapshot());
+        let s = a.snapshot();
+        assert_eq!(s.base_read_bytes, 100);
+        assert_eq!(s.aux_read_bytes, 7);
+        assert_eq!(s.logical_write_bytes, 3);
+        assert_eq!(s.page_writes, 1);
+        assert_eq!(s.sim_time_ns, 11);
     }
 
     #[test]

@@ -6,8 +6,19 @@
 //! a deterministic initial dataset plus an operation stream drawn from a
 //! configurable operation mix and key distribution (uniform or zipfian —
 //! the standard skew model for database workloads).
-
-use std::collections::HashMap;
+//!
+//! Workloads come in two forms that yield the **bit-identical** operation
+//! sequence for the same [`WorkloadSpec`]:
+//!
+//! * [`Workload::generate`] materializes the whole stream as a `Vec<Op>` —
+//!   convenient when several methods replay the same ops, but O(ops)
+//!   memory, which caps experiments around a few hundred thousand ops.
+//! * [`OpStream`] yields the same ops one at a time in O(live-set) memory,
+//!   which is what unlocks multi-million-op runs
+//!   ([`run_stream`](crate::runner::run_stream), the `scale_sweep` bench).
+//!
+//! `Workload::generate` is implemented *as* a collected `OpStream`, so the
+//! two can never drift apart.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -257,40 +268,154 @@ impl Zipfian {
     }
 }
 
+/// Open-addressing key → rank table: the slot-map half of [`LiveSet`].
+///
+/// Replaces the former `HashMap<Key, usize>`: a fixed multiply-shift hash
+/// with linear probing keeps membership checks allocation-free, branch-light
+/// and fully deterministic (no per-process `RandomState`), and deletions use
+/// backward-shift compaction so a stream of millions of deletes never
+/// accumulates tombstones. Capacity stays a power of two at ≤ 75% load.
+struct KeySlots {
+    slots: Vec<Option<(Key, usize)>>,
+    mask: usize,
+    len: usize,
+}
+
+impl KeySlots {
+    fn with_capacity(n: usize) -> Self {
+        let cap = (n.max(4) * 2).next_power_of_two();
+        KeySlots {
+            slots: vec![None; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn home(&self, key: Key) -> usize {
+        // Fibonacci hashing: the golden-ratio multiplier diffuses dense
+        // (sequential) key universes across the table.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    /// Cyclic probe distance from slot `from` to slot `to`.
+    #[inline]
+    fn distance(&self, from: usize, to: usize) -> usize {
+        to.wrapping_sub(from) & self.mask
+    }
+
+    fn find(&self, key: Key) -> Option<usize> {
+        let mut i = self.home(key);
+        loop {
+            match self.slots[i] {
+                Some((k, _)) if k == key => return Some(i),
+                Some(_) => i = (i + 1) & self.mask,
+                None => return None,
+            }
+        }
+    }
+
+    fn get(&self, key: Key) -> Option<usize> {
+        self.find(key).map(|i| self.slots[i].expect("occupied").1)
+    }
+
+    /// Insert or overwrite `key → rank`.
+    fn set(&mut self, key: Key, rank: usize) {
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.home(key);
+        loop {
+            match self.slots[i] {
+                Some((k, _)) if k == key => {
+                    self.slots[i] = Some((key, rank));
+                    return;
+                }
+                Some(_) => i = (i + 1) & self.mask,
+                None => {
+                    self.slots[i] = Some((key, rank));
+                    self.len += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Remove `key`, returning its rank. Backward-shift compaction keeps
+    /// every remaining probe chain contiguous without tombstones.
+    fn remove(&mut self, key: Key) -> Option<usize> {
+        let mut hole = self.find(key)?;
+        let rank = self.slots[hole].expect("occupied").1;
+        self.slots[hole] = None;
+        self.len -= 1;
+        let mut j = hole;
+        loop {
+            j = (j + 1) & self.mask;
+            let Some((k, r)) = self.slots[j] else { break };
+            // An entry may move back into the hole iff its probe path
+            // passes through it (probe distance reaches at least as far
+            // back as the hole).
+            if self.distance(self.home(k), j) >= self.distance(hole, j) {
+                self.slots[hole] = Some((k, r));
+                self.slots[j] = None;
+                hole = j;
+            }
+        }
+        Some(rank)
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.slots, vec![None; (self.mask + 1) * 2]);
+        self.mask = self.slots.len() - 1;
+        self.len = 0;
+        for entry in old.into_iter().flatten() {
+            self.set(entry.0, entry.1);
+        }
+    }
+}
+
 /// Tracks the live key population during generation so updates/deletes/gets
 /// target existing keys and inserts target fresh keys.
+///
+/// Ranks (for zipfian / uniform sampling) are resolved in O(1) through the
+/// index-addressable `keys` vector; membership and removal go through the
+/// [`KeySlots`] slot map. Total memory is O(live keys) — the property that
+/// lets [`OpStream`] run multi-million-op streams without a `Vec<Op>`.
 struct LiveSet {
     keys: Vec<Key>,
-    index: HashMap<Key, usize>,
+    slots: KeySlots,
 }
 
 impl LiveSet {
     fn new(keys: Vec<Key>) -> Self {
-        let index = keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
-        LiveSet { keys, index }
+        let mut slots = KeySlots::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            slots.set(k, i);
+        }
+        LiveSet { keys, slots }
     }
     fn len(&self) -> usize {
         self.keys.len()
     }
     fn contains(&self, k: Key) -> bool {
-        self.index.contains_key(&k)
+        self.slots.get(k).is_some()
     }
     fn at(&self, i: usize) -> Key {
         self.keys[i]
     }
     fn insert(&mut self, k: Key) {
         if !self.contains(k) {
-            self.index.insert(k, self.keys.len());
+            self.slots.set(k, self.keys.len());
             self.keys.push(k);
         }
     }
     fn remove(&mut self, k: Key) {
-        if let Some(i) = self.index.remove(&k) {
+        if let Some(i) = self.slots.remove(k) {
             let last = self.keys.len() - 1;
             self.keys.swap(i, last);
             self.keys.pop();
             if i < self.keys.len() {
-                self.index.insert(self.keys[i], i);
+                self.slots.set(self.keys[i], i);
             }
         }
     }
@@ -298,21 +423,61 @@ impl LiveSet {
 
 impl Workload {
     /// Generate a workload from a spec. Deterministic in `spec.seed`.
+    ///
+    /// Implemented as a fully collected [`OpStream`], so the materialized
+    /// `ops` vector is bit-identical to what the streaming form yields —
+    /// the contract `tests` pin and the streaming runner relies on.
     pub fn generate(spec: &WorkloadSpec) -> Workload {
+        let mut stream = OpStream::new(spec);
+        let mut ops = Vec::with_capacity(spec.operations);
+        ops.extend(&mut stream);
+        Workload {
+            initial: stream.into_initial(),
+            ops,
+            spec_range_len: spec.range_len,
+        }
+    }
+}
+
+/// Streaming equivalent of [`Workload::generate`]: yields the bit-identical
+/// operation sequence for the same [`WorkloadSpec`] seed, holding only the
+/// live key set (a rank-addressable `Vec` plus a slot map) instead of the
+/// whole `Vec<Op>` — O(live-set) memory, so 10⁷–10⁹-op experiments fit
+/// where the materialized form would not.
+///
+/// ```
+/// use rum_core::workload::{OpStream, Workload, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::default();
+/// let materialized = Workload::generate(&spec);
+/// let streamed: Vec<_> = OpStream::new(&spec).collect();
+/// assert_eq!(materialized.ops, streamed);
+/// ```
+pub struct OpStream {
+    spec: WorkloadSpec,
+    initial: Vec<Record>,
+    rng: StdRng,
+    live: LiveSet,
+    zipf: Option<Zipfian>,
+    thresholds: [f64; 4],
+    /// Fresh keys for inserts continue above the initial population so
+    /// they never collide with live keys.
+    next_fresh: Key,
+    fresh_step: u64,
+    version: u64,
+    emitted: usize,
+}
+
+impl OpStream {
+    /// Build the stream: generates the initial dataset eagerly (it is the
+    /// live set), then yields `spec.operations` ops lazily.
+    pub fn new(spec: &WorkloadSpec) -> OpStream {
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let initial = generate_initial(spec, &mut rng);
         let max_initial_key = initial.last().map(|r| r.key).unwrap_or(0);
-        let mut live = LiveSet::new(initial.iter().map(|r| r.key).collect());
+        let live = LiveSet::new(initial.iter().map(|r| r.key).collect());
 
-        // Fresh keys for inserts continue above the initial population so
-        // they never collide with live keys.
-        let mut next_fresh = max_initial_key + 1;
-        let fresh_step = match spec.key_space {
-            KeySpace::Dense { spacing } => spacing.max(1),
-            KeySpace::Sparse { universe_factor } => universe_factor.max(1),
-        };
-
-        let mut zipf = match spec.dist {
+        let zipf = match spec.dist {
             KeyDist::Zipf { theta } => Some(Zipfian::new(spec.initial_records.max(2), theta)),
             KeyDist::Uniform => None,
         };
@@ -326,78 +491,134 @@ impl Workload {
             (spec.mix.get + spec.mix.insert + spec.mix.update + spec.mix.delete) / total,
         ];
 
-        let mut ops = Vec::with_capacity(spec.operations);
-        let mut version: u64 = 1;
-        // INSERT, also the fallback whenever an arm needs a live key and
-        // none exists: every slot of the stream must emit an operation, or
-        // the generated workload silently falls short of `spec.operations`
-        // (an empty-start write-heavy spec could lose most of its slots).
-        let fresh_insert =
-            |live: &mut LiveSet, next_fresh: &mut Key, version: &mut u64, rng: &mut StdRng| {
-                let k = *next_fresh;
-                *next_fresh += fresh_step.max(1) + (rng.gen::<u64>() % fresh_step.max(1)) / 2;
-                live.insert(k);
-                *version += 1;
-                Op::Insert(k, value_for(k, *version))
-            };
-        // Average key spacing, used to size range spans for a target result
-        // count. Recomputed cheaply from the live population bounds.
-        for _ in 0..spec.operations {
-            let dice: f64 = rng.gen();
-            let op = if dice < thresholds[0] {
-                // GET
-                if live.len() == 0 {
-                    Op::Get(rng.gen())
-                } else if spec.miss_fraction > 0.0 && rng.gen::<f64>() < spec.miss_fraction {
-                    // A key extremely unlikely to be live.
-                    let mut k: Key = rng.gen::<Key>() | (1 << 63);
-                    while live.contains(k) {
-                        k = rng.gen::<Key>() | (1 << 63);
-                    }
-                    Op::Get(k)
-                } else {
-                    Op::Get(pick_live(&live, &mut zipf, &mut rng))
-                }
-            } else if dice < thresholds[1] {
-                fresh_insert(&mut live, &mut next_fresh, &mut version, &mut rng)
-            } else if dice < thresholds[2] {
-                // UPDATE
-                if live.len() == 0 {
-                    fresh_insert(&mut live, &mut next_fresh, &mut version, &mut rng)
-                } else {
-                    let k = pick_live(&live, &mut zipf, &mut rng);
-                    version += 1;
-                    Op::Update(k, value_for(k, version))
-                }
-            } else if dice < thresholds[3] {
-                // DELETE
-                if live.len() == 0 {
-                    fresh_insert(&mut live, &mut next_fresh, &mut version, &mut rng)
-                } else {
-                    let k = pick_live(&live, &mut zipf, &mut rng);
-                    live.remove(k);
-                    Op::Delete(k)
-                }
-            } else {
-                // RANGE: span sized so the expected result count ≈ range_len.
-                if live.len() == 0 {
-                    fresh_insert(&mut live, &mut next_fresh, &mut version, &mut rng)
-                } else {
-                    let lo = pick_live(&live, &mut zipf, &mut rng);
-                    let span = expected_span(spec, next_fresh, live.len());
-                    Op::Range(lo, lo.saturating_add(span))
-                }
-            };
-            ops.push(op);
-        }
-
-        Workload {
+        OpStream {
+            spec: *spec,
             initial,
-            ops,
-            spec_range_len: spec.range_len,
+            rng,
+            live,
+            zipf,
+            thresholds,
+            next_fresh: max_initial_key + 1,
+            fresh_step: match spec.key_space {
+                KeySpace::Dense { spacing } => spacing.max(1),
+                KeySpace::Sparse { universe_factor } => universe_factor.max(1),
+            },
+            version: 1,
+            emitted: 0,
         }
     }
+
+    /// The spec this stream was built from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The initial dataset (sorted, unique keys) to bulk-load before the
+    /// op stream. Empty after [`take_initial`](Self::take_initial).
+    pub fn initial(&self) -> &[Record] {
+        &self.initial
+    }
+
+    /// Take ownership of the initial dataset (leaves it empty), so a
+    /// runner can bulk-load it while the stream keeps yielding ops.
+    pub fn take_initial(&mut self) -> Vec<Record> {
+        std::mem::take(&mut self.initial)
+    }
+
+    /// Consume the stream, returning the initial dataset.
+    pub fn into_initial(self) -> Vec<Record> {
+        self.initial
+    }
+
+    /// Ops yielded so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Current live-key population — the stream's whole working state.
+    pub fn live_keys(&self) -> usize {
+        self.live.len()
+    }
+
+    /// INSERT, also the fallback whenever an arm needs a live key and
+    /// none exists: every slot of the stream must emit an operation, or
+    /// the generated workload silently falls short of `spec.operations`
+    /// (an empty-start write-heavy spec could lose most of its slots).
+    fn fresh_insert(&mut self) -> Op {
+        let k = self.next_fresh;
+        let step = self.fresh_step.max(1);
+        self.next_fresh += step + (self.rng.gen::<u64>() % step) / 2;
+        self.live.insert(k);
+        self.version += 1;
+        Op::Insert(k, value_for(k, self.version))
+    }
 }
+
+impl Iterator for OpStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.emitted >= self.spec.operations {
+            return None;
+        }
+        self.emitted += 1;
+        let dice: f64 = self.rng.gen();
+        let op = if dice < self.thresholds[0] {
+            // GET
+            if self.live.len() == 0 {
+                Op::Get(self.rng.gen())
+            } else if self.spec.miss_fraction > 0.0
+                && self.rng.gen::<f64>() < self.spec.miss_fraction
+            {
+                // A key extremely unlikely to be live.
+                let mut k: Key = self.rng.gen::<Key>() | (1 << 63);
+                while self.live.contains(k) {
+                    k = self.rng.gen::<Key>() | (1 << 63);
+                }
+                Op::Get(k)
+            } else {
+                Op::Get(pick_live(&self.live, &mut self.zipf, &mut self.rng))
+            }
+        } else if dice < self.thresholds[1] {
+            self.fresh_insert()
+        } else if dice < self.thresholds[2] {
+            // UPDATE
+            if self.live.len() == 0 {
+                self.fresh_insert()
+            } else {
+                let k = pick_live(&self.live, &mut self.zipf, &mut self.rng);
+                self.version += 1;
+                Op::Update(k, value_for(k, self.version))
+            }
+        } else if dice < self.thresholds[3] {
+            // DELETE
+            if self.live.len() == 0 {
+                self.fresh_insert()
+            } else {
+                let k = pick_live(&self.live, &mut self.zipf, &mut self.rng);
+                self.live.remove(k);
+                Op::Delete(k)
+            }
+        } else {
+            // RANGE: span sized so the expected result count ≈ range_len.
+            if self.live.len() == 0 {
+                self.fresh_insert()
+            } else {
+                let lo = pick_live(&self.live, &mut self.zipf, &mut self.rng);
+                let span = expected_span(&self.spec, self.next_fresh, self.live.len());
+                Op::Range(lo, lo.saturating_add(span))
+            }
+        };
+        Some(op)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.spec.operations - self.emitted;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for OpStream {}
 
 /// Pick a live key: uniformly, or by zipfian rank over the *current* live
 /// population. The zipfian generator is resized (incrementally — see
@@ -675,5 +896,110 @@ mod tests {
     fn value_for_versions_differ() {
         assert_ne!(value_for(5, 0), value_for(5, 1));
         assert_ne!(value_for(5, 0), value_for(6, 0));
+    }
+
+    #[test]
+    fn key_slots_match_a_hashmap_model() {
+        // Drive the open-addressing slot map through a random op stream
+        // against std's HashMap; contents must agree at every step, and a
+        // narrow key domain forces heavy delete/re-insert probe-chain churn
+        // (the backward-shift path).
+        let mut rng = StdRng::seed_from_u64(0x510C);
+        let mut slots = KeySlots::with_capacity(4);
+        let mut model = std::collections::HashMap::new();
+        for step in 0..20_000usize {
+            let k: Key = rng.gen_range(0..512);
+            match rng.gen_range(0..3) {
+                0 => {
+                    slots.set(k, step);
+                    model.insert(k, step);
+                }
+                1 => {
+                    assert_eq!(slots.remove(k), model.remove(&k), "remove {k} @ {step}");
+                }
+                _ => {
+                    assert_eq!(slots.get(k), model.get(&k).copied(), "get {k} @ {step}");
+                }
+            }
+            assert_eq!(slots.len, model.len(), "len @ {step}");
+        }
+        for (&k, &v) in &model {
+            assert_eq!(slots.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn op_stream_matches_generate_for_every_mix_dist_and_population() {
+        // The streaming generator's contract: bit-identical op sequence to
+        // the materialized Workload::generate, for every OpMix preset ×
+        // KeyDist × initial population (including the empty-start and
+        // miss-heavy corners) — same initial dataset, same ops, same order.
+        let mixes = [
+            ("read-heavy", OpMix::READ_HEAVY),
+            ("write-heavy", OpMix::WRITE_HEAVY),
+            ("balanced", OpMix::BALANCED),
+            ("scan-heavy", OpMix::SCAN_HEAVY),
+            ("read-only", OpMix::READ_ONLY),
+            ("insert-only", OpMix::INSERT_ONLY),
+        ];
+        let dists = [KeyDist::Uniform, KeyDist::Zipf { theta: 0.99 }];
+        for (tag, mix) in mixes {
+            for dist in dists {
+                for initial in [0usize, 1, 777] {
+                    for miss in [0.0, 0.3] {
+                        let spec = WorkloadSpec {
+                            initial_records: initial,
+                            operations: 2500,
+                            mix,
+                            dist,
+                            miss_fraction: miss,
+                            seed: 0xBEE5,
+                            ..Default::default()
+                        };
+                        let ctx = format!("{tag}/{dist:?}/initial={initial}/miss={miss}");
+                        let materialized = Workload::generate(&spec);
+                        let mut stream = OpStream::new(&spec);
+                        assert_eq!(stream.initial(), &materialized.initial[..], "{ctx}");
+                        assert_eq!(stream.len(), 2500, "{ctx}");
+                        let streamed: Vec<Op> = (&mut stream).collect();
+                        assert_eq!(streamed, materialized.ops, "{ctx}");
+                        assert_eq!(stream.emitted(), 2500, "{ctx}");
+                        assert_eq!(stream.next(), None, "{ctx}: stream past the end");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn op_stream_memory_is_live_set_sized() {
+        // A delete-free stream holds exactly initial+inserts keys; a
+        // delete-heavy stream's live set shrinks. Either way the stream's
+        // state is the live set, not the op history.
+        let spec = WorkloadSpec {
+            initial_records: 100,
+            operations: 50_000,
+            mix: OpMix {
+                get: 0.5,
+                insert: 0.05,
+                update: 0.2,
+                delete: 0.25,
+                range: 0.0,
+            },
+            seed: 3,
+            ..Default::default()
+        };
+        let mut stream = OpStream::new(&spec);
+        let mut inserts = 0usize;
+        let mut deletes = 0usize;
+        for op in &mut stream {
+            match op {
+                Op::Insert(..) => inserts += 1,
+                Op::Delete(_) => deletes += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(stream.live_keys(), 100 + inserts - deletes);
+        assert!(stream.live_keys() < 5000, "live set should stay small");
     }
 }

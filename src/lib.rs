@@ -66,14 +66,14 @@ pub use rum_storage as storage;
 /// The most common imports in one place.
 pub mod prelude {
     pub use rum_core::runner::{
-        measure_ops, parallel_map, run_suite, run_suite_parallel, run_suite_with_threads,
-        run_workload, RumReport,
+        measure_ops, parallel_map, run_stream, run_stream_sharded, run_suite, run_suite_parallel,
+        run_suite_stream, run_suite_with_threads, run_workload, RumReport, DEFAULT_STREAM_BATCH,
     };
     pub use rum_core::triangle::{render_ascii, rum_point, to_csv, RumPoint};
-    pub use rum_core::workload::{KeyDist, KeySpace, Op, OpMix, Workload, WorkloadSpec};
+    pub use rum_core::workload::{KeyDist, KeySpace, Op, OpMix, OpStream, Workload, WorkloadSpec};
     pub use rum_core::{
         AccessMethod, CostSnapshot, CostTracker, DataClass, Key, Record, Result, RumError,
-        SpaceProfile, Value, PAGE_SIZE, RECORDS_PER_PAGE, RECORD_SIZE,
+        ShardedMethod, SpaceProfile, Value, PAGE_SIZE, RECORDS_PER_PAGE, RECORD_SIZE,
     };
 }
 
@@ -117,6 +117,12 @@ pub fn standard_suite() -> Vec<Box<dyn AccessMethod>> {
         Box::new(btree::PartitionedBTree::with_config(btree::PbtConfig {
             partition_records: 512,
             ..Default::default()
+        })),
+        // Sharded composition: K=4 hash-partitioned B+-trees behind one
+        // facade — the RUM tradeoff at the system level (MO spent on K
+        // auxiliary structures buys concurrent execution, not lower RO).
+        Box::new(core::ShardedMethod::new(4, |_| {
+            Box::new(btree::BTree::new())
         })),
     ]
 }

@@ -1,0 +1,87 @@
+//! The sharded executor's contract, pinned on real access methods:
+//!
+//! 1. `run_stream_sharded` (concurrent, batched, streaming) produces the
+//!    same RO / UO / MO and cost snapshots as `run_workload` (serial,
+//!    per-op, materialized) driving the *same* `ShardedMethod` — bit for
+//!    bit, for every K. The cost model is deterministic; concurrency may
+//!    only change wall-clock fields.
+//! 2. A K=1 `ShardedMethod` is cost-transparent: it reports exactly what
+//!    the bare inner method reports.
+//!
+//! Checked for a B-tree, an LSM-tree, and a sorted column — one
+//! representative per RUM corner.
+
+use rum::prelude::*;
+
+type Factory = fn() -> Box<dyn AccessMethod>;
+
+fn factories() -> Vec<(&'static str, Factory)> {
+    vec![
+        ("b+tree", || Box::new(rum::btree::BTree::new())),
+        ("lsm-tree", || {
+            Box::new(rum::lsm::LsmTree::with_config(rum::lsm::LsmConfig {
+                memtable_records: 256,
+                ..Default::default()
+            }))
+        }),
+        ("sorted-column", || {
+            Box::new(rum::columns::SortedColumn::new())
+        }),
+    ]
+}
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        initial_records: 3000,
+        operations: 6000,
+        mix: OpMix::BALANCED,
+        seed: 0x5A_AD_ED,
+        ..Default::default()
+    }
+}
+
+fn assert_same_rum(ctx: &str, a: &RumReport, b: &RumReport) {
+    assert_eq!(a.n_final, b.n_final, "{ctx}: n_final");
+    assert_eq!(a.read_ops, b.read_ops, "{ctx}: read_ops");
+    assert_eq!(a.write_ops, b.write_ops, "{ctx}: write_ops");
+    assert_eq!(a.read_costs, b.read_costs, "{ctx}: read_costs");
+    assert_eq!(a.write_costs, b.write_costs, "{ctx}: write_costs");
+    assert_eq!(a.load_costs, b.load_costs, "{ctx}: load_costs");
+    assert_eq!(a.ro.to_bits(), b.ro.to_bits(), "{ctx}: RO");
+    assert_eq!(a.uo.to_bits(), b.uo.to_bits(), "{ctx}: UO");
+    assert_eq!(a.mo.to_bits(), b.mo.to_bits(), "{ctx}: MO");
+}
+
+#[test]
+fn concurrent_sharded_run_matches_serial_bit_for_bit() {
+    let spec = spec();
+    let workload = Workload::generate(&spec);
+    for (name, factory) in factories() {
+        for k in [1usize, 2, 4, 8] {
+            // Serial reference: per-op execution over the materialized
+            // workload, shards never run concurrently (threads = 1).
+            let mut serial = rum::core::ShardedMethod::with_threads(k, 1, |_| factory());
+            let s = run_workload(&mut serial, &workload).expect("serial run");
+
+            // Concurrent: streamed ops, batched across k shard workers.
+            let mut concurrent = rum::core::ShardedMethod::new(k, |_| factory());
+            let c = run_stream_sharded(&mut concurrent, OpStream::new(&spec), 777)
+                .expect("sharded stream run");
+
+            assert_same_rum(&format!("{name} K={k}"), &s, &c);
+        }
+    }
+}
+
+#[test]
+fn single_shard_wrapper_is_cost_transparent() {
+    let spec = spec();
+    let workload = Workload::generate(&spec);
+    for (name, factory) in factories() {
+        let mut bare = factory();
+        let b = run_workload(bare.as_mut(), &workload).expect("bare run");
+        let mut wrapped = rum::core::ShardedMethod::new(1, |_| factory());
+        let w = run_workload(&mut wrapped, &workload).expect("wrapped run");
+        assert_same_rum(&format!("{name} K=1 vs bare"), &b, &w);
+    }
+}
