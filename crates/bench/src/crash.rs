@@ -1,0 +1,412 @@
+//! Crash matrix: deterministic crash points × workloads, over the
+//! WAL-wrapped access methods.
+//!
+//! Two questions, answered per (method, workload) cell:
+//!
+//! 1. **What does durability cost in RUM terms?** The same workload runs
+//!    on the bare method and on its `Durable` wrapper; UO-with-WAL must
+//!    strictly exceed UO-without, and the gap must be *exactly* the WAL
+//!    traffic: the op-phase write-byte delta equals `wal.synced_total()`
+//!    to the byte, and `ΔUO == WAL bytes / logical write bytes`.
+//! 2. **Is recovery exact?** For each seeded crash point — clean power
+//!    loss, torn write, or failed flush — the workload is driven until the
+//!    fault fires, the structure recovers, and its full contents must be
+//!    bit-identical to a reference structure fed only the acknowledged
+//!    (committed) operation prefix. A torn final WAL record must be
+//!    detected and discarded somewhere in the matrix, never replayed.
+
+use std::sync::Arc;
+
+use rum_core::runner::run_workload;
+use rum_core::workload::{Op, OpMix, Workload, WorkloadSpec};
+use rum_core::{AccessMethod, Key, RumError};
+use rum_storage::{splitmix64, Durable, FaultInjector, FaultPlan};
+
+/// Matrix configuration.
+#[derive(Clone, Debug)]
+pub struct CrashConfig {
+    /// Records bulk-loaded before the op stream.
+    pub initial_records: usize,
+    /// Operations per workload.
+    pub operations: usize,
+    /// Seeded crash points per (method, workload) cell, cycling through
+    /// clean crash / torn write / failed flush.
+    pub crash_points: usize,
+    /// Base seed for crash-point selection.
+    pub seed: u64,
+}
+
+impl Default for CrashConfig {
+    fn default() -> Self {
+        CrashConfig {
+            initial_records: 2000,
+            operations: 2000,
+            crash_points: 12,
+            seed: 0xC4A5_4000,
+        }
+    }
+}
+
+impl CrashConfig {
+    /// The reduced matrix the CI smoke job runs.
+    pub fn smoke() -> Self {
+        CrashConfig {
+            initial_records: 400,
+            operations: 400,
+            crash_points: 6,
+            ..Default::default()
+        }
+    }
+}
+
+/// The logging-cost comparison of one (method, workload) cell.
+#[derive(Clone, Debug)]
+pub struct UoRow {
+    pub method: String,
+    pub workload: String,
+    pub uo_bare: f64,
+    pub uo_wal: f64,
+    /// WAL bytes synced during the op phase.
+    pub wal_bytes: u64,
+    /// Op-phase write-byte delta (with − without).
+    pub delta_bytes: i64,
+    /// Logical write bytes of the op phase (identical in both runs).
+    pub logical_write_bytes: u64,
+}
+
+impl UoRow {
+    /// The write-byte delta is exactly the WAL traffic.
+    pub fn delta_is_exact(&self) -> bool {
+        self.delta_bytes >= 0 && self.delta_bytes as u64 == self.wal_bytes
+    }
+
+    /// `ΔUO == WAL bytes / logical bytes` (up to float rounding).
+    pub fn uo_delta_is_predicted(&self) -> bool {
+        let predicted = self.wal_bytes as f64 / self.logical_write_bytes as f64;
+        let measured = self.uo_wal - self.uo_bare;
+        (measured - predicted).abs() <= 1e-9 * predicted.max(1.0)
+    }
+}
+
+/// One recovered crash point.
+#[derive(Clone, Debug)]
+pub struct CrashRow {
+    pub method: String,
+    pub workload: String,
+    /// Human-readable fault plan (`crash@B`, `torn@B`, `flush#N`).
+    pub plan: String,
+    /// Operations acknowledged (returned `Ok`) before the fault fired.
+    pub acked_ops: usize,
+    /// Write operations among the acknowledged prefix — what recovery
+    /// must reproduce.
+    pub acked_writes: usize,
+    /// Committed records the WAL replay re-applied.
+    pub committed_ops: usize,
+    /// Whether replay detected (and discarded) a torn tail.
+    pub torn_tail: bool,
+    /// Recovered contents bit-identical to the committed-prefix reference.
+    pub recovered_exact: bool,
+}
+
+/// Full matrix results.
+#[derive(Clone, Debug, Default)]
+pub struct CrashMatrix {
+    pub uo: Vec<UoRow>,
+    pub cells: Vec<CrashRow>,
+}
+
+fn workloads(config: &CrashConfig) -> Vec<(&'static str, Workload)> {
+    [
+        ("write-heavy", OpMix::WRITE_HEAVY),
+        ("balanced", OpMix::BALANCED),
+    ]
+    .into_iter()
+    .map(|(name, mix)| {
+        let spec = WorkloadSpec {
+            initial_records: config.initial_records,
+            operations: config.operations,
+            mix,
+            seed: config.seed ^ name.len() as u64,
+            ..Default::default()
+        };
+        (name, Workload::generate(&spec))
+    })
+    .collect()
+}
+
+/// Execute one op, discarding the answer (mirrors the runner's driver).
+fn exec(method: &mut dyn AccessMethod, op: Op) -> rum_core::Result<()> {
+    match op {
+        Op::Get(k) => method.get(k).map(|_| ()),
+        Op::Range(lo, hi) => method.range(lo, hi).map(|_| ()),
+        Op::Insert(k, v) => method.insert(k, v),
+        Op::Update(k, v) => method.update(k, v).map(|_| ()),
+        Op::Delete(k) => method.delete(k).map(|_| ()),
+    }
+}
+
+/// Run every cell for one method family. `make_bare` builds the inner
+/// structure, `make_durable` its WAL wrapper (with an optional armed
+/// injector); both must configure the structure identically.
+fn run_method<M, FB, FD>(
+    make_bare: FB,
+    make_durable: FD,
+    config: &CrashConfig,
+    out: &mut CrashMatrix,
+) where
+    M: AccessMethod,
+    FB: Fn() -> M,
+    FD: Fn(Option<Arc<FaultInjector>>) -> Durable<M>,
+{
+    for (wname, workload) in workloads(config) {
+        // --- logging-cost comparison -------------------------------------
+        let mut bare = make_bare();
+        let bare_report = run_workload(&mut bare, &workload).expect("bare run");
+        let mut durable = make_durable(None);
+        let wal_report = run_workload(&mut durable, &workload).expect("durable run");
+        let method = durable.name();
+        eprintln!(
+            "[crash] {method} / {wname}: UO comparison + {} crash points",
+            config.crash_points
+        );
+        let wal_bytes = durable.wal().synced_total();
+        out.uo.push(UoRow {
+            method: method.clone(),
+            workload: wname.into(),
+            uo_bare: bare_report.uo,
+            uo_wal: wal_report.uo,
+            wal_bytes,
+            delta_bytes: wal_report.write_costs.total_write_bytes() as i64
+                - bare_report.write_costs.total_write_bytes() as i64,
+            logical_write_bytes: wal_report.write_costs.logical_write_bytes,
+        });
+
+        // --- seeded crash points -----------------------------------------
+        let write_ops = workload.ops.iter().filter(|o| !o.is_read()).count() as u64;
+        for point in 0..config.crash_points {
+            let seed = splitmix64(config.seed ^ (out.cells.len() as u64) << 8 | point as u64);
+            let (plan, label) = match point % 3 {
+                0 => {
+                    let at = seed % wal_bytes.max(1);
+                    (FaultPlan::crash_at(at), format!("crash@{at}"))
+                }
+                1 => {
+                    let at = seed % wal_bytes.max(1);
+                    (FaultPlan::torn_at(at), format!("torn@{at}"))
+                }
+                // Every logged write op syncs twice (record, commit), so
+                // the nth flush always exists.
+                _ => {
+                    let nth = seed % (2 * write_ops.max(1)) + 1;
+                    (FaultPlan::fail_flush(nth), format!("flush#{nth}"))
+                }
+            };
+            let mut victim = make_durable(Some(FaultInjector::new(plan)));
+            victim.bulk_load(&workload.initial).expect("bulk load");
+            let mut acked = 0usize;
+            let mut crashed = false;
+            for &op in &workload.ops {
+                match exec(&mut victim, op) {
+                    Ok(()) => acked += 1,
+                    Err(RumError::Crash(_)) => {
+                        crashed = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected error under {label}: {e}"),
+                }
+            }
+            assert!(crashed, "{method}/{wname}/{label}: fault never fired");
+            let report = victim.recover().expect("recovery");
+
+            // Reference: a bare structure fed only the acknowledged prefix.
+            let mut reference = make_bare();
+            reference.bulk_load(&workload.initial).expect("ref load");
+            let mut acked_writes = 0usize;
+            for &op in &workload.ops[..acked] {
+                exec(&mut reference, op).expect("ref op");
+                if !op.is_read() {
+                    acked_writes += 1;
+                }
+            }
+            let recovered_exact = victim.len() == reference.len()
+                && victim.range(0, Key::MAX).expect("victim scan")
+                    == reference.range(0, Key::MAX).expect("ref scan");
+            out.cells.push(CrashRow {
+                method: method.clone(),
+                workload: wname.into(),
+                plan: label,
+                acked_ops: acked,
+                acked_writes,
+                committed_ops: report.committed_ops,
+                torn_tail: report.torn_tail,
+                recovered_exact,
+            });
+        }
+    }
+}
+
+/// Run the full matrix: WAL-wrapped LSM tree and append log, two op mixes,
+/// `crash_points` seeded faults each.
+pub fn run(config: &CrashConfig) -> CrashMatrix {
+    let lsm_config = rum_lsm::LsmConfig {
+        memtable_records: 256,
+        ..Default::default()
+    };
+    let mut out = CrashMatrix::default();
+    run_method(
+        move || rum_lsm::LsmTree::with_config(lsm_config),
+        move |inj| match inj {
+            Some(inj) => rum_lsm::durable_lsm_with_injector(lsm_config, inj),
+            None => rum_lsm::durable_lsm(lsm_config),
+        },
+        config,
+        &mut out,
+    );
+    run_method(
+        rum_columns::AppendLog::new,
+        |inj| match inj {
+            Some(inj) => rum_columns::durable_log_with_injector(inj),
+            None => rum_columns::durable_log(),
+        },
+        config,
+        &mut out,
+    );
+    out
+}
+
+/// CSV: a `uo` section then a `cell` section, tagged in the first column.
+pub fn to_csv(matrix: &CrashMatrix) -> String {
+    let mut out = String::from(
+        "kind,method,workload,plan,uo_bare,uo_wal,wal_bytes,delta_bytes,acked_ops,committed_ops,torn_tail,recovered_exact\n",
+    );
+    for r in &matrix.uo {
+        out.push_str(&format!(
+            "uo,{},{},,{:.6},{:.6},{},{},,,,\n",
+            r.method, r.workload, r.uo_bare, r.uo_wal, r.wal_bytes, r.delta_bytes
+        ));
+    }
+    for c in &matrix.cells {
+        out.push_str(&format!(
+            "cell,{},{},{},,,,,{},{},{},{}\n",
+            c.method,
+            c.workload,
+            c.plan,
+            c.acked_ops,
+            c.committed_ops,
+            c.torn_tail,
+            c.recovered_exact
+        ));
+    }
+    out
+}
+
+/// Fixed-width report.
+pub fn render(matrix: &CrashMatrix) -> String {
+    let mut out =
+        String::from("=== Crash matrix: WAL durability cost and recovery exactness ===\n\n");
+    out.push_str("--- UO with logging folded in (op phase) ---\n");
+    out.push_str(&format!(
+        "{:<18} {:<12} {:>9} {:>9} {:>9} {:>11} {:>7}\n",
+        "method", "workload", "UO bare", "UO +wal", "ΔUO", "WAL bytes", "exact"
+    ));
+    for r in &matrix.uo {
+        out.push_str(&format!(
+            "{:<18} {:<12} {:>9.3} {:>9.3} {:>9.3} {:>11} {:>7}\n",
+            r.method,
+            r.workload,
+            r.uo_bare,
+            r.uo_wal,
+            r.uo_wal - r.uo_bare,
+            r.wal_bytes,
+            if r.delta_is_exact() { "yes" } else { "NO" },
+        ));
+    }
+    out.push_str("\n--- Seeded crash points ---\n");
+    out.push_str(&format!(
+        "{:<18} {:<12} {:<14} {:>7} {:>9} {:>9} {:>5} {:>9}\n",
+        "method", "workload", "plan", "acked", "acked-wr", "committed", "torn", "recovered"
+    ));
+    for c in &matrix.cells {
+        out.push_str(&format!(
+            "{:<18} {:<12} {:<14} {:>7} {:>9} {:>9} {:>5} {:>9}\n",
+            c.method,
+            c.workload,
+            c.plan,
+            c.acked_ops,
+            c.acked_writes,
+            c.committed_ops,
+            if c.torn_tail { "yes" } else { "-" },
+            if c.recovered_exact {
+                "exact"
+            } else {
+                "MISMATCH"
+            },
+        ));
+    }
+    out
+}
+
+/// The matrix's claims, checked. Any `false` fails the smoke job.
+pub fn checks(matrix: &CrashMatrix) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    for r in &matrix.uo {
+        out.push((
+            format!(
+                "{} / {}: UO with WAL strictly exceeds UO without",
+                r.method, r.workload
+            ),
+            r.uo_wal > r.uo_bare,
+        ));
+        out.push((
+            format!(
+                "{} / {}: op-phase write-byte delta equals WAL bytes to the byte",
+                r.method, r.workload
+            ),
+            r.delta_is_exact(),
+        ));
+        out.push((
+            format!(
+                "{} / {}: ΔUO equals WAL bytes / logical write bytes",
+                r.method, r.workload
+            ),
+            r.uo_delta_is_predicted(),
+        ));
+    }
+    for c in &matrix.cells {
+        out.push((
+            format!(
+                "{} / {} / {}: recovery rebuilt exactly the committed prefix ({} write ops)",
+                c.method, c.workload, c.plan, c.acked_writes
+            ),
+            c.recovered_exact && c.committed_ops == c.acked_writes,
+        ));
+    }
+    out.push((
+        "matrix detected and discarded at least one torn WAL tail".into(),
+        matrix.cells.iter().any(|c| c.torn_tail),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_matrix_passes_every_check() {
+        let config = CrashConfig {
+            initial_records: 200,
+            operations: 200,
+            crash_points: 6,
+            seed: 7,
+        };
+        let matrix = run(&config);
+        assert_eq!(matrix.uo.len(), 4, "2 methods x 2 workloads");
+        assert_eq!(matrix.cells.len(), 24);
+        for (desc, ok) in checks(&matrix) {
+            assert!(ok, "failed check: {desc}");
+        }
+        let csv = to_csv(&matrix);
+        assert_eq!(csv.lines().count(), 1 + 4 + 24);
+    }
+}

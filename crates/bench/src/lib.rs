@@ -12,6 +12,7 @@
 //! | `fig3_tunable` | Figure 3 (tunable methods tracing curves in the space) |
 //! | `roadmap_adaptive` | §5 roadmap items (cracking, bitmaps, LSM retuning, filters) |
 //! | `scale_sweep` | streaming workloads × sharded execution, n up to 10^7, K up to 8 |
+//! | `crash_matrix` | WAL durability cost folded into UO + exact recovery under fault injection |
 //!
 //! This library holds the measurement machinery those binaries (and the
 //! criterion benches) share, so experiments are reproducible from tests
@@ -24,6 +25,7 @@ use rum_core::runner::measure_ops;
 use rum_core::workload::Op;
 use rum_core::{AccessMethod, CostSnapshot, Record, RECORDS_PER_PAGE};
 
+pub mod crash;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

@@ -24,6 +24,10 @@ pub enum RumError {
     /// Invalid argument (e.g. an empty or inverted range, unsorted bulk-load
     /// input).
     InvalidArgument(String),
+    /// A simulated crash fired (fault injection): the device "lost power"
+    /// mid-operation. Volatile state is gone; durable state keeps whatever
+    /// prefix the injector let through. Recovery is expected to follow.
+    Crash(String),
 }
 
 impl fmt::Display for RumError {
@@ -35,6 +39,7 @@ impl fmt::Display for RumError {
             RumError::Storage(m) => write!(f, "storage error: {m}"),
             RumError::Corrupt(m) => write!(f, "corrupt structure: {m}"),
             RumError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            RumError::Crash(m) => write!(f, "simulated crash: {m}"),
         }
     }
 }
@@ -43,6 +48,20 @@ impl std::error::Error for RumError {}
 
 /// Convenient result alias used across the workspace.
 pub type Result<T> = std::result::Result<T, RumError>;
+
+/// Best-effort extraction of the human-readable message from a panic
+/// payload (the `Box<dyn Any>` returned by `std::thread::JoinHandle::join`
+/// or `std::panic::catch_unwind`). Panics raised via `panic!("...")` carry
+/// a `&str` or `String`; anything else degrades to a placeholder.
+pub fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -57,6 +76,9 @@ mod tests {
         assert!(RumError::Storage("bad page".into())
             .to_string()
             .starts_with("storage error"));
+        assert!(RumError::Crash("after 512 bytes".into())
+            .to_string()
+            .starts_with("simulated crash"));
     }
 
     #[test]

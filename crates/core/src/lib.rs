@@ -42,7 +42,7 @@ pub mod wizard;
 pub mod workload;
 
 pub use access::{check_bulk_input, AccessMethod, SpaceProfile};
-pub use error::{Result, RumError};
+pub use error::{panic_payload_message, Result, RumError};
 pub use shard::ShardedMethod;
 pub use tracker::{CostSnapshot, CostTracker, DataClass};
 pub use types::{Key, Record, Value, PAGE_SIZE, RECORDS_PER_PAGE, RECORD_SIZE};

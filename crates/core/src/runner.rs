@@ -7,11 +7,12 @@
 //! per worker). Both return reports sorted by method name, so their output
 //! is identical apart from wall-clock timings.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::access::AccessMethod;
-use crate::error::Result;
+use crate::error::{panic_payload_message, Result, RumError};
 use crate::shard::ShardedMethod;
 use crate::tracker::CostSnapshot;
 use crate::workload::{Op, OpStream, Workload, WorkloadSpec};
@@ -369,20 +370,56 @@ pub fn run_stream_sharded(
     Ok(assemble_report(method, load_costs, load_wall_ns, totals))
 }
 
+/// Run one suite member's measurement, converting a panic or an error into
+/// a labelled [`RumError::Corrupt`] so a single broken method cannot take
+/// down a whole suite run (or, worse, the process).
+fn run_guarded<F>(name: &str, f: F) -> Result<RumReport>
+where
+    F: FnOnce() -> Result<RumReport>,
+{
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(e)) => Err(RumError::Corrupt(format!("method '{name}' failed: {e}"))),
+        Err(payload) => Err(RumError::Corrupt(format!(
+            "method '{name}' panicked during measurement ({})",
+            panic_payload_message(&payload)
+        ))),
+    }
+}
+
+/// Keep the successful reports (sorted by name); failed or panicking
+/// methods are reported on stderr and dropped from the suite's output.
+fn settle_suite(results: Vec<Result<RumReport>>) -> Vec<RumReport> {
+    let mut reports = Vec::with_capacity(results.len());
+    for result in results {
+        match result {
+            Ok(report) => reports.push(report),
+            Err(e) => eprintln!("[suite] skipping method: {e}"),
+        }
+    }
+    sort_reports(&mut reports);
+    reports
+}
+
 /// Run every method in `methods` over the same workload, serially, and
 /// return the reports **sorted by method name**. [`run_suite_parallel`]
 /// produces identical output (apart from wall-clock fields), so the two are
 /// interchangeable wherever determinism matters.
+///
+/// A method that fails or panics mid-measurement is reported on stderr and
+/// omitted from the returned reports; the rest of the suite still runs.
 pub fn run_suite(
     methods: &mut [Box<dyn AccessMethod>],
     workload: &Workload,
 ) -> Result<Vec<RumReport>> {
-    let mut reports = Vec::with_capacity(methods.len());
-    for method in methods.iter_mut() {
-        reports.push(run_workload(method.as_mut(), workload)?);
-    }
-    sort_reports(&mut reports);
-    Ok(reports)
+    let results = methods
+        .iter_mut()
+        .map(|method| {
+            let name = method.name();
+            run_guarded(&name, || run_workload(method.as_mut(), workload))
+        })
+        .collect();
+    Ok(settle_suite(results))
 }
 
 /// [`run_suite`] fanned across one worker thread per available core.
@@ -407,11 +444,10 @@ pub fn run_suite_with_threads(
     threads: usize,
 ) -> Result<Vec<RumReport>> {
     let results = parallel_map(methods.iter_mut().collect(), threads, |method| {
-        run_workload(method.as_mut(), workload)
+        let name = method.name();
+        run_guarded(&name, || run_workload(method.as_mut(), workload))
     });
-    let mut reports = results.into_iter().collect::<Result<Vec<_>>>()?;
-    sort_reports(&mut reports);
-    Ok(reports)
+    Ok(settle_suite(results))
 }
 
 /// [`run_suite_with_threads`] for streaming workloads: every worker
@@ -426,11 +462,10 @@ pub fn run_suite_stream(
     threads: usize,
 ) -> Result<Vec<RumReport>> {
     let results = parallel_map(methods.iter_mut().collect(), threads, |method| {
-        run_stream(method.as_mut(), OpStream::new(spec))
+        let name = method.name();
+        run_guarded(&name, || run_stream(method.as_mut(), OpStream::new(spec)))
     });
-    let mut reports = results.into_iter().collect::<Result<Vec<_>>>()?;
-    sort_reports(&mut reports);
-    Ok(reports)
+    Ok(settle_suite(results))
 }
 
 /// Number of workers [`run_suite_parallel`] uses: one per available core,
@@ -843,6 +878,118 @@ mod tests {
             .parse()
             .unwrap();
         assert!(rendered.is_finite());
+    }
+
+    /// A method that panics (or errors) after `fuse` write ops — a stand-in
+    /// for a poisoned structure mid-suite.
+    struct Fused {
+        inner: Amp2,
+        fuse: usize,
+        writes: usize,
+        panics: bool,
+    }
+
+    impl Fused {
+        fn new(name: &str, fuse: usize, panics: bool) -> Self {
+            Fused {
+                inner: Amp2::named(name),
+                fuse,
+                writes: 0,
+                panics,
+            }
+        }
+
+        fn trip(&mut self) -> crate::Result<()> {
+            self.writes += 1;
+            if self.writes > self.fuse {
+                if self.panics {
+                    panic!("fuse blown");
+                }
+                return Err(crate::RumError::Corrupt("fuse blown".into()));
+            }
+            Ok(())
+        }
+    }
+
+    impl AccessMethod for Fused {
+        fn name(&self) -> String {
+            self.inner.name()
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn tracker(&self) -> &Arc<CostTracker> {
+            self.inner.tracker()
+        }
+        fn space_profile(&self) -> SpaceProfile {
+            self.inner.space_profile()
+        }
+        fn get_impl(&mut self, key: Key) -> crate::Result<Option<Value>> {
+            self.inner.get_impl(key)
+        }
+        fn range_impl(&mut self, lo: Key, hi: Key) -> crate::Result<Vec<Record>> {
+            self.inner.range_impl(lo, hi)
+        }
+        fn insert_impl(&mut self, key: Key, value: Value) -> crate::Result<()> {
+            self.trip()?;
+            self.inner.insert_impl(key, value)
+        }
+        fn update_impl(&mut self, key: Key, value: Value) -> crate::Result<bool> {
+            self.trip()?;
+            self.inner.update_impl(key, value)
+        }
+        fn delete_impl(&mut self, key: Key) -> crate::Result<bool> {
+            self.trip()?;
+            self.inner.delete_impl(key)
+        }
+        fn bulk_load_impl(&mut self, records: &[Record]) -> crate::Result<()> {
+            self.inner.bulk_load_impl(records)
+        }
+    }
+
+    #[test]
+    fn suite_survives_a_panicking_member() {
+        let w = Workload::generate(&WorkloadSpec {
+            initial_records: 100,
+            operations: 400,
+            mix: OpMix::BALANCED,
+            seed: 13,
+            ..Default::default()
+        });
+        let make_suite = || -> Vec<Box<dyn AccessMethod>> {
+            vec![
+                Box::new(Fused::new("panicker", 10, true)),
+                Box::new(Amp2::named("survivor")),
+                Box::new(Fused::new("errorer", 10, false)),
+            ]
+        };
+        for threads in [1, 3] {
+            let reports = run_suite_with_threads(&mut make_suite(), &w, threads).unwrap();
+            let names: Vec<&str> = reports.iter().map(|r| r.method.as_str()).collect();
+            assert_eq!(names, ["survivor"], "threads={threads}");
+        }
+        let reports = run_suite(&mut make_suite(), &w).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].method, "survivor");
+    }
+
+    #[test]
+    fn sharded_worker_panic_is_an_error_not_an_abort() {
+        // Two shards, threaded execution: one shard panics mid-batch. The
+        // facade must return Err(Corrupt), not take the process down.
+        let factory = |i: usize| -> Box<dyn AccessMethod> {
+            let fuse = if i == 1 { 4 } else { usize::MAX };
+            Box::new(Fused::new(&format!("shard{i}"), fuse, true))
+        };
+        let mut sharded = crate::shard::ShardedMethod::with_threads(2, 2, factory);
+        let ops: Vec<Op> = (0..64u64).map(|k| Op::Insert(k, k)).collect();
+        let err = sharded.execute_batch(&ops).unwrap_err();
+        match err {
+            crate::RumError::Corrupt(m) => {
+                assert!(m.contains("panicked"), "unexpected message: {m}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use std::sync::Arc;
 
 use crate::access::{AccessMethod, SpaceProfile};
-use crate::error::Result;
+use crate::error::{panic_payload_message, Result, RumError};
 use crate::tracker::{CostSnapshot, CostTracker};
 use crate::types::{Key, Record, Value};
 use crate::workload::Op;
@@ -217,7 +217,17 @@ impl ShardedMethod {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
+                    .map(|h| {
+                        // A panicking worker must not abort the harness:
+                        // surface it as a structural error so the caller
+                        // can drop this method and keep measuring others.
+                        h.join().unwrap_or_else(|payload| {
+                            Err(RumError::Corrupt(format!(
+                                "shard worker panicked ({}); shard state is unreliable",
+                                panic_payload_message(&payload)
+                            )))
+                        })
+                    })
                     .collect()
             });
             results.into_iter().collect()

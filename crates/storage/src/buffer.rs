@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use rum_core::Result;
+use rum_core::{Result, RumError};
 
 use crate::device::{BlockDevice, IoStats};
 use crate::lru::LruSet;
@@ -85,10 +85,16 @@ impl<D: BlockDevice> BufferPool<D> {
         if let Some((victim, dirty)) = evicted {
             let frame = self.frames.remove(&victim);
             if dirty {
-                if let Some(buf) = frame {
-                    self.pool_stats.write_backs.fetch_add(1, Ordering::Relaxed);
-                    self.inner.write_page(victim, &buf)?;
-                }
+                // A dirty LRU entry with no backing frame means the pool's
+                // two indexes disagree — writing nothing back would silently
+                // lose the page's modifications.
+                let buf = frame.ok_or_else(|| {
+                    RumError::Corrupt(format!(
+                        "buffer pool evicted dirty {victim} with no cached frame"
+                    ))
+                })?;
+                self.pool_stats.write_backs.fetch_add(1, Ordering::Relaxed);
+                self.inner.write_page(victim, &buf)?;
             }
         }
         Ok(())
@@ -110,7 +116,11 @@ impl<D: BlockDevice> BlockDevice for BufferPool<D> {
     fn read_page(&mut self, id: PageId) -> Result<PageBuf> {
         if self.lru.touch(&id) {
             self.pool_stats.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(self.frames[&id].clone());
+            return self.frames.get(&id).cloned().ok_or_else(|| {
+                RumError::Corrupt(format!(
+                    "buffer pool LRU lists {id} but no frame is cached for it"
+                ))
+            });
         }
         self.pool_stats.misses.fetch_add(1, Ordering::Relaxed);
         let buf = self.inner.read_page(id)?;
@@ -144,10 +154,13 @@ impl<D: BlockDevice> BlockDevice for BufferPool<D> {
         for (id, dirty) in self.lru.drain() {
             let frame = self.frames.remove(&id);
             if dirty {
-                if let Some(buf) = frame {
-                    self.pool_stats.write_backs.fetch_add(1, Ordering::Relaxed);
-                    self.inner.write_page(id, &buf)?;
-                }
+                let buf = frame.ok_or_else(|| {
+                    RumError::Corrupt(format!(
+                        "buffer pool sync found dirty {id} with no cached frame"
+                    ))
+                })?;
+                self.pool_stats.write_backs.fetch_add(1, Ordering::Relaxed);
+                self.inner.write_page(id, &buf)?;
             }
         }
         self.inner.sync()

@@ -129,7 +129,9 @@ impl BlockDevice for MemDevice {
     fn read_page(&mut self, id: PageId) -> Result<PageBuf> {
         self.slot(id)?;
         self.stats.page_reads.fetch_add(1, Ordering::Relaxed);
-        Ok(self.pages[id.index()].clone().expect("checked by slot"))
+        Ok(self.pages[id.index()]
+            .clone()
+            .expect("slot() verified a live page buffer at this index"))
     }
 
     fn write_page(&mut self, id: PageId, page: &PageBuf) -> Result<()> {

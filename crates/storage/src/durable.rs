@@ -1,0 +1,597 @@
+//! [`Durable<M>`] — crash consistency as a composable wrapper.
+//!
+//! Any [`AccessMethod`] becomes crash-consistent by wrapping it: every
+//! mutation is appended to a [`Wal`] and synced *before* it touches the
+//! inner structure (write-ahead), and a commit marker is synced *after*
+//! the apply succeeds. An operation is committed — guaranteed to survive
+//! recovery — exactly when its caller got `Ok`. [`Durable::flush`]
+//! checkpoints the live contents and truncates the log;
+//! [`Durable::recover`] rebuilds a fresh inner structure from checkpoint
+//! plus the committed WAL prefix.
+//!
+//! All durability traffic (WAL syncs and checkpoint writes) is charged to
+//! the method's [`CostTracker`](rum_core::CostTracker) as auxiliary
+//! writes, so the wrapped method's UO honestly includes the price of its
+//! logging protocol — the RUM cost the paper folds into write
+//! amplification. [`Durable::logging_bytes`] reports that extra traffic
+//! exactly, which the crash-matrix bench uses as a self-check:
+//! `UO(with WAL) − UO(without) == logging_bytes / logical_write_bytes`.
+
+use std::sync::Arc;
+
+use rum_core::{
+    AccessMethod, CostTracker, DataClass, Key, Record, Result, SpaceProfile, Value, PAGE_SIZE,
+    RECORD_SIZE,
+};
+
+use crate::fault::FaultInjector;
+use crate::wal::{Wal, WalEntry};
+
+/// What [`Durable::recover`] rebuilt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed WAL records re-applied to the fresh structure.
+    pub committed_ops: usize,
+    /// Sequence number of the last commit marker found, if any.
+    pub last_commit_seq: Option<u64>,
+    /// Whether the log ended in a torn/corrupt frame (detected, discarded).
+    pub torn_tail: bool,
+    /// Valid but uncommitted records discarded (trailing suffix of an
+    /// in-flight op, or leftovers of an op that failed mid-apply).
+    pub uncommitted_discarded: usize,
+    /// Whether every committed record was re-applied. Only
+    /// [`Durable::recover_prefix`] (used to model a crash *during*
+    /// recovery) can leave this `false`.
+    pub complete: bool,
+}
+
+/// A crash-consistent wrapper around any [`AccessMethod`].
+///
+/// The `factory` rebuilds an empty inner structure during recovery — a
+/// simulated reboot gets a cold structure, then replays checkpoint +
+/// committed log. The factory must produce a structure configured
+/// identically to the original (same name, same parameters).
+pub struct Durable<M: AccessMethod> {
+    inner: M,
+    factory: Box<dyn Fn() -> M + Send>,
+    wal: Wal,
+    /// Live contents as of the last checkpoint ([`flush`](Self::flush) or
+    /// bulk load); recovery starts from here.
+    checkpoint: Vec<Record>,
+    /// Cumulative auxiliary bytes charged for checkpoints.
+    checkpoint_bytes: u64,
+    next_seq: u64,
+    /// Whether the WAL holds committed work not yet captured in the
+    /// checkpoint (drives checkpoint-on-flush and makes a second
+    /// consecutive flush free).
+    dirty: bool,
+}
+
+impl<M: AccessMethod> Durable<M> {
+    /// Wrap the method `factory` builds, logging to a fault-free WAL.
+    pub fn new(factory: impl Fn() -> M + Send + 'static) -> Self {
+        Self::build(factory, None)
+    }
+
+    /// Wrap with a [`FaultInjector`] armed on the WAL's sync path.
+    pub fn with_injector(
+        factory: impl Fn() -> M + Send + 'static,
+        injector: Arc<FaultInjector>,
+    ) -> Self {
+        Self::build(factory, Some(injector))
+    }
+
+    fn build(
+        factory: impl Fn() -> M + Send + 'static,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Self {
+        let inner = factory();
+        let tracker = Arc::clone(inner.tracker());
+        let wal = match injector {
+            Some(inj) => Wal::with_injector(tracker, inj),
+            None => Wal::new(tracker),
+        };
+        Durable {
+            inner,
+            factory: Box::new(factory),
+            wal,
+            checkpoint: Vec::new(),
+            checkpoint_bytes: 0,
+            next_seq: 0,
+            dirty: false,
+        }
+    }
+
+    /// The wrapped structure.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The write-ahead log.
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Sequence number of the last committed operation, if any.
+    pub fn last_committed_seq(&self) -> Option<u64> {
+        self.next_seq.checked_sub(1)
+    }
+
+    /// Total auxiliary bytes this wrapper has charged for durability: WAL
+    /// syncs plus checkpoint writes. This is exactly the write-byte delta
+    /// against the bare inner method on the same workload.
+    pub fn logging_bytes(&self) -> u64 {
+        self.wal.synced_total() + self.checkpoint_bytes
+    }
+
+    /// Charge `bytes` of checkpoint traffic as auxiliary writes (byte-exact
+    /// plus page-granular accesses, like the WAL's own accounting).
+    fn charge_checkpoint(&mut self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let tracker = self.inner.tracker();
+        tracker.write(DataClass::Aux, bytes);
+        for _ in 0..bytes.div_ceil(PAGE_SIZE as u64).max(1) {
+            tracker.page_write();
+        }
+        self.checkpoint_bytes += bytes;
+    }
+
+    /// The write-ahead protocol for one mutation: log the record, sync it,
+    /// apply, then sync a commit marker covering exactly this record. An
+    /// apply failure leaves the record uncovered in the log — replay will
+    /// discard it, never resurrect it.
+    fn log_write<T>(
+        &mut self,
+        entry: WalEntry,
+        apply: impl FnOnce(&mut M) -> Result<T>,
+    ) -> Result<T> {
+        self.wal.append(&entry);
+        self.wal.sync()?;
+        let out = apply(&mut self.inner)?;
+        self.wal.append(&WalEntry::Commit {
+            seq: self.next_seq,
+            count: 1,
+        });
+        self.wal.sync()?;
+        self.next_seq += 1;
+        self.dirty = true;
+        Ok(out)
+    }
+
+    /// Simulated reboot: rebuild a fresh structure from the checkpoint plus
+    /// the entire committed WAL prefix. Idempotent — recovering twice
+    /// yields the same structure and the same space profile.
+    pub fn recover(&mut self) -> Result<RecoveryReport> {
+        self.recover_prefix(usize::MAX)
+    }
+
+    /// Recovery that stops after re-applying at most `max_ops` committed
+    /// records — models a crash *during* recovery. A subsequent full
+    /// [`recover`](Self::recover) starts over from the same durable state
+    /// and completes the job.
+    pub fn recover_prefix(&mut self, max_ops: usize) -> Result<RecoveryReport> {
+        let replay = self.wal.replay();
+        let mut fresh = (self.factory)();
+        // Accounting continuity: the reborn structure inherits the history
+        // of charges, then pays for its own recovery I/O on top.
+        fresh.tracker().absorb(&self.inner.tracker().snapshot());
+        if !self.checkpoint.is_empty() {
+            fresh.bulk_load_impl(&self.checkpoint)?;
+        }
+        let applied = replay.committed.len().min(max_ops);
+        for entry in &replay.committed[..applied] {
+            apply_entry(&mut fresh, entry)?;
+        }
+        self.wal.set_tracker(Arc::clone(fresh.tracker()));
+        self.inner = fresh;
+        let complete = applied == replay.committed.len();
+        if complete {
+            // Cut any torn tail so post-recovery appends follow valid
+            // frames (idempotent: the valid prefix is already durable).
+            self.wal.truncate_torn_tail(replay.valid_len);
+            self.next_seq = replay.last_commit_seq.map_or(0, |s| s + 1);
+            self.dirty = !replay.committed.is_empty();
+        }
+        Ok(RecoveryReport {
+            committed_ops: applied,
+            last_commit_seq: replay.last_commit_seq,
+            torn_tail: replay.torn_tail,
+            uncommitted_discarded: replay.uncommitted,
+            complete,
+        })
+    }
+}
+
+/// Re-apply one committed WAL record to a structure.
+fn apply_entry<M: AccessMethod>(method: &mut M, entry: &WalEntry) -> Result<()> {
+    match *entry {
+        WalEntry::Insert { key, value } => method.insert_impl(key, value),
+        WalEntry::Update { key, value } => method.update_impl(key, value).map(|_| ()),
+        WalEntry::Delete { key } => method.delete_impl(key).map(|_| ()),
+        WalEntry::Commit { .. } => Ok(()),
+    }
+}
+
+impl<M: AccessMethod> AccessMethod for Durable<M> {
+    fn name(&self) -> String {
+        format!("{}+wal", self.inner.name())
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn tracker(&self) -> &Arc<CostTracker> {
+        self.inner.tracker()
+    }
+
+    fn space_profile(&self) -> SpaceProfile {
+        let mut profile = self.inner.space_profile();
+        profile.aux_bytes += self.wal.total_len() + (self.checkpoint.len() * RECORD_SIZE) as u64;
+        profile
+    }
+
+    fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+        self.inner.get_impl(key)
+    }
+
+    fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+        self.inner.range_impl(lo, hi)
+    }
+
+    fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+        self.log_write(WalEntry::Insert { key, value }, |m| {
+            m.insert_impl(key, value)
+        })
+    }
+
+    fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+        self.log_write(WalEntry::Update { key, value }, |m| {
+            m.update_impl(key, value)
+        })
+    }
+
+    fn delete_impl(&mut self, key: Key) -> Result<bool> {
+        self.log_write(WalEntry::Delete { key }, |m| m.delete_impl(key))
+    }
+
+    fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+        self.inner.bulk_load_impl(records)?;
+        // The load itself is the checkpoint: nothing to replay.
+        self.checkpoint = records.to_vec();
+        self.wal.truncate();
+        self.charge_checkpoint((records.len() * RECORD_SIZE) as u64);
+        self.next_seq = 0;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Checkpoint: flush the inner structure, persist its live contents,
+    /// and truncate the log. A second consecutive flush performs zero
+    /// additional physical writes.
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()?;
+        self.wal.sync()?;
+        if self.dirty {
+            self.checkpoint = self.inner.range_impl(0, Key::MAX)?;
+            self.charge_checkpoint((self.checkpoint.len() * RECORD_SIZE) as u64);
+            self.wal.truncate();
+            self.dirty = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultInjector, FaultPlan};
+    use rum_core::{check_bulk_input, RumError};
+    use std::collections::BTreeMap;
+
+    /// Minimal correct method for exercising the wrapper.
+    struct Toy {
+        data: BTreeMap<Key, Value>,
+        tracker: Arc<CostTracker>,
+    }
+
+    impl Toy {
+        fn new() -> Self {
+            Toy {
+                data: BTreeMap::new(),
+                tracker: CostTracker::new(),
+            }
+        }
+    }
+
+    impl AccessMethod for Toy {
+        fn name(&self) -> String {
+            "toy".into()
+        }
+        fn len(&self) -> usize {
+            self.data.len()
+        }
+        fn tracker(&self) -> &Arc<CostTracker> {
+            &self.tracker
+        }
+        fn space_profile(&self) -> SpaceProfile {
+            SpaceProfile::from_physical(self.data.len(), (self.data.len() * RECORD_SIZE) as u64)
+        }
+        fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+            Ok(self.data.get(&key).copied())
+        }
+        fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+            Ok(self
+                .data
+                .range(lo..=hi)
+                .map(|(&k, &v)| Record::new(k, v))
+                .collect())
+        }
+        fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+            self.tracker.write(DataClass::Base, RECORD_SIZE as u64);
+            self.data.insert(key, value);
+            Ok(())
+        }
+        fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+            match self.data.get_mut(&key) {
+                Some(v) => {
+                    self.tracker.write(DataClass::Base, RECORD_SIZE as u64);
+                    *v = value;
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        }
+        fn delete_impl(&mut self, key: Key) -> Result<bool> {
+            Ok(self.data.remove(&key).is_some())
+        }
+        fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+            check_bulk_input(records)?;
+            self.tracker
+                .write(DataClass::Base, (records.len() * RECORD_SIZE) as u64);
+            self.data = records.iter().map(|r| (r.key, r.value)).collect();
+            Ok(())
+        }
+    }
+
+    fn contents<M: AccessMethod>(m: &mut M) -> Vec<Record> {
+        m.range_impl(0, Key::MAX).unwrap()
+    }
+
+    #[test]
+    fn writes_are_logged_and_charged_as_aux() {
+        let mut d = Durable::new(Toy::new);
+        d.insert(1, 10).unwrap();
+        d.update(1, 11).unwrap();
+        d.delete(1).unwrap();
+        assert_eq!(d.last_committed_seq(), Some(2));
+        let s = d.tracker().snapshot();
+        assert_eq!(s.aux_write_bytes, d.wal().synced_total());
+        assert!(s.aux_write_bytes > 0, "WAL traffic must be visible in UO");
+        assert_eq!(d.logging_bytes(), s.aux_write_bytes);
+    }
+
+    #[test]
+    fn recover_replays_the_committed_prefix() {
+        let mut d = Durable::new(Toy::new);
+        for k in 0..10u64 {
+            d.insert(k, k * 10).unwrap();
+        }
+        d.delete(3).unwrap();
+        d.update(4, 999).unwrap();
+        let before = contents(&mut d);
+        let report = d.recover().unwrap();
+        assert!(report.complete);
+        assert!(!report.torn_tail);
+        assert_eq!(report.committed_ops, 12);
+        assert_eq!(report.uncommitted_discarded, 0);
+        assert_eq!(contents(&mut d), before, "recovery is lossless");
+        // And idempotent: a second recovery changes nothing.
+        let profile = d.space_profile();
+        d.recover().unwrap();
+        assert_eq!(contents(&mut d), before);
+        assert_eq!(d.space_profile(), profile);
+    }
+
+    #[test]
+    fn crash_mid_sync_recovers_exactly_the_committed_prefix() {
+        // First, learn the full WAL footprint of the op sequence.
+        let mut reference = Durable::new(Toy::new);
+        for k in 0..20u64 {
+            reference.insert(k, k).unwrap();
+        }
+        let total = reference.wal().synced_total();
+        // Crash at every byte of that footprint.
+        for cut in 0..total {
+            for torn in [false, true] {
+                let plan = if torn {
+                    FaultPlan::torn_at(cut)
+                } else {
+                    FaultPlan::crash_at(cut)
+                };
+                let mut d = Durable::with_injector(Toy::new, FaultInjector::new(plan));
+                let mut committed = 0u64;
+                let mut crashed = false;
+                for k in 0..20u64 {
+                    match d.insert(k, k) {
+                        Ok(()) => committed += 1,
+                        Err(RumError::Crash(_)) => {
+                            crashed = true;
+                            break;
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+                assert!(crashed, "cut={cut} must interrupt some sync");
+                let report = d.recover().unwrap();
+                assert!(report.complete);
+                assert_eq!(
+                    report.committed_ops as u64, committed,
+                    "cut={cut} torn={torn}: recovery must match acknowledged ops"
+                );
+                let want: Vec<Record> = (0..committed).map(|k| Record::new(k, k)).collect();
+                assert_eq!(contents(&mut d), want, "cut={cut} torn={torn}");
+            }
+        }
+    }
+
+    #[test]
+    fn failed_commit_flush_means_the_op_never_happened() {
+        // Flush #2 is the commit-marker sync of the first insert: the data
+        // record is durable but uncovered, so recovery must drop it.
+        let inj = FaultInjector::new(FaultPlan::fail_flush(2));
+        let mut d = Durable::with_injector(Toy::new, inj);
+        assert!(matches!(d.insert(1, 10), Err(RumError::Crash(_))));
+        let report = d.recover().unwrap();
+        assert_eq!(report.committed_ops, 0);
+        assert_eq!(report.uncommitted_discarded, 1);
+        assert_eq!(contents(&mut d), vec![]);
+        // The structure still works after the power event.
+        d.insert(2, 20).unwrap();
+        d.recover().unwrap();
+        assert_eq!(contents(&mut d), vec![Record::new(2, 20)]);
+    }
+
+    #[test]
+    fn flush_checkpoints_truncates_and_is_idempotent() {
+        let mut d = Durable::new(Toy::new);
+        for k in 0..8u64 {
+            d.insert(k, k).unwrap();
+        }
+        assert!(d.wal().durable_len() > 0);
+        d.flush().unwrap();
+        assert_eq!(d.wal().durable_len(), 0, "checkpoint truncates the log");
+        let before = d.tracker().snapshot();
+        d.flush().unwrap();
+        let delta = d.tracker().since(&before);
+        assert_eq!(delta.total_write_bytes(), 0, "second flush writes nothing");
+        assert_eq!(delta.page_writes, 0);
+        // Recovery now comes purely from the checkpoint.
+        let report = d.recover().unwrap();
+        assert_eq!(report.committed_ops, 0);
+        assert_eq!(contents(&mut d).len(), 8);
+    }
+
+    #[test]
+    fn bulk_load_is_a_checkpoint() {
+        let mut d = Durable::new(Toy::new);
+        d.insert(99, 1).unwrap();
+        let records: Vec<Record> = (0..5u64).map(|k| Record::new(k, k)).collect();
+        d.bulk_load(&records).unwrap();
+        assert_eq!(d.wal().durable_len(), 0, "load resets the log");
+        d.recover().unwrap();
+        assert_eq!(contents(&mut d), records, "pre-load state is gone");
+    }
+
+    #[test]
+    fn crash_during_recovery_then_full_recovery_converges() {
+        let mut d = Durable::new(Toy::new);
+        for k in 0..10u64 {
+            d.insert(k, k).unwrap();
+        }
+        let want = contents(&mut d);
+        for partial in 0..10usize {
+            let report = d.recover_prefix(partial).unwrap();
+            assert!(!report.complete);
+            let report = d.recover().unwrap();
+            assert!(report.complete);
+            assert_eq!(report.committed_ops, 10);
+            assert_eq!(contents(&mut d), want, "partial={partial}");
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_cut_so_later_commits_survive() {
+        // Crash with a torn final frame, recover, keep writing: the new
+        // commits must be visible to a second recovery (the torn bytes
+        // were trimmed, not buried).
+        let mut reference = Durable::new(Toy::new);
+        reference.insert(1, 10).unwrap();
+        let one_op = reference.wal().synced_total();
+        let inj = FaultInjector::new(FaultPlan::torn_at(one_op + 10));
+        let mut d = Durable::with_injector(Toy::new, inj);
+        d.insert(1, 10).unwrap();
+        assert!(matches!(d.insert(2, 20), Err(RumError::Crash(_))));
+        let report = d.recover().unwrap();
+        assert!(report.torn_tail, "the tear must be detected");
+        assert_eq!(report.committed_ops, 1);
+        d.insert(3, 30).unwrap();
+        d.recover().unwrap();
+        assert_eq!(
+            contents(&mut d),
+            vec![Record::new(1, 10), Record::new(3, 30)]
+        );
+    }
+
+    #[test]
+    fn failed_apply_is_never_resurrected() {
+        /// A method whose nth insert fails after the WAL already holds the
+        /// record — the aborted record must stay uncommitted forever.
+        struct Flaky {
+            inner: Toy,
+            fail_at: usize,
+            inserts: usize,
+        }
+        impl AccessMethod for Flaky {
+            fn name(&self) -> String {
+                "flaky".into()
+            }
+            fn len(&self) -> usize {
+                self.inner.len()
+            }
+            fn tracker(&self) -> &Arc<CostTracker> {
+                self.inner.tracker()
+            }
+            fn space_profile(&self) -> SpaceProfile {
+                self.inner.space_profile()
+            }
+            fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+                self.inner.get_impl(key)
+            }
+            fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+                self.inner.range_impl(lo, hi)
+            }
+            fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+                self.inserts += 1;
+                if self.inserts == self.fail_at {
+                    return Err(RumError::Storage("injected apply failure".into()));
+                }
+                self.inner.insert_impl(key, value)
+            }
+            fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+                self.inner.update_impl(key, value)
+            }
+            fn delete_impl(&mut self, key: Key) -> Result<bool> {
+                self.inner.delete_impl(key)
+            }
+            fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+                self.inner.bulk_load_impl(records)
+            }
+        }
+        // Only the original instance is flaky — the factory disarms the
+        // failure for the instances recovery rebuilds.
+        let armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let mut d = Durable::new(move || Flaky {
+            inner: Toy::new(),
+            fail_at: if armed.swap(false, std::sync::atomic::Ordering::Relaxed) {
+                2
+            } else {
+                usize::MAX
+            },
+            inserts: 0,
+        });
+        d.insert(1, 10).unwrap();
+        assert!(matches!(d.insert(2, 20), Err(RumError::Storage(_))));
+        d.insert(3, 30).unwrap();
+        let report = d.recover().unwrap();
+        assert_eq!(report.committed_ops, 2);
+        assert_eq!(report.uncommitted_discarded, 1, "aborted record dropped");
+        assert_eq!(
+            contents(&mut d),
+            vec![Record::new(1, 10), Record::new(3, 30)],
+            "key 2 was aborted and must not reappear"
+        );
+    }
+}

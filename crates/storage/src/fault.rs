@@ -1,0 +1,309 @@
+//! Deterministic fault injection: the storage substrate as a crash-test
+//! rig.
+//!
+//! A [`FaultPlan`] describes *one* failure — crash after N durable bytes
+//! (optionally tearing the write in progress), or failing the nth flush —
+//! and a [`FaultInjector`] arms it over a shared atomic byte/flush clock.
+//! Everything is deterministic: the same plan over the same operation
+//! sequence fires at exactly the same byte, so every cell of the crash
+//! matrix is reproducible bit-for-bit.
+//!
+//! The injector is consulted by the [`Wal`](crate::wal::Wal) on every
+//! `sync()` and by [`FaultDevice`] on every page write, so both the
+//! logging path and the paged substrate can "lose power" mid-write.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rum_core::PAGE_SIZE;
+
+use crate::device::{BlockDevice, IoStats};
+use crate::page::{PageBuf, PageId};
+use rum_core::{Result, RumError};
+
+/// One planned failure. `None` is the control cell of the matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Never fire.
+    None,
+    /// Power loss once cumulative durable bytes would exceed `offset`: the
+    /// write in flight keeps exactly its first `offset - written_so_far`
+    /// bytes. With `torn`, the kept tail is additionally bit-flipped —
+    /// modelling a sector that was mid-write when power dropped — so
+    /// checksums, not luck, must catch it.
+    CrashAtByte { offset: u64, torn: bool },
+    /// The `nth` (1-based) flush/sync call fails outright: nothing in that
+    /// flush reaches durable storage.
+    FailFlush { nth: u64 },
+}
+
+impl FaultPlan {
+    /// Clean power loss at a byte offset.
+    pub fn crash_at(offset: u64) -> Self {
+        FaultPlan::CrashAtByte {
+            offset,
+            torn: false,
+        }
+    }
+
+    /// Power loss at a byte offset with the kept tail corrupted.
+    pub fn torn_at(offset: u64) -> Self {
+        FaultPlan::CrashAtByte { offset, torn: true }
+    }
+
+    /// Fail the `nth` flush (1-based).
+    pub fn fail_flush(nth: u64) -> Self {
+        FaultPlan::FailFlush { nth: nth.max(1) }
+    }
+
+    /// A seeded crash point inside `[0, total_bytes)` — `splitmix64` keeps
+    /// the sweep deterministic without pulling in an RNG dependency.
+    pub fn seeded_crash(seed: u64, total_bytes: u64, torn: bool) -> Self {
+        FaultPlan::CrashAtByte {
+            offset: splitmix64(seed) % total_bytes.max(1),
+            torn,
+        }
+    }
+}
+
+/// `splitmix64` — the classic 64-bit finalizer; one u64 in, one u64 out,
+/// full-period and well mixed. Enough randomness for picking crash points.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// What a durable-write path must do with the bytes it is persisting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// All bytes reach durable storage.
+    Persist,
+    /// Power loss: only the first `keep` bytes land; with `torn`, the kept
+    /// tail is corrupted in place. The caller must then fail with
+    /// [`RumError::Crash`].
+    CrashKeeping { keep: u64, torn: bool },
+    /// This flush fails wholesale; nothing lands.
+    FailFlush,
+}
+
+/// Arms a [`FaultPlan`] over shared atomic counters. Cheap to clone via
+/// `Arc` so a WAL and a device can share one byte clock. Each injector
+/// fires **at most once** (`fired`), mirroring a single power event.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    durable_bytes: AtomicU64,
+    flush_calls: AtomicU64,
+    fired: AtomicBool,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            plan,
+            durable_bytes: AtomicU64::new(0),
+            flush_calls: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+        })
+    }
+
+    /// An injector that never fires (the matrix's reference cell).
+    pub fn inert() -> Arc<Self> {
+        Self::new(FaultPlan::None)
+    }
+
+    /// The plan this injector arms.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Whether the fault has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes allowed through to durable storage.
+    pub fn durable_bytes(&self) -> u64 {
+        self.durable_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Consult the plan for a durable write of `len` bytes (one WAL sync or
+    /// one page write). Advances the byte/flush clocks and returns what the
+    /// caller must persist. Callers are driven `&mut`, so the two-step
+    /// check-then-advance below is not racy in practice; the atomics only
+    /// make sharing one injector across structures safe.
+    pub fn on_durable_write(&self, len: u64) -> WriteOutcome {
+        let flush_no = self.flush_calls.fetch_add(1, Ordering::Relaxed) + 1;
+        let written = self.durable_bytes.load(Ordering::Relaxed);
+        match self.plan {
+            FaultPlan::FailFlush { nth } if flush_no == nth && !self.fired() => {
+                self.fired.store(true, Ordering::Relaxed);
+                WriteOutcome::FailFlush
+            }
+            FaultPlan::CrashAtByte { offset, torn }
+                if !self.fired() && written.saturating_add(len) > offset =>
+            {
+                self.fired.store(true, Ordering::Relaxed);
+                let keep = offset.saturating_sub(written).min(len);
+                self.durable_bytes.fetch_add(keep, Ordering::Relaxed);
+                WriteOutcome::CrashKeeping { keep, torn }
+            }
+            _ => {
+                self.durable_bytes.fetch_add(len, Ordering::Relaxed);
+                WriteOutcome::Persist
+            }
+        }
+    }
+}
+
+/// A [`BlockDevice`] wrapper that runs every page write past a
+/// [`FaultInjector`]: a crash mid-page persists a *torn page* (new prefix
+/// spliced over the old contents) and surfaces [`RumError::Crash`].
+pub struct FaultDevice<D: BlockDevice> {
+    inner: D,
+    injector: Arc<FaultInjector>,
+}
+
+impl<D: BlockDevice> FaultDevice<D> {
+    pub fn new(inner: D, injector: Arc<FaultInjector>) -> Self {
+        FaultDevice { inner, injector }
+    }
+
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
+    fn allocate(&mut self) -> Result<PageId> {
+        self.inner.allocate()
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        self.inner.free(id)
+    }
+
+    fn read_page(&mut self, id: PageId) -> Result<PageBuf> {
+        self.inner.read_page(id)
+    }
+
+    fn write_page(&mut self, id: PageId, page: &PageBuf) -> Result<()> {
+        match self.injector.on_durable_write(PAGE_SIZE as u64) {
+            WriteOutcome::Persist => self.inner.write_page(id, page),
+            WriteOutcome::CrashKeeping { keep, torn } => {
+                // Persist a torn page: new prefix over old suffix.
+                let mut merged = self.inner.read_page(id)?;
+                let keep = (keep as usize).min(PAGE_SIZE);
+                merged.as_mut_slice()[..keep].copy_from_slice(&page.as_slice()[..keep]);
+                if torn && keep > 0 {
+                    let lo = keep.saturating_sub(8);
+                    for b in &mut merged.as_mut_slice()[lo..keep] {
+                        *b ^= 0xA5;
+                    }
+                }
+                self.inner.write_page(id, &merged)?;
+                Err(RumError::Crash(format!(
+                    "power loss during write of {id}: {keep} of {PAGE_SIZE} bytes persisted"
+                )))
+            }
+            WriteOutcome::FailFlush => Err(RumError::Crash(format!(
+                "flush failed while writing {id}: nothing persisted"
+            ))),
+        }
+    }
+
+    fn live_pages(&self) -> usize {
+        self.inner.live_pages()
+    }
+
+    fn stats(&self) -> &Arc<IoStats> {
+        self.inner.stats()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixed() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        let spread: std::collections::HashSet<u64> = (0..64).map(|i| splitmix64(i) % 97).collect();
+        assert!(spread.len() > 32, "outputs should spread across residues");
+    }
+
+    #[test]
+    fn crash_plan_fires_once_at_the_byte() {
+        let inj = FaultInjector::new(FaultPlan::crash_at(100));
+        assert_eq!(inj.on_durable_write(60), WriteOutcome::Persist);
+        assert_eq!(
+            inj.on_durable_write(60),
+            WriteOutcome::CrashKeeping {
+                keep: 40,
+                torn: false
+            }
+        );
+        assert!(inj.fired());
+        assert_eq!(inj.durable_bytes(), 100);
+        // Once fired, the power event is over; later writes persist.
+        assert_eq!(inj.on_durable_write(60), WriteOutcome::Persist);
+    }
+
+    #[test]
+    fn fail_flush_targets_the_nth_call() {
+        let inj = FaultInjector::new(FaultPlan::fail_flush(2));
+        assert_eq!(inj.on_durable_write(10), WriteOutcome::Persist);
+        assert_eq!(inj.on_durable_write(10), WriteOutcome::FailFlush);
+        assert_eq!(inj.on_durable_write(10), WriteOutcome::Persist);
+        assert_eq!(inj.durable_bytes(), 20, "failed flush persisted nothing");
+    }
+
+    #[test]
+    fn seeded_crash_is_reproducible_and_in_range() {
+        for seed in 0..32u64 {
+            let a = FaultPlan::seeded_crash(seed, 1000, false);
+            let b = FaultPlan::seeded_crash(seed, 1000, false);
+            assert_eq!(a, b);
+            match a {
+                FaultPlan::CrashAtByte { offset, .. } => assert!(offset < 1000),
+                other => panic!("unexpected plan {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fault_device_persists_a_torn_page() {
+        let inj = FaultInjector::new(FaultPlan::torn_at(PAGE_SIZE as u64 + 100));
+        let mut dev = FaultDevice::new(MemDevice::new(), Arc::clone(&inj));
+        let a = dev.allocate().unwrap();
+        let b = dev.allocate().unwrap();
+        let mut old = PageBuf::zeroed();
+        old.as_mut_slice().fill(0x11);
+        dev.write_page(b, &old).unwrap(); // first page write: fits budget
+        let mut new = PageBuf::zeroed();
+        new.as_mut_slice().fill(0x22);
+        let err = dev.write_page(b, &new).unwrap_err();
+        assert!(matches!(err, RumError::Crash(_)), "got {err:?}");
+        let after = dev.read_page(b).unwrap();
+        // 100 bytes of budget remained: prefix is new (except the torn,
+        // bit-flipped tail of the kept range), suffix is the old contents.
+        assert_eq!(after.as_slice()[0], 0x22);
+        assert_eq!(after.as_slice()[99], 0x22 ^ 0xA5, "tail of keep is torn");
+        assert_eq!(after.as_slice()[100], 0x11, "suffix keeps old contents");
+        // The untouched page is unaffected, and the device still works.
+        let _ = dev.read_page(a).unwrap();
+        assert_eq!(dev.write_page(b, &new), Ok(()));
+    }
+}

@@ -261,7 +261,9 @@ impl BlockDevice for MemoryHierarchy {
         for lvl in (0..hit_level).rev() {
             self.install(lvl, id, false);
         }
-        Ok(self.pages[id.index()].clone().expect("checked by slot"))
+        Ok(self.pages[id.index()]
+            .clone()
+            .expect("slot() verified a live page buffer at this index"))
     }
 
     fn write_page(&mut self, id: PageId, page: &PageBuf) -> Result<()> {

@@ -29,19 +29,34 @@
 //! * [`hierarchy`] — the multi-level
 //!   [`MemoryHierarchy`](hierarchy::MemoryHierarchy) simulator behind the
 //!   Figure 2 experiment.
+//! * [`wal`] / [`durable`] — the crash-consistency layer: a checksummed
+//!   write-ahead log whose every synced byte is charged as auxiliary write
+//!   traffic (so UO includes the durability protocol), and the
+//!   [`Durable`](durable::Durable) wrapper adding WAL + checkpoint +
+//!   recovery to any access method.
+//! * [`fault`] — deterministic fault injection
+//!   ([`FaultInjector`](fault::FaultInjector)): seeded crash points, torn
+//!   writes, and failed flushes over the WAL sync path and the block
+//!   device, powering the crash-matrix experiment.
 
 pub mod buffer;
 pub mod cost;
 pub mod device;
+pub mod durable;
+pub mod fault;
 pub mod hierarchy;
 pub mod lru;
 pub mod page;
 pub mod pager;
+pub mod wal;
 
 pub use buffer::BufferPool;
 pub use cost::DeviceProfile;
 pub use device::{BlockDevice, IoStats, MemDevice};
+pub use durable::{Durable, RecoveryReport};
+pub use fault::{splitmix64, FaultDevice, FaultInjector, FaultPlan, WriteOutcome};
 pub use hierarchy::{HierarchySpec, LevelSpec, MemoryHierarchy};
 pub use lru::LruSet;
 pub use page::{PageBuf, PageId};
 pub use pager::Pager;
+pub use wal::{crc32, Wal, WalEntry, WalReplay};

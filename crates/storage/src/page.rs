@@ -75,7 +75,11 @@ impl PageBuf {
 
     #[inline]
     pub fn read_u16(&self, off: usize) -> u16 {
-        u16::from_le_bytes(self.data[off..off + 2].try_into().unwrap())
+        u16::from_le_bytes(
+            self.data[off..off + 2]
+                .try_into()
+                .expect("slice is exactly 2 bytes"),
+        )
     }
 
     #[inline]
@@ -85,7 +89,11 @@ impl PageBuf {
 
     #[inline]
     pub fn read_u32(&self, off: usize) -> u32 {
-        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+        u32::from_le_bytes(
+            self.data[off..off + 4]
+                .try_into()
+                .expect("slice is exactly 4 bytes"),
+        )
     }
 
     #[inline]
@@ -95,7 +103,11 @@ impl PageBuf {
 
     #[inline]
     pub fn read_u64(&self, off: usize) -> u64 {
-        u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+        u64::from_le_bytes(
+            self.data[off..off + 8]
+                .try_into()
+                .expect("slice is exactly 8 bytes"),
+        )
     }
 
     #[inline]

@@ -1,0 +1,597 @@
+//! Write-ahead log: append-only, checksummed, length-prefixed records with
+//! commit markers and torn-tail detection.
+//!
+//! The paper's UO discussion counts logging as part of write amplification;
+//! this module is where that cost becomes measurable. Every byte the log
+//! persists is charged to the owning method's
+//! [`CostTracker`](rum_core::CostTracker) as auxiliary write traffic (plus
+//! page-granular accesses for the log pages touched), so a method wrapped
+//! in [`Durable`](crate::durable::Durable) reports UO *including* its
+//! durability protocol — and the delta against the bare method is exactly
+//! `WAL bytes / logical bytes`.
+//!
+//! ## On-"disk" format
+//!
+//! ```text
+//! frame   := len:u32le  crc:u32le  payload
+//! payload := tag:u8  fields...
+//!   tag 1 = Insert  key:u64le value:u64le   (17 bytes)
+//!   tag 2 = Update  key:u64le value:u64le   (17 bytes)
+//!   tag 3 = Delete  key:u64le               (9 bytes)
+//!   tag 4 = Commit  seq:u64le count:u32le   (13 bytes)
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE, the zlib polynomial) over the payload,
+//! implemented in-tree. Replay applies data records **only when a commit
+//! marker covers them**: `Commit { seq, count }` commits exactly the
+//! `count` records staged immediately before it — records staged earlier
+//! belong to an operation that failed mid-apply (logged, never committed)
+//! and are discarded, so a later commit can never resurrect them. A frame
+//! that is truncated, oversized, fails its CRC, or does not decode ends
+//! replay on the spot — a torn tail is detected and discarded, never
+//! replayed.
+
+use std::sync::Arc;
+
+use rum_core::{CostTracker, DataClass, Key, Result, RumError, Value, PAGE_SIZE};
+
+use crate::fault::{FaultInjector, WriteOutcome};
+
+/// Frame header size: u32 length + u32 CRC.
+pub const WAL_HEADER_BYTES: usize = 8;
+
+/// Largest valid payload (Insert/Update: tag + key + value).
+const MAX_PAYLOAD: usize = 17;
+
+// ---- CRC-32 (IEEE 802.3 / zlib polynomial), table-driven ----------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 checksum (IEEE polynomial, reflected, init/xorout `!0`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---- log entries --------------------------------------------------------
+
+/// One logical WAL record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalEntry {
+    /// Upsert of `key` to `value`.
+    Insert { key: Key, value: Value },
+    /// Update of a (presumed live) `key` to `value`.
+    Update { key: Key, value: Value },
+    /// Deletion of `key`.
+    Delete { key: Key },
+    /// The `count` records staged immediately before this marker are now
+    /// atomic and durable; `seq` is the monotonically increasing commit
+    /// number. Earlier staged records (from an op whose apply failed after
+    /// logging) stay uncommitted forever.
+    Commit { seq: u64, count: u32 },
+}
+
+impl WalEntry {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match *self {
+            WalEntry::Insert { key, value } => {
+                out.push(1);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            WalEntry::Update { key, value } => {
+                out.push(2);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            WalEntry::Delete { key } => {
+                out.push(3);
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+            WalEntry::Commit { seq, count } => {
+                out.push(4);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+        }
+    }
+
+    /// Strict decode: the tag must be known and the payload exactly the
+    /// tag's size. Anything else is treated as corruption by replay.
+    fn decode_payload(buf: &[u8]) -> Option<WalEntry> {
+        let u64_at = |off: usize| -> u64 {
+            u64::from_le_bytes(
+                buf[off..off + 8]
+                    .try_into()
+                    .expect("slice is exactly 8 bytes"),
+            )
+        };
+        match (buf.first(), buf.len()) {
+            (Some(1), 17) => Some(WalEntry::Insert {
+                key: u64_at(1),
+                value: u64_at(9),
+            }),
+            (Some(2), 17) => Some(WalEntry::Update {
+                key: u64_at(1),
+                value: u64_at(9),
+            }),
+            (Some(3), 9) => Some(WalEntry::Delete { key: u64_at(1) }),
+            (Some(4), 13) => Some(WalEntry::Commit {
+                seq: u64_at(1),
+                count: u32::from_le_bytes(buf[9..13].try_into().expect("slice is exactly 4 bytes")),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of scanning the durable log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalReplay {
+    /// Data records covered by a commit marker, in append order. These —
+    /// and only these — may be re-applied.
+    pub committed: Vec<WalEntry>,
+    /// Sequence number of the last valid commit marker, if any.
+    pub last_commit_seq: Option<u64>,
+    /// Whether scanning stopped at a torn/corrupt frame (truncated header
+    /// or payload, bad CRC, unknown tag, wrong size).
+    pub torn_tail: bool,
+    /// Valid data records no commit marker covers — a trailing uncommitted
+    /// suffix, or records of an op that failed after logging — discarded.
+    pub uncommitted: usize,
+    /// Byte offset of the end of the last valid frame. Recovery passes this
+    /// to [`Wal::truncate_torn_tail`] so appends after a crash never land
+    /// behind a corrupt frame (where replay would never see them).
+    pub valid_len: u64,
+}
+
+/// The write-ahead log. `pending` models volatile buffered appends;
+/// `durable` models what survives power loss. [`Wal::sync`] moves pending
+/// bytes to durable — consulting the [`FaultInjector`], when armed, which
+/// may cut the transfer short (crash), corrupt the kept tail (torn write),
+/// or drop it entirely (failed flush).
+pub struct Wal {
+    durable: Vec<u8>,
+    pending: Vec<u8>,
+    tracker: Arc<CostTracker>,
+    injector: Option<Arc<FaultInjector>>,
+    /// Total bytes ever synced to durable storage (across truncations) —
+    /// the exact amount charged to the tracker as auxiliary writes.
+    synced_total: u64,
+}
+
+impl Wal {
+    /// A WAL charging `tracker`, with no fault injection.
+    pub fn new(tracker: Arc<CostTracker>) -> Self {
+        Wal {
+            durable: Vec::new(),
+            pending: Vec::new(),
+            tracker,
+            injector: None,
+            synced_total: 0,
+        }
+    }
+
+    /// A WAL whose syncs are subject to `injector`'s fault plan.
+    pub fn with_injector(tracker: Arc<CostTracker>, injector: Arc<FaultInjector>) -> Self {
+        Wal {
+            injector: Some(injector),
+            ..Wal::new(tracker)
+        }
+    }
+
+    /// Rebind cost charges (used by recovery to keep accounting continuous
+    /// across a rebuilt structure).
+    pub fn set_tracker(&mut self, tracker: Arc<CostTracker>) {
+        self.tracker = tracker;
+    }
+
+    /// Bytes surviving on durable storage right now.
+    pub fn durable_len(&self) -> usize {
+        self.durable.len()
+    }
+
+    /// Buffered (volatile) bytes awaiting sync.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Current physical footprint of the log (durable + buffered).
+    pub fn total_len(&self) -> u64 {
+        (self.durable.len() + self.pending.len()) as u64
+    }
+
+    /// Total bytes ever synced — equals the auxiliary write bytes this log
+    /// has charged to the tracker.
+    pub fn synced_total(&self) -> u64 {
+        self.synced_total
+    }
+
+    /// Buffer `entry` (volatile until [`sync`](Self::sync)).
+    pub fn append(&mut self, entry: &WalEntry) {
+        let mut payload = Vec::with_capacity(MAX_PAYLOAD);
+        entry.encode_payload(&mut payload);
+        self.pending
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.pending
+            .extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.pending.extend_from_slice(&payload);
+    }
+
+    /// Charge `n` bytes landing at durable offset `start` as auxiliary
+    /// write traffic: byte-exact bytes plus one page access per log page
+    /// touched (an fsync rewrites at least the tail page).
+    fn charge(&self, start: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.tracker.write(DataClass::Aux, n);
+        let page = PAGE_SIZE as u64;
+        let pages = (start + n).div_ceil(page) - start / page;
+        for _ in 0..pages.max(1) {
+            self.tracker.page_write();
+        }
+    }
+
+    /// Make pending appends durable. Returns `Err(RumError::Crash)` when
+    /// the armed fault fires; whatever prefix the injector let through is
+    /// already on "disk" (and charged), mirroring a real power event.
+    pub fn sync(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let n = self.pending.len() as u64;
+        let outcome = match &self.injector {
+            Some(inj) => inj.on_durable_write(n),
+            None => WriteOutcome::Persist,
+        };
+        let start = self.durable.len() as u64;
+        match outcome {
+            WriteOutcome::Persist => {
+                self.durable.append(&mut self.pending);
+                self.charge(start, n);
+                self.synced_total += n;
+                Ok(())
+            }
+            WriteOutcome::CrashKeeping { keep, torn } => {
+                let keep = (keep as usize).min(self.pending.len());
+                self.durable.extend_from_slice(&self.pending[..keep]);
+                if torn && keep > 0 {
+                    // The sector under the write head when power dropped:
+                    // flip the tail of what landed so only the checksum —
+                    // not truncation — can reveal the damage.
+                    let len = self.durable.len();
+                    for b in &mut self.durable[len - keep.min(8)..] {
+                        *b ^= 0xA5;
+                    }
+                }
+                self.pending.clear();
+                self.charge(start, keep as u64);
+                self.synced_total += keep as u64;
+                Err(RumError::Crash(format!(
+                    "power loss during WAL sync: {keep} of {n} bytes persisted{}",
+                    if torn { " (torn tail)" } else { "" }
+                )))
+            }
+            WriteOutcome::FailFlush => {
+                self.pending.clear();
+                Err(RumError::Crash(format!(
+                    "WAL flush failed: {n} buffered bytes lost"
+                )))
+            }
+        }
+    }
+
+    /// Drop the log after a checkpoint: durable and pending both reset.
+    /// (`synced_total` is cumulative — truncation reclaims space, it does
+    /// not refund write traffic.)
+    pub fn truncate(&mut self) {
+        self.durable.clear();
+        self.pending.clear();
+    }
+
+    /// Keep only the first `len` durable bytes — recovery cuts the torn
+    /// tail off the log so later appends follow valid frames instead of
+    /// hiding forever behind a corrupt one.
+    pub fn truncate_torn_tail(&mut self, len: u64) {
+        self.durable.truncate(len as usize);
+    }
+
+    /// Scan the durable log and return the committed prefix. Never fails:
+    /// corruption terminates the scan and is reported in the outcome.
+    pub fn replay(&self) -> WalReplay {
+        let log = &self.durable;
+        let mut out = WalReplay::default();
+        let mut staged: Vec<WalEntry> = Vec::new();
+        let mut off = 0usize;
+        loop {
+            if off == log.len() {
+                break; // clean end of log
+            }
+            if off + WAL_HEADER_BYTES > log.len() {
+                out.torn_tail = true; // truncated header
+                break;
+            }
+            let len = u32::from_le_bytes(
+                log[off..off + 4]
+                    .try_into()
+                    .expect("slice is exactly 4 bytes"),
+            ) as usize;
+            let crc = u32::from_le_bytes(
+                log[off + 4..off + 8]
+                    .try_into()
+                    .expect("slice is exactly 4 bytes"),
+            );
+            if len == 0 || len > MAX_PAYLOAD || off + WAL_HEADER_BYTES + len > log.len() {
+                out.torn_tail = true; // absurd length or truncated payload
+                break;
+            }
+            let payload = &log[off + WAL_HEADER_BYTES..off + WAL_HEADER_BYTES + len];
+            if crc32(payload) != crc {
+                out.torn_tail = true;
+                break;
+            }
+            let Some(entry) = WalEntry::decode_payload(payload) else {
+                out.torn_tail = true;
+                break;
+            };
+            match entry {
+                WalEntry::Commit { seq, count } => {
+                    let count = count as usize;
+                    if count > staged.len() {
+                        // A commit covering records that are not in the
+                        // log cannot be honored; stop, like corruption.
+                        out.torn_tail = true;
+                        break;
+                    }
+                    let covered = staged.split_off(staged.len() - count);
+                    out.uncommitted += staged.len(); // aborted-op leftovers
+                    staged.clear();
+                    out.committed.extend(covered);
+                    out.last_commit_seq = Some(seq);
+                }
+                data => staged.push(data),
+            }
+            off += WAL_HEADER_BYTES + len;
+        }
+        // `off` only ever advances past fully-validated frames, so at any
+        // break it marks the end of the trustworthy prefix.
+        out.valid_len = off as u64;
+        out.uncommitted += staged.len();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultInjector, FaultPlan};
+
+    fn entries() -> Vec<WalEntry> {
+        vec![
+            WalEntry::Insert { key: 1, value: 10 },
+            WalEntry::Update { key: 1, value: 11 },
+            WalEntry::Delete { key: 2 },
+            WalEntry::Commit { seq: 0, count: 3 },
+            WalEntry::Insert { key: 3, value: 30 },
+            WalEntry::Commit { seq: 1, count: 1 },
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn committed_prefix_roundtrips() {
+        let mut wal = Wal::new(CostTracker::new());
+        for e in entries() {
+            wal.append(&e);
+        }
+        wal.sync().unwrap();
+        let replay = wal.replay();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.last_commit_seq, Some(1));
+        assert_eq!(replay.uncommitted, 0);
+        assert_eq!(
+            replay.committed,
+            vec![
+                WalEntry::Insert { key: 1, value: 10 },
+                WalEntry::Update { key: 1, value: 11 },
+                WalEntry::Delete { key: 2 },
+                WalEntry::Insert { key: 3, value: 30 },
+            ]
+        );
+    }
+
+    #[test]
+    fn uncommitted_tail_is_not_replayed() {
+        let mut wal = Wal::new(CostTracker::new());
+        wal.append(&WalEntry::Insert { key: 1, value: 1 });
+        wal.append(&WalEntry::Commit { seq: 0, count: 1 });
+        wal.append(&WalEntry::Insert { key: 2, value: 2 }); // never committed
+        wal.sync().unwrap();
+        let replay = wal.replay();
+        assert!(!replay.torn_tail, "clean frames, just uncommitted");
+        assert_eq!(
+            replay.committed,
+            vec![WalEntry::Insert { key: 1, value: 1 }]
+        );
+        assert_eq!(replay.uncommitted, 1);
+    }
+
+    #[test]
+    fn aborted_op_is_never_resurrected_by_a_later_commit() {
+        // An op that logged its record but failed mid-apply leaves an
+        // uncovered record; the next op's commit must not adopt it.
+        let mut wal = Wal::new(CostTracker::new());
+        wal.append(&WalEntry::Insert { key: 7, value: 70 }); // aborted op
+        wal.append(&WalEntry::Insert { key: 8, value: 80 });
+        wal.append(&WalEntry::Commit { seq: 0, count: 1 });
+        wal.sync().unwrap();
+        let replay = wal.replay();
+        assert!(!replay.torn_tail);
+        assert_eq!(
+            replay.committed,
+            vec![WalEntry::Insert { key: 8, value: 80 }]
+        );
+        assert_eq!(replay.uncommitted, 1, "the aborted record is discarded");
+    }
+
+    #[test]
+    fn overreaching_commit_stops_replay() {
+        let mut wal = Wal::new(CostTracker::new());
+        wal.append(&WalEntry::Insert { key: 1, value: 1 });
+        wal.append(&WalEntry::Commit { seq: 0, count: 2 }); // covers 2, only 1 staged
+        wal.sync().unwrap();
+        let replay = wal.replay();
+        assert!(replay.torn_tail);
+        assert!(replay.committed.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_discarded() {
+        // Crash mid-log at every byte offset: replay must never yield more
+        // than the commits whose frames fully landed, and must flag tears.
+        let mut reference = Wal::new(CostTracker::new());
+        for e in entries() {
+            reference.append(&e);
+        }
+        reference.sync().unwrap();
+        let total = reference.durable_len() as u64;
+        let full = reference.replay();
+        let mut saw_torn = false;
+        for cut in 0..total {
+            for torn in [false, true] {
+                let plan = if torn {
+                    FaultPlan::torn_at(cut)
+                } else {
+                    FaultPlan::crash_at(cut)
+                };
+                let mut wal = Wal::with_injector(CostTracker::new(), FaultInjector::new(plan));
+                for e in entries() {
+                    wal.append(&e);
+                }
+                let err = wal.sync().unwrap_err();
+                assert!(matches!(err, RumError::Crash(_)));
+                assert_eq!(wal.durable_len() as u64, cut);
+                let replay = wal.replay();
+                saw_torn |= replay.torn_tail;
+                // Only fully-committed prefixes of the reference replay.
+                assert!(replay.committed.len() <= full.committed.len());
+                assert_eq!(
+                    replay.committed[..],
+                    full.committed[..replay.committed.len()],
+                    "cut={cut} torn={torn}"
+                );
+                if let Some(seq) = replay.last_commit_seq {
+                    assert!(seq <= 1);
+                }
+            }
+        }
+        assert!(saw_torn, "some cut must land mid-frame");
+    }
+
+    #[test]
+    fn sync_charges_aux_bytes_and_log_pages() {
+        let tracker = CostTracker::new();
+        let mut wal = Wal::new(Arc::clone(&tracker));
+        wal.append(&WalEntry::Insert { key: 1, value: 1 });
+        wal.append(&WalEntry::Commit { seq: 0, count: 1 });
+        wal.sync().unwrap();
+        let s = tracker.snapshot();
+        assert_eq!(s.aux_write_bytes, wal.synced_total());
+        assert_eq!(s.base_write_bytes, 0, "WAL traffic is auxiliary");
+        assert_eq!(s.page_writes, 1, "one small sync touches one log page");
+        // A sync spanning a page boundary touches both pages.
+        let tracker2 = CostTracker::new();
+        let mut big = Wal::new(Arc::clone(&tracker2));
+        let mut k = 0;
+        while big.pending_len() <= PAGE_SIZE {
+            big.append(&WalEntry::Insert { key: k, value: k });
+            k += 1;
+        }
+        big.sync().unwrap();
+        let s2 = tracker2.snapshot();
+        assert_eq!(s2.aux_write_bytes, big.synced_total());
+        assert_eq!(s2.page_writes, 2, "straddling sync touches two pages");
+    }
+
+    #[test]
+    fn failed_flush_loses_pending_only() {
+        let tracker = CostTracker::new();
+        let mut wal = Wal::with_injector(
+            Arc::clone(&tracker),
+            FaultInjector::new(FaultPlan::fail_flush(2)),
+        );
+        wal.append(&WalEntry::Insert { key: 1, value: 1 });
+        wal.append(&WalEntry::Commit { seq: 0, count: 1 });
+        wal.sync().unwrap();
+        let durable_before = wal.durable_len();
+        let charged_before = tracker.snapshot().aux_write_bytes;
+        wal.append(&WalEntry::Insert { key: 2, value: 2 });
+        wal.append(&WalEntry::Commit { seq: 1, count: 1 });
+        assert!(matches!(wal.sync(), Err(RumError::Crash(_))));
+        assert_eq!(wal.durable_len(), durable_before, "nothing landed");
+        assert_eq!(wal.pending_len(), 0, "buffered bytes are gone");
+        assert_eq!(
+            tracker.snapshot().aux_write_bytes,
+            charged_before,
+            "a failed flush writes nothing, charges nothing"
+        );
+        assert_eq!(wal.replay().last_commit_seq, Some(0));
+    }
+
+    #[test]
+    fn truncate_resets_the_log_but_not_the_accounting() {
+        let mut wal = Wal::new(CostTracker::new());
+        wal.append(&WalEntry::Insert { key: 1, value: 1 });
+        wal.append(&WalEntry::Commit { seq: 0, count: 1 });
+        wal.sync().unwrap();
+        let synced = wal.synced_total();
+        assert!(synced > 0);
+        wal.truncate();
+        assert_eq!(wal.durable_len(), 0);
+        assert_eq!(wal.replay(), WalReplay::default());
+        assert_eq!(wal.synced_total(), synced, "charges are not refunded");
+    }
+
+    #[test]
+    fn empty_sync_is_free_and_infallible() {
+        let tracker = CostTracker::new();
+        // Even with a fail-on-first-flush plan armed, an empty sync has
+        // nothing to lose and must not consume the fault.
+        let mut wal = Wal::with_injector(
+            Arc::clone(&tracker),
+            FaultInjector::new(FaultPlan::fail_flush(1)),
+        );
+        wal.sync().unwrap();
+        assert_eq!(tracker.snapshot(), Default::default());
+    }
+}

@@ -105,6 +105,13 @@ pub fn standard_suite() -> Vec<Box<dyn AccessMethod>> {
             policy: lsm::CompactionPolicy::Tiering,
             ..Default::default()
         })),
+        // The levelled LSM again, behind the write-ahead log: same
+        // structure, UO now honestly includes the durability protocol —
+        // the RUM price of crash consistency, visible in Figure 1.
+        Box::new(lsm::durable_lsm(lsm::LsmConfig {
+            memtable_records: 256,
+            ..Default::default()
+        })),
         Box::new(columns::AppendLog::new()),
         Box::new(columns::SortedColumn::new()),
         Box::new(columns::UnsortedColumn::new()),
