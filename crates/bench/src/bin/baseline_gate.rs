@@ -1,0 +1,58 @@
+//! RUM baseline regression gate: re-measure smoke-scale RO/UO/MO for every
+//! standard-suite method and fail on any drift from the committed baseline.
+//!
+//! Usage:
+//!   cargo run --release -p rum-bench --bin baseline_gate
+//!   UPDATE_BASELINE=1 cargo run --release -p rum-bench --bin baseline_gate
+//!
+//! The gate reads `results/baseline_rum.json`; amplifications are
+//! deterministic given the workload seed, so the drift tolerance is tight
+//! (1e-9 relative — see `rum_bench::baseline::DRIFT_TOLERANCE`). After an
+//! *intentional* cost change, regenerate the baseline with
+//! `UPDATE_BASELINE=1` and commit the diff; the diff itself documents the
+//! cost-model change for review.
+
+use rum_bench::baseline;
+
+const BASELINE_PATH: &str = "results/baseline_rum.json";
+
+fn main() {
+    let threads = rum::core::runner::default_threads();
+    eprintln!("[baseline] measuring standard suite ({threads} threads) ...");
+    let current = baseline::measure(threads);
+
+    let update = std::env::var("UPDATE_BASELINE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if update {
+        std::fs::create_dir_all("results").expect("results dir");
+        std::fs::write(BASELINE_PATH, current.to_json()).expect("write baseline");
+        println!(
+            "wrote {} ({} methods)",
+            BASELINE_PATH,
+            current.methods.len()
+        );
+        return;
+    }
+
+    let text = std::fs::read_to_string(BASELINE_PATH).unwrap_or_else(|e| {
+        eprintln!(
+            "cannot read {BASELINE_PATH}: {e}\n\
+             run with UPDATE_BASELINE=1 to create it"
+        );
+        std::process::exit(1);
+    });
+    let committed = baseline::Baseline::from_json(&text)
+        .unwrap_or_else(|e| panic!("corrupt {BASELINE_PATH}: {e}"));
+
+    let drifts = baseline::compare(&committed, &current, baseline::DRIFT_TOLERANCE);
+    println!("{}", baseline::render(&committed, &current, &drifts));
+    if !drifts.is_empty() {
+        eprintln!(
+            "{} drift(s) beyond tolerance; if intentional, regenerate with \
+             UPDATE_BASELINE=1 and commit the diff",
+            drifts.len()
+        );
+        std::process::exit(1);
+    }
+}

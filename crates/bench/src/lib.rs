@@ -13,6 +13,8 @@
 //! | `roadmap_adaptive` | §5 roadmap items (cracking, bitmaps, LSM retuning, filters) |
 //! | `scale_sweep` | streaming workloads × sharded execution, n up to 10^7, K up to 8 |
 //! | `crash_matrix` | WAL durability cost folded into UO + exact recovery under fault injection |
+//! | `advisor` | §5 wizard calibrated from measured profiles (analytic vs measured rankings) |
+//! | `baseline_gate` | RUM regression gate against `results/baseline_rum.json` |
 //!
 //! This library holds the measurement machinery those binaries (and the
 //! criterion benches) share, so experiments are reproducible from tests
@@ -25,6 +27,8 @@ use rum_core::runner::measure_ops;
 use rum_core::workload::Op;
 use rum_core::{AccessMethod, CostSnapshot, Record, RECORDS_PER_PAGE};
 
+pub mod advisor;
+pub mod baseline;
 pub mod crash;
 pub mod fig1;
 pub mod fig2;

@@ -19,9 +19,9 @@
 //! * [`types`] — the record model (`u64` key + `u64` value, 16-byte records,
 //!   4 KiB pages, `B = 256` records per page), mirroring the paper's
 //!   "array of N fixed-sized elements in blocks".
-//! * [`tracker`] — [`CostTracker`](tracker::CostTracker), the instrumented
+//! * [`tracker`] — [`CostTracker`], the instrumented
 //!   counter set from which all three amplifications are computed.
-//! * [`access`] — the [`AccessMethod`](access::AccessMethod) trait.
+//! * [`access`] — the [`AccessMethod`] trait.
 //! * [`workload`] — seeded workload generators (uniform / zipfian /
 //!   sequential key distributions, configurable operation mixes).
 //! * [`runner`] — drives an access method through a workload and produces a
@@ -30,8 +30,12 @@
 //!   triangle of the paper's Figures 1 and 3, with an ASCII renderer.
 //! * [`wizard`] — the "access method wizard" envisioned in §5 of the paper:
 //!   a cost-model-driven advisor that ranks access methods for a workload.
+//! * [`advisor`] — the wizard's empirical counterpart: per-method profiles
+//!   built from measured [`RumReport`](runner::RumReport)s, measured
+//!   recommendations, and analytic-vs-measured calibration reporting.
 
 pub mod access;
+pub mod advisor;
 pub mod error;
 pub mod runner;
 pub mod shard;

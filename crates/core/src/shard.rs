@@ -1,7 +1,7 @@
 //! Hash-sharded composition of access methods: one logical
 //! [`AccessMethod`] backed by `K` inner instances, each owning a disjoint
 //! key partition, its own storage, and its own private
-//! [`CostTracker`](crate::tracker::CostTracker).
+//! [`CostTracker`].
 //!
 //! Sharding is the paper's RUM tradeoff applied at the *system* level: the
 //! K auxiliary structures cost MO (K roots, K directories, K memtables...)

@@ -10,7 +10,7 @@
 //! plus the committed WAL prefix.
 //!
 //! All durability traffic (WAL syncs and checkpoint writes) is charged to
-//! the method's [`CostTracker`](rum_core::CostTracker) as auxiliary
+//! the method's [`CostTracker`] as auxiliary
 //! writes, so the wrapped method's UO honestly includes the price of its
 //! logging protocol — the RUM cost the paper folds into write
 //! amplification. [`Durable::logging_bytes`] reports that extra traffic

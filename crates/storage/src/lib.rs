@@ -9,33 +9,33 @@
 //! provides both measurement substrates:
 //!
 //! * [`page`] / [`device`] — 4 KiB pages over an instrumented in-memory
-//!   block device ([`MemDevice`](device::MemDevice)) that counts reads,
-//!   writes, allocations and frees ([`IoStats`](device::IoStats)).
+//!   block device ([`MemDevice`]) that counts reads,
+//!   writes, allocations and frees ([`IoStats`]).
 //! * [`cost`] — a device cost model
-//!   ([`DeviceProfile`](cost::DeviceProfile)) translating page accesses
+//!   ([`DeviceProfile`]) translating page accesses
 //!   into simulated nanoseconds, with HDD / SSD / DRAM presets that honor
 //!   the sequential-vs-random distinction the paper calls out ("in the
 //!   1970s ... minimize the number of random accesses on disk; ... now we
 //!   minimize the number of random accesses to main memory").
 //! * [`lru`] — an intrusive O(1) LRU used by the buffer pool and cache
 //!   levels.
-//! * [`buffer`] — a [`BufferPool`](buffer::BufferPool) with hit/miss
+//! * [`buffer`] — a [`BufferPool`] with hit/miss
 //!   accounting and dirty write-back.
-//! * [`pager`] — the [`Pager`](pager::Pager): the facade access methods
+//! * [`pager`] — the [`Pager`]: the facade access methods
 //!   allocate and touch pages through; every access is charged to a
 //!   [`CostTracker`](rum_core::CostTracker) with its
 //!   [`DataClass`](rum_core::DataClass) (base vs. auxiliary), which is what
 //!   makes RO/UO/MO measurable.
 //! * [`hierarchy`] — the multi-level
-//!   [`MemoryHierarchy`](hierarchy::MemoryHierarchy) simulator behind the
+//!   [`MemoryHierarchy`] simulator behind the
 //!   Figure 2 experiment.
 //! * [`wal`] / [`durable`] — the crash-consistency layer: a checksummed
 //!   write-ahead log whose every synced byte is charged as auxiliary write
 //!   traffic (so UO includes the durability protocol), and the
-//!   [`Durable`](durable::Durable) wrapper adding WAL + checkpoint +
+//!   [`Durable`] wrapper adding WAL + checkpoint +
 //!   recovery to any access method.
 //! * [`fault`] — deterministic fault injection
-//!   ([`FaultInjector`](fault::FaultInjector)): seeded crash points, torn
+//!   ([`FaultInjector`]): seeded crash points, torn
 //!   writes, and failed flushes over the WAL sync path and the block
 //!   device, powering the crash-matrix experiment.
 

@@ -4,7 +4,7 @@
 //! The paper's UO discussion counts logging as part of write amplification;
 //! this module is where that cost becomes measurable. Every byte the log
 //! persists is charged to the owning method's
-//! [`CostTracker`](rum_core::CostTracker) as auxiliary write traffic (plus
+//! [`CostTracker`] as auxiliary write traffic (plus
 //! page-granular accesses for the log pages touched), so a method wrapped
 //! in [`Durable`](crate::durable::Durable) reports UO *including* its
 //! durability protocol — and the delta against the bare method is exactly

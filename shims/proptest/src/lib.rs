@@ -2,7 +2,7 @@
 //!
 //! Implements the subset of the proptest API this workspace's property
 //! tests use — [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
-//! [`prop_oneof!`], [`strategy::Strategy`] (ranges, tuples, `any`,
+//! `prop_oneof!`, [`strategy::Strategy`] (ranges, tuples, `any`,
 //! `prop_map`), and [`collection`] strategies (`vec`, `hash_set`,
 //! `btree_set`) — on top of a deterministic seeded RNG.
 //!
@@ -56,7 +56,7 @@ pub mod strategy {
     /// A generator of values for one test argument.
     ///
     /// Object-safe core (`new_value`) plus `Sized`-gated combinators, so
-    /// `Box<dyn Strategy<Value = V>>` works for [`prop_oneof!`].
+    /// `Box<dyn Strategy<Value = V>>` works for `prop_oneof!`.
     pub trait Strategy {
         type Value: std::fmt::Debug;
 
@@ -81,7 +81,7 @@ pub mod strategy {
     }
 
     /// Box a strategy for storage in heterogeneous collections
-    /// (used by the [`prop_oneof!`] expansion).
+    /// (used by the `prop_oneof!` expansion).
     pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
     where
         S: Strategy + 'static,
@@ -117,7 +117,7 @@ pub mod strategy {
         }
     }
 
-    /// Weighted union of same-valued strategies ([`prop_oneof!`]).
+    /// Weighted union of same-valued strategies (`prop_oneof!`).
     pub struct Union<V> {
         arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
         total: u32,

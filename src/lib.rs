@@ -65,11 +65,15 @@ pub use rum_storage as storage;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use rum_core::advisor::{
+        MeasuredRanking, MeasuredRecommendation, MethodProfile, ProfilePoint, ProfileStore,
+    };
     pub use rum_core::runner::{
         measure_ops, parallel_map, run_stream, run_stream_sharded, run_suite, run_suite_parallel,
         run_suite_stream, run_suite_with_threads, run_workload, RumReport, DEFAULT_STREAM_BATCH,
     };
     pub use rum_core::triangle::{render_ascii, rum_point, to_csv, RumPoint};
+    pub use rum_core::wizard::{recommend, Constraints, Environment, Family, Recommendation};
     pub use rum_core::workload::{KeyDist, KeySpace, Op, OpMix, OpStream, Workload, WorkloadSpec};
     pub use rum_core::{
         AccessMethod, CostSnapshot, CostTracker, DataClass, Key, Record, Result, RumError,
