@@ -15,6 +15,7 @@
 //! | `crash_matrix` | WAL durability cost folded into UO + exact recovery under fault injection |
 //! | `advisor` | §5 wizard calibrated from measured profiles (analytic vs measured rankings) |
 //! | `baseline_gate` | RUM regression gate against `results/baseline_rum.json` |
+//! | `rum_trace` | time-resolved tracing: windowed RO/UO/MO trajectories, latency histograms, event JSONL + folded stacks |
 //!
 //! This library holds the measurement machinery those binaries (and the
 //! criterion benches) share, so experiments are reproducible from tests
@@ -36,6 +37,7 @@ pub mod fig3;
 pub mod props;
 pub mod scale;
 pub mod table1;
+pub mod trace;
 
 /// Sorted unique records with even keys `0, 2, ..., 2(n-1)` and
 /// deterministic payloads. Even keys leave odd gaps so fresh inserts can

@@ -139,7 +139,8 @@ pub fn run(config: &ScaleConfig) -> Vec<ScaleRow> {
 /// CSV of the sweep: `n,k,` + the standard report columns.
 pub fn to_csv(rows: &[ScaleRow]) -> String {
     let mut out = String::from(
-        "n,k,method,n_final,ro,uo,mo,pages_per_read_op,pages_per_write_op,sim_ns,ops_per_sec\n",
+        "n,k,method,n_final,ro,uo,mo,pages_per_read_op,pages_per_write_op,sim_ns,p50_ns,p99_ns,\
+         ops_per_sec\n",
     );
     for r in rows {
         out.push_str(&format!("{},{},{}\n", r.n, r.k, r.report.csv_row()));

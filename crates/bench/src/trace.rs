@@ -1,0 +1,253 @@
+//! Time-resolved RUM tracing: one suite method × one mix, run with a live
+//! [`TraceCollector`] and a [`MemorySink`], exported three ways —
+//!
+//! * **trajectory CSV** — one row per window of `RUM_TRACE_WINDOW` ops
+//!   (default 4096): windowed and cumulative RO/UO plus MO at the window
+//!   close, the amplification curves the aggregate report averages away;
+//! * **events JSONL** — every structured event the run emitted (LSM
+//!   flushes and compactions, WAL syncs/checkpoints, buffer evictions,
+//!   shard dispatches, window closes), one JSON object per line;
+//! * **folded stacks** — `rum;component;kind bytes` lines, the input
+//!   format of `flamegraph.pl` / `inferno-flamegraph`, weighting each
+//!   event class by the physical bytes it moved.
+//!
+//! The module also carries the self-check the `rum_trace` binary and the
+//! CI trace leg enforce: the windowed deltas must sum **byte-exactly** to
+//! the aggregate report — every op-phase byte lands in exactly one window.
+
+use rum::prelude::*;
+use rum_core::runner::run_stream_traced;
+use rum_core::trace::{
+    events_to_jsonl, fold_events, Event, LatencyHistogram, MemorySink, TraceCollector,
+};
+
+/// Everything one traced run produces.
+pub struct TraceRun {
+    pub report: RumReport,
+    /// Closed trajectory windows, in execution order.
+    pub windows: Vec<rum_core::trace::TrajectoryWindow>,
+    /// Structured events in emission order.
+    pub events: Vec<Event>,
+    pub read_latency: LatencyHistogram,
+    pub write_latency: LatencyHistogram,
+    /// The byte-exact invariant: sum of windowed deltas == op-phase
+    /// aggregate (`read_costs + write_costs`), compared field by field.
+    pub windows_sum_exact: bool,
+}
+
+/// Look a method up in [`rum::standard_suite`] by its `name()`.
+pub fn find_method(name: &str) -> Option<Box<dyn AccessMethod>> {
+    rum::standard_suite().into_iter().find(|m| m.name() == name)
+}
+
+/// The `name()` of every standard-suite method, in suite order.
+pub fn suite_names() -> Vec<String> {
+    rum::standard_suite().iter().map(|m| m.name()).collect()
+}
+
+/// Parse a mix name (`balanced`, `read-heavy`, `write-heavy`,
+/// `scan-heavy`, `read-only`, `insert-only`).
+pub fn mix_by_name(name: &str) -> Option<OpMix> {
+    match name {
+        "balanced" => Some(OpMix::BALANCED),
+        "read-heavy" => Some(OpMix::READ_HEAVY),
+        "write-heavy" => Some(OpMix::WRITE_HEAVY),
+        "scan-heavy" => Some(OpMix::SCAN_HEAVY),
+        "read-only" => Some(OpMix::READ_ONLY),
+        "insert-only" => Some(OpMix::INSERT_ONLY),
+        _ => None,
+    }
+}
+
+/// A method name as a filename fragment (`lsm-tree+wal` → `lsm-tree-wal`).
+pub fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// Run `spec` against `method` (streamed, never materialized) with a
+/// memory sink attached and a trajectory window of `window` ops.
+pub fn run_traced(
+    method: &mut dyn AccessMethod,
+    spec: &WorkloadSpec,
+    window: usize,
+) -> Result<TraceRun> {
+    let sink = MemorySink::shared();
+    method.set_trace_sink(sink.clone());
+    let mut trace = TraceCollector::new(window, sink.clone());
+    let report = run_stream_traced(method, OpStream::new(spec), &mut trace)?;
+    let aggregate = report.read_costs.add(&report.write_costs);
+    let windows_sum_exact = trace.windowed_sum() == aggregate;
+    Ok(TraceRun {
+        report,
+        read_latency: trace.read_latency.clone(),
+        write_latency: trace.write_latency.clone(),
+        windows: trace.into_windows(),
+        events: sink.events(),
+        windows_sum_exact,
+    })
+}
+
+fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// CSV of the trajectory: one row per window, windowed + cumulative
+/// curves. Amplifications are finite-clamped (a window of an insert-only
+/// mix retrieves zero logical bytes, making its RO ∞).
+pub fn trajectory_csv(windows: &[rum_core::trace::TrajectoryWindow]) -> String {
+    let mut out = String::from(
+        "window,ops,ro,uo,mo,cum_ro,cum_uo,read_bytes,write_bytes,logical_read_bytes,\
+         logical_write_bytes,page_reads,page_writes\n",
+    );
+    for w in windows {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{}\n",
+            w.index,
+            w.ops,
+            finite(w.ro()),
+            finite(w.uo()),
+            finite(w.mo),
+            finite(w.cumulative_ro()),
+            finite(w.cumulative_uo()),
+            w.delta.total_read_bytes(),
+            w.delta.total_write_bytes(),
+            w.delta.logical_read_bytes,
+            w.delta.logical_write_bytes,
+            w.delta.page_reads,
+            w.delta.page_writes,
+        ));
+    }
+    out
+}
+
+/// Fixed-width trajectory table for the terminal.
+pub fn render_trajectory(
+    method: &str,
+    window: usize,
+    windows: &[rum_core::trace::TrajectoryWindow],
+) -> String {
+    let mut out = format!("=== RUM trajectory: {method} (window = {window} ops) ===\n");
+    out.push_str(&format!(
+        "{:>6} {:>7} {:>9} {:>9} {:>7} {:>9} {:>9} {:>11} {:>11}\n",
+        "window", "ops", "RO", "UO", "MO", "cumRO", "cumUO", "rd bytes", "wr bytes"
+    ));
+    for w in windows {
+        out.push_str(&format!(
+            "{:>6} {:>7} {:>9.3} {:>9.3} {:>7.3} {:>9.3} {:>9.3} {:>11} {:>11}\n",
+            w.index,
+            w.ops,
+            finite(w.ro()),
+            finite(w.uo()),
+            finite(w.mo),
+            finite(w.cumulative_ro()),
+            finite(w.cumulative_uo()),
+            w.delta.total_read_bytes(),
+            w.delta.total_write_bytes(),
+        ));
+    }
+    out
+}
+
+/// Latency summary lines (reads / writes / all), nanoseconds.
+pub fn render_latency(run: &TraceRun) -> String {
+    let mut all = run.read_latency.clone();
+    all.merge(&run.write_latency);
+    format!(
+        "latency (ns): reads  {}\n              writes {}\n              all    {}\n",
+        run.read_latency.summary(),
+        run.write_latency.summary(),
+        all.summary()
+    )
+}
+
+/// Count events per kind, in a stable order, for the terminal summary.
+pub fn event_counts(events: &[Event]) -> Vec<(String, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for e in events {
+        *counts.entry(e.kind.as_str().to_string()).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Events as JSONL (re-exported convenience for the binary).
+pub fn to_jsonl(events: &[Event]) -> String {
+    events_to_jsonl(events)
+}
+
+/// Events as flamegraph-compatible folded stacks.
+pub fn to_folded(events: &[Event]) -> String {
+    fold_events(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rum_core::trace::EventKind;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            initial_records: 1_500,
+            operations: 4_000,
+            mix: OpMix::BALANCED,
+            seed: 0x7ACE,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn traced_lsm_run_produces_windows_events_and_exact_sums() {
+        let mut method = find_method("lsm-tree+wal").expect("suite has lsm-tree+wal");
+        let run = run_traced(method.as_mut(), &spec(), 512).unwrap();
+        assert!(run.windows_sum_exact, "windowed deltas must sum exactly");
+        assert_eq!(run.windows.len(), 4_000usize.div_ceil(512));
+        assert_eq!(
+            run.windows.iter().map(|w| w.ops).sum::<u64>(),
+            4_000,
+            "every op lands in exactly one window"
+        );
+        // The durable LSM must have flushed, synced, and closed windows.
+        let kinds: Vec<&str> = run.events.iter().map(|e| e.kind.as_str()).collect();
+        assert!(kinds.contains(&"lsm_flush"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"wal_sync"));
+        assert!(kinds.contains(&"window"));
+        assert_eq!(
+            run.events
+                .iter()
+                .filter(|e| e.kind == EventKind::Window)
+                .count(),
+            run.windows.len()
+        );
+        // Latencies were timed for both classes, and the report carries
+        // the histogram quantiles.
+        assert!(run.read_latency.count() > 0 && run.write_latency.count() > 0);
+        assert!(run.report.p99_ns >= run.report.p50_ns);
+        assert!(run.report.p50_ns > 0);
+        // Exports are well-formed.
+        let csv = trajectory_csv(&run.windows);
+        assert_eq!(csv.lines().count(), run.windows.len() + 1);
+        assert!(!csv.contains("inf") && !csv.contains("NaN"));
+        let jsonl = to_jsonl(&run.events);
+        assert_eq!(jsonl.lines().count(), run.events.len());
+        let folded = to_folded(&run.events);
+        assert!(folded
+            .lines()
+            .any(|l| l.starts_with("rum;lsm;lsm_flush;L0 ")));
+        assert!(folded.lines().any(|l| l.starts_with("rum;wal;wal_sync ")));
+    }
+
+    #[test]
+    fn method_and_mix_lookups_work() {
+        assert!(find_method("b+tree").is_some());
+        assert!(find_method("no-such-method").is_none());
+        assert!(mix_by_name("balanced").is_some());
+        assert!(mix_by_name("bogus").is_none());
+        assert_eq!(sanitize_name("lsm-tree+wal"), "lsm-tree-wal");
+        assert!(suite_names().len() >= 19);
+    }
+}

@@ -134,6 +134,15 @@ pub trait AccessMethod: Send {
         Ok(())
     }
 
+    /// Install a [`TraceSink`](crate::trace::TraceSink) for structured
+    /// event emission (LSM flush/compaction, WAL sync/checkpoint, buffer
+    /// eviction, shard dispatch...). Default: ignore it — methods without
+    /// noteworthy internal events need no wiring, and the compiled-in
+    /// default everywhere is the disabled
+    /// [`NoopSink`](crate::trace::NoopSink). Wrappers forward the sink to
+    /// their inner methods.
+    fn set_trace_sink(&mut self, _sink: Arc<dyn crate::trace::TraceSink>) {}
+
     // ---- instrumented entry points --------------------------------------
 
     /// Point lookup; charges the retrieved bytes as logical reads.

@@ -33,12 +33,17 @@
 //! * [`advisor`] — the wizard's empirical counterpart: per-method profiles
 //!   built from measured [`RumReport`](runner::RumReport)s, measured
 //!   recommendations, and analytic-vs-measured calibration reporting.
+//! * [`trace`] — time-resolved observability: windowed RUM trajectories,
+//!   log-bucketed latency histograms, and structured component events
+//!   ([`trace::TraceSink`]), strictly opt-in with a
+//!   zero-observer-effect guarantee.
 
 pub mod access;
 pub mod advisor;
 pub mod error;
 pub mod runner;
 pub mod shard;
+pub mod trace;
 pub mod tracker;
 pub mod triangle;
 pub mod types;
@@ -48,5 +53,9 @@ pub mod workload;
 pub use access::{check_bulk_input, AccessMethod, SpaceProfile};
 pub use error::{panic_payload_message, Result, RumError};
 pub use shard::ShardedMethod;
+pub use trace::{
+    noop_sink, Event, EventKind, LatencyHistogram, MemorySink, NoopSink, TraceCollector, TraceSink,
+    TrajectoryWindow, DEFAULT_TRACE_WINDOW,
+};
 pub use tracker::{CostSnapshot, CostTracker, DataClass};
 pub use types::{Key, Record, Value, PAGE_SIZE, RECORDS_PER_PAGE, RECORD_SIZE};

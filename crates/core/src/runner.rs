@@ -14,6 +14,7 @@ use std::time::Instant;
 use crate::access::AccessMethod;
 use crate::error::{panic_payload_message, Result, RumError};
 use crate::shard::ShardedMethod;
+use crate::trace::TraceCollector;
 use crate::tracker::CostSnapshot;
 use crate::workload::{Op, OpStream, Workload, WorkloadSpec};
 
@@ -53,13 +54,19 @@ pub struct RumReport {
     /// for the clock (`wall_ns == 0`); rendered finite-clamped like the
     /// amplification columns.
     pub ops_per_sec: f64,
+    /// Median op latency in nanoseconds, from the traced latency
+    /// histogram ([`run_workload_traced`] / [`run_stream_traced`]).
+    /// `0` when tracing is off — untraced runners never time single ops.
+    pub p50_ns: u64,
+    /// 99th-percentile op latency in nanoseconds; `0` when tracing is off.
+    pub p99_ns: u64,
 }
 
 impl RumReport {
     /// One line suitable for a fixed-width table.
     pub fn table_row(&self) -> String {
         format!(
-            "{:<28} {:>9} {:>9.3} {:>9.3} {:>9.3} {:>10.2} {:>10.2} {:>11.0}",
+            "{:<28} {:>9} {:>9.3} {:>9.3} {:>9.3} {:>10.2} {:>10.2} {:>9} {:>9} {:>11.0}",
             self.method,
             self.n_final,
             finite(self.ro),
@@ -67,30 +74,41 @@ impl RumReport {
             finite(self.mo),
             self.pages_per_read_op,
             self.pages_per_write_op,
+            self.p50_ns,
+            self.p99_ns,
             finite(self.ops_per_sec),
         )
     }
 
-    /// Header matching [`table_row`](Self::table_row).
+    /// Header matching [`table_row`](Self::table_row), column for column
+    /// (`tests::header_and_row_field_counts_agree` pins the agreement).
     pub fn table_header() -> String {
         format!(
-            "{:<28} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10} {:>11}",
-            "method", "N", "RO", "UO", "MO", "pg/read", "pg/write", "ops/s"
+            "{:<28} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9} {:>11}",
+            "method", "N", "RO", "UO", "MO", "pg/read", "pg/write", "p50ns", "p99ns", "ops/s"
         )
     }
 
+    /// Header matching [`csv_row`](Self::csv_row), field for field.
+    pub fn csv_header() -> &'static str {
+        "method,n_final,ro,uo,mo,pages_per_read_op,pages_per_write_op,sim_ns,p50_ns,p99_ns,\
+         ops_per_sec"
+    }
+
     /// CSV row (method, n, ro, uo, mo, pages/read, pages/write, sim_ns,
-    /// ops_per_sec).
+    /// p50_ns, p99_ns, ops_per_sec).
     ///
     /// Amplifications are clamped to finite values like
     /// [`table_row`](Self::table_row): a method that serves a workload with
     /// zero logical bytes in one class (e.g. a read-only run measured for
     /// UO) reports infinite amplification, and `inf`/`NaN` literals break
-    /// most CSV consumers. `ops_per_sec` is wall-clock-derived, so it is
-    /// the one column that varies between otherwise identical runs.
+    /// most CSV consumers. The latency quantiles are `u64`, hence finite by
+    /// construction (and `0` when tracing is off). `ops_per_sec` is
+    /// wall-clock-derived, so it is the one column that varies between
+    /// otherwise identical runs — it stays last so consumers can strip it.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{}",
             self.method,
             self.n_final,
             finite(self.ro),
@@ -99,6 +117,8 @@ impl RumReport {
             finite(self.pages_per_read_op),
             finite(self.pages_per_write_op),
             self.sim_ns,
+            self.p50_ns,
+            self.p99_ns,
             finite(self.ops_per_sec),
         )
     }
@@ -253,6 +273,10 @@ fn assemble_report(
         load_wall_ns,
         sim_ns,
         ops_per_sec,
+        // Latency quantiles come from the traced entry points; untraced
+        // runners never time single ops, so the columns stay 0.
+        p50_ns: 0,
+        p99_ns: 0,
     }
 }
 
@@ -314,6 +338,87 @@ pub fn run_stream(method: &mut dyn AccessMethod, mut stream: OpStream) -> Result
     }
     let totals = phase.finish(&tracker);
     Ok(assemble_report(method, load_costs, load_wall_ns, totals))
+}
+
+/// [`run_workload`] with a [`TraceCollector`] observing the op phase:
+/// each op is individually timed into the collector's per-class latency
+/// histograms and the collector closes a trajectory window every
+/// [`window_ops`](TraceCollector::window_ops) operations.
+///
+/// The collector is a pure observer — it reads the tracker but never
+/// charges it — so every counted measurement in the returned report
+/// (`n_final`, op counts, all three [`CostSnapshot`]s, RO/UO/MO bits) is
+/// identical to an untraced [`run_workload`] run. The only additions are
+/// the latency columns: `p50_ns`/`p99_ns` are filled from the merged
+/// read+write histogram instead of staying 0.
+///
+/// `trace.begin` is called after the bulk load and `trace.finish` after
+/// the last op, so the windowed deltas partition exactly the op-phase
+/// traffic: their sum equals `read_costs + write_costs` byte-exactly
+/// ([`TraceCollector::windowed_sum`]).
+pub fn run_workload_traced(
+    method: &mut dyn AccessMethod,
+    workload: &Workload,
+    trace: &mut TraceCollector,
+) -> Result<RumReport> {
+    let (load_costs, load_wall_ns) = load_phase(method, &workload.initial)?;
+    let tracker = std::sync::Arc::clone(method.tracker());
+    trace.begin(&tracker);
+
+    let mut phase = OpPhase::start(&tracker);
+    for &op in &workload.ops {
+        let is_read = op.is_read();
+        if phase.batch_is_read != Some(is_read) {
+            phase.settle(&tracker, Some(is_read));
+        }
+        let op_started = Instant::now();
+        execute_op(method, op)?;
+        let latency_ns = op_started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        phase.count(is_read, 1);
+        trace.note_op(is_read, latency_ns, &tracker, method);
+    }
+    let totals = phase.finish(&tracker);
+    trace.finish(&tracker, method);
+    let mut report = assemble_report(method, load_costs, load_wall_ns, totals);
+    let overall = trace.overall_latency();
+    report.p50_ns = overall.p50();
+    report.p99_ns = overall.p99();
+    Ok(report)
+}
+
+/// [`run_stream`] with a [`TraceCollector`] observing the op phase — the
+/// streaming counterpart of [`run_workload_traced`], with the same
+/// zero-observer-effect and windowed-sum guarantees.
+pub fn run_stream_traced(
+    method: &mut dyn AccessMethod,
+    mut stream: OpStream,
+    trace: &mut TraceCollector,
+) -> Result<RumReport> {
+    let initial = stream.take_initial();
+    let (load_costs, load_wall_ns) = load_phase(method, &initial)?;
+    drop(initial);
+    let tracker = std::sync::Arc::clone(method.tracker());
+    trace.begin(&tracker);
+
+    let mut phase = OpPhase::start(&tracker);
+    for op in stream {
+        let is_read = op.is_read();
+        if phase.batch_is_read != Some(is_read) {
+            phase.settle(&tracker, Some(is_read));
+        }
+        let op_started = Instant::now();
+        execute_op(method, op)?;
+        let latency_ns = op_started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        phase.count(is_read, 1);
+        trace.note_op(is_read, latency_ns, &tracker, method);
+    }
+    let totals = phase.finish(&tracker);
+    trace.finish(&tracker, method);
+    let mut report = assemble_report(method, load_costs, load_wall_ns, totals);
+    let overall = trace.overall_latency();
+    report.p50_ns = overall.p50();
+    report.p99_ns = overall.p99();
+    Ok(report)
 }
 
 /// Ops pulled from the stream per [`ShardedMethod::execute_batch`] call in
@@ -518,12 +623,17 @@ where
     let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let next = queue.lock().unwrap().pop();
-                let Some((index, item)) = next else { break };
-                *slots[index].lock().unwrap() = Some(f(item));
-            });
+        for w in 0..workers {
+            // Named workers so panics and profiler output say which
+            // worker fired instead of `<unnamed>`.
+            std::thread::Builder::new()
+                .name(format!("rum-worker-{w}"))
+                .spawn_scoped(scope, || loop {
+                    let next = queue.lock().unwrap().pop();
+                    let Some((index, item)) = next else { break };
+                    *slots[index].lock().unwrap() = Some(f(item));
+                })
+                .expect("spawn rum-worker thread");
         }
     });
     slots
@@ -712,7 +822,32 @@ mod tests {
         assert!(report.table_row().contains("amp2"));
         assert!(RumReport::table_header().contains("MO"));
         assert!(RumReport::table_header().contains("ops/s"));
-        assert_eq!(report.csv_row().split(',').count(), 9);
+        assert!(RumReport::table_header().contains("p50ns"));
+        assert_eq!(report.csv_row().split(',').count(), 11);
+    }
+
+    #[test]
+    fn header_and_row_field_counts_agree() {
+        let w = Workload::generate(&WorkloadSpec {
+            initial_records: 100,
+            operations: 100,
+            seed: 1,
+            ..Default::default()
+        });
+        let mut m = Amp2::new();
+        let report = run_workload(&mut m, &w).unwrap();
+        // The test method's name has no spaces, so whitespace-splitting
+        // counts table columns faithfully.
+        assert_eq!(
+            RumReport::table_header().split_whitespace().count(),
+            report.table_row().split_whitespace().count(),
+            "table header and row column counts diverged"
+        );
+        assert_eq!(
+            RumReport::csv_header().split(',').count(),
+            report.csv_row().split(',').count(),
+            "csv header and row field counts diverged"
+        );
     }
 
     #[test]
@@ -734,9 +869,11 @@ mod tests {
             load_wall_ns: 0,
             sim_ns: 0,
             ops_per_sec: f64::INFINITY,
+            p50_ns: 0,
+            p99_ns: 0,
         };
         let row = report.csv_row();
-        assert_eq!(row.split(',').count(), 9);
+        assert_eq!(row.split(',').count(), 11);
         assert!(
             !row.contains("inf") && !row.contains("NaN"),
             "csv_row leaked a non-finite literal: {row}"
@@ -811,6 +948,45 @@ mod tests {
         let a = run_workload(&mut serial, &w).unwrap();
         let b = run_stream(&mut streamed, crate::workload::OpStream::new(&spec)).unwrap();
         assert_same_measurements(&a, &b);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_windows_sum_exactly() {
+        let spec = WorkloadSpec {
+            initial_records: 300,
+            operations: 1200,
+            mix: OpMix::BALANCED,
+            seed: 77,
+            ..Default::default()
+        };
+        let w = Workload::generate(&spec);
+        let mut plain = Amp2::new();
+        let a = run_workload(&mut plain, &w).unwrap();
+
+        let mut traced = Amp2::new();
+        let mut trace = crate::trace::TraceCollector::new(256, crate::trace::noop_sink());
+        let b = run_workload_traced(&mut traced, &w, &mut trace).unwrap();
+        assert_same_measurements(&a, &b);
+        assert!(b.p99_ns >= b.p50_ns);
+        assert_eq!(
+            trace.windowed_sum(),
+            b.read_costs.add(&b.write_costs),
+            "window deltas must sum byte-exactly to the op-phase totals"
+        );
+        assert_eq!(trace.windows().len(), 1200usize.div_ceil(256));
+        let total_ops: u64 = trace.windows().iter().map(|w| w.ops).sum();
+        assert_eq!(total_ops, 1200);
+
+        let mut streamed = Amp2::new();
+        let mut trace2 = crate::trace::TraceCollector::new(256, crate::trace::noop_sink());
+        let c = run_stream_traced(
+            &mut streamed,
+            crate::workload::OpStream::new(&spec),
+            &mut trace2,
+        )
+        .unwrap();
+        assert_same_measurements(&a, &c);
+        assert_eq!(trace2.windowed_sum(), c.read_costs.add(&c.write_costs));
     }
 
     #[test]

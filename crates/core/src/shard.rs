@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use crate::access::{AccessMethod, SpaceProfile};
 use crate::error::{panic_payload_message, Result, RumError};
+use crate::trace::{EventKind, TraceSink};
 use crate::tracker::{CostSnapshot, CostTracker};
 use crate::types::{Key, Record, Value};
 use crate::workload::Op;
@@ -76,6 +77,9 @@ pub struct ShardedMethod {
     /// Worker threads for [`execute_batch`](Self::execute_batch) and bulk
     /// load; `<= 1` runs shards inline (identical costs, no spawns).
     threads: usize,
+    /// Structured-event channel for batch dispatches; the disabled
+    /// [`NoopSink`](crate::trace::NoopSink) by default.
+    sink: Arc<dyn TraceSink>,
 }
 
 impl ShardedMethod {
@@ -101,6 +105,7 @@ impl ShardedMethod {
             shards,
             tracker: CostTracker::new(),
             threads: threads.clamp(1, k),
+            sink: crate::trace::noop_sink(),
         }
     }
 
@@ -168,6 +173,17 @@ impl ShardedMethod {
                 }
             }
         }
+        if self.sink.enabled() {
+            let largest = parts.iter().map(Vec::len).max().unwrap_or(0);
+            self.sink.emit(
+                EventKind::ShardDispatch,
+                &[
+                    ("ops", ops.len() as u64),
+                    ("shards", k as u64),
+                    ("largest_part", largest as u64),
+                ],
+            );
+        }
         self.run_on_shards(&parts, |shard, part| {
             for &op in part {
                 match op {
@@ -213,7 +229,15 @@ impl ShardedMethod {
                     .shards
                     .iter_mut()
                     .zip(jobs)
-                    .map(|(shard, job)| scope.spawn(|| f(shard.as_mut(), job)))
+                    .enumerate()
+                    .map(|(k, (shard, job))| {
+                        // Named workers so panics and profiler output say
+                        // which shard fired instead of `<unnamed>`.
+                        std::thread::Builder::new()
+                            .name(format!("rum-shard-{k}"))
+                            .spawn_scoped(scope, || f(shard.as_mut(), job))
+                            .expect("spawn rum-shard thread")
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -334,6 +358,15 @@ impl AccessMethod for ShardedMethod {
             self.mirrored(shard, |m| m.flush())?;
         }
         Ok(())
+    }
+
+    /// Keep the sink for dispatch events and forward it to every shard, so
+    /// inner structures (LSM trees, WALs...) report into the same channel.
+    fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        for shard in self.shards.iter_mut() {
+            shard.set_trace_sink(Arc::clone(&sink));
+        }
+        self.sink = sink;
     }
 }
 

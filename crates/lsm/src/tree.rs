@@ -3,6 +3,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use rum_core::trace::{EventKind, TraceSink};
 use rum_core::{
     check_bulk_input, AccessMethod, CostTracker, Key, Record, Result, RumError, SpaceProfile, Value,
 };
@@ -74,6 +75,9 @@ pub struct LsmTree {
     /// assumes blind writes.
     live: HashSet<Key>,
     compactions: u64,
+    /// Structured-event channel for flush/compaction records; the disabled
+    /// [`NoopSink`](rum_core::trace::NoopSink) by default.
+    sink: Arc<dyn TraceSink>,
 }
 
 impl LsmTree {
@@ -93,6 +97,7 @@ impl LsmTree {
             tracker,
             live: HashSet::new(),
             compactions: 0,
+            sink: rum_core::trace::noop_sink(),
         }
     }
 
@@ -187,6 +192,8 @@ impl LsmTree {
             if !trigger {
                 return Ok(());
             }
+            let traced = self.sink.enabled();
+            let before = traced.then(|| self.tracker.snapshot());
             // Merge everything at `level` plus (for levelling) the run
             // already at level+1, and place the result at level+1.
             self.ensure_level(level + 1);
@@ -213,12 +220,28 @@ impl LsmTree {
                     self.levels[level + 1].is_empty() && self.is_bottom(level + 1)
                 }
             };
+            let records_in: usize = inputs.iter().map(Vec::len).sum();
             let merged = Self::merge_streams(inputs, drop_tomb);
+            let records_out = merged.len();
             for run in to_destroy {
                 run.destroy(&mut self.pager)?;
             }
             self.place_run(level + 1, merged)?;
             self.compactions += 1;
+            if let Some(before) = before {
+                let d = self.tracker.since(&before);
+                self.sink.emit(
+                    EventKind::LsmCompaction,
+                    &[
+                        ("level", level as u64),
+                        ("to_level", level as u64 + 1),
+                        ("records_in", records_in as u64),
+                        ("records_out", records_out as u64),
+                        ("read_bytes", d.total_read_bytes()),
+                        ("bytes", d.total_write_bytes()),
+                    ],
+                );
+            }
             level += 1;
         }
     }
@@ -360,7 +383,11 @@ impl AccessMethod for LsmTree {
         if self.memtable.is_empty() {
             return Ok(());
         }
+        let traced = self.sink.enabled();
+        let before = traced.then(|| self.tracker.snapshot());
         let fresh = self.memtable.drain_sorted();
+        let records_in = fresh.len();
+        let records_out;
         match self.config.policy {
             CompactionPolicy::Levelling => {
                 // Merge with the existing level-0 run eagerly.
@@ -375,16 +402,40 @@ impl AccessMethod for LsmTree {
                 inputs.push(fresh);
                 let drop_tomb = self.is_bottom(0);
                 let merged = Self::merge_streams(inputs, drop_tomb);
+                records_out = merged.len();
                 for run in doomed {
                     run.destroy(&mut self.pager)?;
                 }
                 self.place_run(0, merged)?;
             }
             CompactionPolicy::Tiering => {
+                records_out = fresh.len();
                 self.place_run(0, fresh)?;
             }
         }
+        if let Some(before) = before {
+            // Bytes of the flush itself; the compactions it triggers below
+            // report their own traffic in their own events.
+            let d = self.tracker.since(&before);
+            self.sink.emit(
+                EventKind::LsmFlush,
+                &[
+                    ("level", 0),
+                    ("records_in", records_in as u64),
+                    ("records_out", records_out as u64),
+                    ("read_bytes", d.total_read_bytes()),
+                    ("bytes", d.total_write_bytes()),
+                ],
+            );
+        }
         self.compact_from(0)
+    }
+
+    /// Keep the sink for flush/compaction events. The tree only observes
+    /// the tracker through it, so installing a sink never changes a
+    /// counted byte.
+    fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = sink;
     }
 }
 

@@ -8,7 +8,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use rum_core::{Result, RumError};
+use rum_core::trace::{EventKind, TraceSink};
+use rum_core::{Result, RumError, PAGE_SIZE};
 
 use crate::device::{BlockDevice, IoStats};
 use crate::lru::LruSet;
@@ -49,6 +50,9 @@ pub struct BufferPool<D: BlockDevice> {
     frames: HashMap<PageId, PageBuf>,
     lru: LruSet<PageId>,
     pool_stats: Arc<PoolStats>,
+    /// Structured-event channel for eviction events; the disabled
+    /// [`NoopSink`](rum_core::trace::NoopSink) by default.
+    sink: Arc<dyn TraceSink>,
 }
 
 impl<D: BlockDevice> BufferPool<D> {
@@ -59,7 +63,15 @@ impl<D: BlockDevice> BufferPool<D> {
             frames: HashMap::with_capacity(capacity.min(1 << 20)),
             lru: LruSet::new(capacity),
             pool_stats: Arc::new(PoolStats::default()),
+            sink: rum_core::trace::noop_sink(),
         }
+    }
+
+    /// Install a sink for [`EventKind::BufferEviction`] events. The pool
+    /// only reads its own state for them, so tracing never changes what is
+    /// cached or written back.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = sink;
     }
 
     pub fn pool_stats(&self) -> &Arc<PoolStats> {
@@ -84,6 +96,16 @@ impl<D: BlockDevice> BufferPool<D> {
     fn handle_eviction(&mut self, evicted: Option<(PageId, bool)>) -> Result<()> {
         if let Some((victim, dirty)) = evicted {
             let frame = self.frames.remove(&victim);
+            if self.sink.enabled() {
+                self.sink.emit(
+                    EventKind::BufferEviction,
+                    &[
+                        ("page", victim.0),
+                        ("dirty", u64::from(dirty)),
+                        ("bytes", if dirty { PAGE_SIZE as u64 } else { 0 }),
+                    ],
+                );
+            }
             if dirty {
                 // A dirty LRU entry with no backing frame means the pool's
                 // two indexes disagree — writing nothing back would silently
@@ -269,6 +291,30 @@ mod tests {
         let large = run(16);
         assert!(large < small, "large pool {large} >= small pool {small}");
         assert_eq!(large, 16, "fully cached after first round");
+    }
+
+    #[test]
+    fn evictions_emit_trace_events() {
+        use rum_core::trace::MemorySink;
+        let mut p = pool(1);
+        let sink = MemorySink::shared();
+        p.set_trace_sink(sink.clone());
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let mut buf = PageBuf::zeroed();
+        buf.write_u64(0, 7);
+        p.write_page(a, &buf).unwrap();
+        p.read_page(b).unwrap(); // evicts dirty a
+        p.read_page(a).unwrap(); // evicts clean b
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::BufferEviction);
+        assert_eq!(events[0].field("page"), Some(a.0));
+        assert_eq!(events[0].field("dirty"), Some(1));
+        assert_eq!(events[0].bytes(), rum_core::PAGE_SIZE as u64);
+        assert_eq!(events[1].field("page"), Some(b.0));
+        assert_eq!(events[1].field("dirty"), Some(0));
+        assert_eq!(events[1].bytes(), 0);
     }
 
     #[test]

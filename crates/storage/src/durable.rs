@@ -19,6 +19,7 @@
 
 use std::sync::Arc;
 
+use rum_core::trace::{EventKind, TraceSink};
 use rum_core::{
     AccessMethod, CostTracker, DataClass, Key, Record, Result, SpaceProfile, Value, PAGE_SIZE,
     RECORD_SIZE,
@@ -65,6 +66,9 @@ pub struct Durable<M: AccessMethod> {
     /// checkpoint (drives checkpoint-on-flush and makes a second
     /// consecutive flush free).
     dirty: bool,
+    /// Structured-event channel for checkpoint/recovery events; the
+    /// disabled [`NoopSink`](rum_core::trace::NoopSink) by default.
+    sink: Arc<dyn TraceSink>,
 }
 
 impl<M: AccessMethod> Durable<M> {
@@ -99,6 +103,7 @@ impl<M: AccessMethod> Durable<M> {
             checkpoint_bytes: 0,
             next_seq: 0,
             dirty: false,
+            sink: rum_core::trace::noop_sink(),
         }
     }
 
@@ -194,6 +199,17 @@ impl<M: AccessMethod> Durable<M> {
             self.next_seq = replay.last_commit_seq.map_or(0, |s| s + 1);
             self.dirty = !replay.committed.is_empty();
         }
+        if self.sink.enabled() {
+            self.sink.emit(
+                EventKind::WalRecovery,
+                &[
+                    ("committed_ops", applied as u64),
+                    ("torn", u64::from(replay.torn_tail)),
+                    ("discarded", replay.uncommitted as u64),
+                    ("complete", u64::from(complete)),
+                ],
+            );
+        }
         Ok(RecoveryReport {
             committed_ops: applied,
             last_commit_seq: replay.last_commit_seq,
@@ -265,6 +281,15 @@ impl<M: AccessMethod> AccessMethod for Durable<M> {
         self.charge_checkpoint((records.len() * RECORD_SIZE) as u64);
         self.next_seq = 0;
         self.dirty = false;
+        if self.sink.enabled() {
+            self.sink.emit(
+                EventKind::WalCheckpoint,
+                &[
+                    ("records", records.len() as u64),
+                    ("bytes", (records.len() * RECORD_SIZE) as u64),
+                ],
+            );
+        }
         Ok(())
     }
 
@@ -279,8 +304,23 @@ impl<M: AccessMethod> AccessMethod for Durable<M> {
             self.charge_checkpoint((self.checkpoint.len() * RECORD_SIZE) as u64);
             self.wal.truncate();
             self.dirty = false;
+            if self.sink.enabled() {
+                self.sink.emit(
+                    EventKind::WalCheckpoint,
+                    &[
+                        ("records", self.checkpoint.len() as u64),
+                        ("bytes", (self.checkpoint.len() * RECORD_SIZE) as u64),
+                    ],
+                );
+            }
         }
         Ok(())
+    }
+
+    fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.inner.set_trace_sink(Arc::clone(&sink));
+        self.wal.set_trace_sink(Arc::clone(&sink));
+        self.sink = sink;
     }
 }
 

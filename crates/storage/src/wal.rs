@@ -33,6 +33,7 @@
 
 use std::sync::Arc;
 
+use rum_core::trace::{EventKind, TraceSink};
 use rum_core::{CostTracker, DataClass, Key, Result, RumError, Value, PAGE_SIZE};
 
 use crate::fault::{FaultInjector, WriteOutcome};
@@ -181,6 +182,9 @@ pub struct Wal {
     /// Total bytes ever synced to durable storage (across truncations) —
     /// the exact amount charged to the tracker as auxiliary writes.
     synced_total: u64,
+    /// Structured-event channel for sync outcomes; the disabled
+    /// [`NoopSink`](rum_core::trace::NoopSink) by default.
+    sink: Arc<dyn TraceSink>,
 }
 
 impl Wal {
@@ -192,6 +196,7 @@ impl Wal {
             tracker,
             injector: None,
             synced_total: 0,
+            sink: rum_core::trace::noop_sink(),
         }
     }
 
@@ -207,6 +212,13 @@ impl Wal {
     /// across a rebuilt structure).
     pub fn set_tracker(&mut self, tracker: Arc<CostTracker>) {
         self.tracker = tracker;
+    }
+
+    /// Install a sink for [`EventKind::WalSync`] events. The log only ever
+    /// reads its own state for them, so tracing never changes what is
+    /// persisted or charged.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = sink;
     }
 
     /// Bytes surviving on durable storage right now.
@@ -274,6 +286,12 @@ impl Wal {
                 self.durable.append(&mut self.pending);
                 self.charge(start, n);
                 self.synced_total += n;
+                if self.sink.enabled() {
+                    self.sink.emit(
+                        EventKind::WalSync,
+                        &[("bytes", n), ("durable_len", self.durable.len() as u64)],
+                    );
+                }
                 Ok(())
             }
             WriteOutcome::CrashKeeping { keep, torn } => {
@@ -291,6 +309,16 @@ impl Wal {
                 self.pending.clear();
                 self.charge(start, keep as u64);
                 self.synced_total += keep as u64;
+                if self.sink.enabled() {
+                    self.sink.emit(
+                        EventKind::WalSync,
+                        &[
+                            ("bytes", keep as u64),
+                            ("lost", n - keep as u64),
+                            ("torn", u64::from(torn)),
+                        ],
+                    );
+                }
                 Err(RumError::Crash(format!(
                     "power loss during WAL sync: {keep} of {n} bytes persisted{}",
                     if torn { " (torn tail)" } else { "" }
@@ -298,6 +326,10 @@ impl Wal {
             }
             WriteOutcome::FailFlush => {
                 self.pending.clear();
+                if self.sink.enabled() {
+                    self.sink
+                        .emit(EventKind::WalSync, &[("bytes", 0), ("lost", n)]);
+                }
                 Err(RumError::Crash(format!(
                     "WAL flush failed: {n} buffered bytes lost"
                 )))

@@ -69,8 +69,13 @@ pub mod prelude {
         MeasuredRanking, MeasuredRecommendation, MethodProfile, ProfilePoint, ProfileStore,
     };
     pub use rum_core::runner::{
-        measure_ops, parallel_map, run_stream, run_stream_sharded, run_suite, run_suite_parallel,
-        run_suite_stream, run_suite_with_threads, run_workload, RumReport, DEFAULT_STREAM_BATCH,
+        measure_ops, parallel_map, run_stream, run_stream_sharded, run_stream_traced, run_suite,
+        run_suite_parallel, run_suite_stream, run_suite_with_threads, run_workload,
+        run_workload_traced, RumReport, DEFAULT_STREAM_BATCH,
+    };
+    pub use rum_core::trace::{
+        noop_sink, Event, EventKind, LatencyHistogram, MemorySink, NoopSink, TraceCollector,
+        TraceSink, TrajectoryWindow, DEFAULT_TRACE_WINDOW,
     };
     pub use rum_core::triangle::{render_ascii, rum_point, to_csv, RumPoint};
     pub use rum_core::wizard::{recommend, Constraints, Environment, Family, Recommendation};

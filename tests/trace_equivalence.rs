@@ -1,0 +1,124 @@
+//! The observability layer's contract, pinned on the full standard suite:
+//!
+//! 1. **Zero observer effect** — a run traced through the disabled
+//!    [`NoopSink`] produces the same RO / UO / MO and cost snapshots as an
+//!    untraced run of the same method, bit for bit. Tracing reads the
+//!    tracker; it never charges it.
+//! 2. **Windowed-sum invariant** — the per-window cost deltas partition
+//!    the op phase: their sum equals the aggregate report's
+//!    `read_costs + write_costs` byte-exactly (u64 field sums, no floats).
+//! 3. **Histogram algebra** — [`LatencyHistogram::merge`] is associative
+//!    and commutative, and merging shards matches recording everything in
+//!    one histogram — the property the sharded runner's pointwise
+//!    [`CostSnapshot::add`] already has, extended to latencies.
+
+use proptest::prelude::*;
+use rum::prelude::*;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        initial_records: 1_500,
+        operations: 4_000,
+        mix: OpMix::BALANCED,
+        seed: 0x007E_ACE0,
+        ..Default::default()
+    }
+}
+
+fn assert_same_rum(ctx: &str, a: &RumReport, b: &RumReport) {
+    assert_eq!(a.n_final, b.n_final, "{ctx}: n_final");
+    assert_eq!(a.read_ops, b.read_ops, "{ctx}: read_ops");
+    assert_eq!(a.write_ops, b.write_ops, "{ctx}: write_ops");
+    assert_eq!(a.read_costs, b.read_costs, "{ctx}: read_costs");
+    assert_eq!(a.write_costs, b.write_costs, "{ctx}: write_costs");
+    assert_eq!(a.load_costs, b.load_costs, "{ctx}: load_costs");
+    assert_eq!(a.ro.to_bits(), b.ro.to_bits(), "{ctx}: RO");
+    assert_eq!(a.uo.to_bits(), b.uo.to_bits(), "{ctx}: UO");
+    assert_eq!(a.mo.to_bits(), b.mo.to_bits(), "{ctx}: MO");
+}
+
+#[test]
+fn noop_traced_runs_are_bit_identical_and_windows_partition_the_op_phase() {
+    let spec = spec();
+    let workload = Workload::generate(&spec);
+    for (traced_method, untraced_method) in
+        rum::standard_suite().into_iter().zip(rum::standard_suite())
+    {
+        let mut traced_method = traced_method;
+        let mut untraced_method = untraced_method;
+        let name = traced_method.name();
+
+        let mut trace = TraceCollector::new(512, noop_sink());
+        let traced = run_workload_traced(traced_method.as_mut(), &workload, &mut trace)
+            .unwrap_or_else(|e| panic!("{name}: traced run failed: {e}"));
+        let untraced = run_workload(untraced_method.as_mut(), &workload)
+            .unwrap_or_else(|e| panic!("{name}: untraced run failed: {e}"));
+
+        assert_same_rum(&name, &traced, &untraced);
+
+        // Windowed deltas must sum byte-exactly to the aggregate, and
+        // every op must land in exactly one window.
+        let aggregate = traced.read_costs.add(&traced.write_costs);
+        assert_eq!(trace.windowed_sum(), aggregate, "{name}: windowed sum");
+        assert_eq!(
+            trace.windows().iter().map(|w| w.ops).sum::<u64>(),
+            spec.operations as u64,
+            "{name}: window op partition"
+        );
+        assert_eq!(
+            trace.windows().len(),
+            spec.operations.div_ceil(512),
+            "{name}: window count"
+        );
+
+        // Latency quantiles exist only on the traced report and are
+        // ordered; the untraced report never times single ops.
+        assert!(traced.p99_ns >= traced.p50_ns, "{name}: quantile order");
+        assert_eq!(untraced.p50_ns, 0, "{name}");
+        assert_eq!(untraced.p99_ns, 0, "{name}");
+    }
+}
+
+fn histogram_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+fn merged(a: &LatencyHistogram, b: &LatencyHistogram) -> LatencyHistogram {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(any::<u64>(), 0..80),
+        ys in proptest::collection::vec(0u64..10_000_000, 0..80),
+        zs in proptest::collection::vec(0u64..5_000, 0..80),
+    ) {
+        let (a, b, c) = (histogram_of(&xs), histogram_of(&ys), histogram_of(&zs));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+        // Merging shard-local histograms is the same as one shard having
+        // seen every sample — the CostSnapshot::add property for latencies.
+        let mut all: Vec<u64> = Vec::new();
+        all.extend(&xs);
+        all.extend(&ys);
+        all.extend(&zs);
+        let whole = histogram_of(&all);
+        let folded = merged(&merged(&a, &b), &c);
+        prop_assert_eq!(&folded, &whole);
+        prop_assert_eq!(folded.count(), (xs.len() + ys.len() + zs.len()) as u64);
+        prop_assert_eq!(folded.p50(), whole.p50());
+        prop_assert_eq!(folded.p999(), whole.p999());
+    }
+}
