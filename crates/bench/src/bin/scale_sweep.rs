@@ -6,9 +6,12 @@
 //!
 //! Default sweep: n ∈ {10^5, 10^6, 10^7} ops × K ∈ {1, 2, 4, 8} shards.
 //! `--quick` caps n at 10^6; `--smoke` is the CI job (n = 10^5,
-//! K ∈ {1, 2}) and exits non-zero on any non-finite value or any
-//! serial≠streamed mismatch. Results land in `results/scale_sweep.csv`
-//! and `results/scale_sweep.txt`.
+//! K ∈ {1, 2, 8}) and exits non-zero on any non-finite value, any
+//! serial≠streamed mismatch, or any K>1 cell falling below the
+//! throughput ratio floor (ops/s within 3× of K=1, widened to 6× on
+//! single-core hosts where the pool is oversubscribed — the guard
+//! against dispatch-overhead regressions). Results land in
+//! `results/scale_sweep.csv` and `results/scale_sweep.txt`.
 
 use rum_bench::scale;
 

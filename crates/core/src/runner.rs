@@ -421,57 +421,137 @@ pub fn run_stream_traced(
     Ok(report)
 }
 
-/// Ops pulled from the stream per [`ShardedMethod::execute_batch`] call in
-/// [`run_stream_sharded`]: large enough to amortize thread dispatch, small
-/// enough that per-shard sub-batches stay cache-resident.
+/// Ops pulled from the stream per [`ShardedMethod::submit_batch`] call in
+/// [`run_stream_sharded`]: large enough to amortize the per-batch queue
+/// handoff to the persistent shard workers, small enough that per-shard
+/// sub-batches stay cache-resident.
 pub const DEFAULT_STREAM_BATCH: usize = 8192;
 
 /// Run a streaming workload against a [`ShardedMethod`], executing
-/// class-contiguous batches of up to `batch` ops concurrently across the
-/// wrapper's shard workers.
+/// class-contiguous batches of up to `batch` ops concurrently on the
+/// wrapper's persistent worker pool, with **double-buffered batch
+/// assembly**: while the workers execute batch `i`, the runner is already
+/// drawing batch `i + 1` from the stream into the other buffer, so op
+/// generation overlaps shard execution and at most one batch is in flight.
 ///
 /// Batches never mix read-class and write-class ops (a lookahead op that
-/// switches class is held back for the next batch), so the wrapper
-/// tracker's delta per batch is attributable to exactly one class — the
-/// same attribution [`run_workload`] performs at class transitions. All
-/// counted traffic is deterministic, so RO / UO / MO and every cost field
-/// are **bit-identical** to driving the same `ShardedMethod` serially with
+/// switches class is held back for the next batch), and the in-flight
+/// batch is always collected — its cost deltas folded into the wrapper
+/// tracker — *before* the phase settles at a class transition, so the
+/// tracker's delta per settle span is attributable to exactly one class:
+/// the same attribution [`run_workload`] performs per op. All counted
+/// traffic is deterministic, so RO / UO / MO and every cost field are
+/// **bit-identical** to driving the same `ShardedMethod` serially with
 /// [`run_workload`]; only the wall-clock fields differ.
 pub fn run_stream_sharded(
     method: &mut ShardedMethod,
+    stream: OpStream,
+    batch: usize,
+) -> Result<RumReport> {
+    run_stream_sharded_impl(method, stream, batch, None)
+}
+
+/// [`run_stream_sharded`] with a [`TraceCollector`] observing the op
+/// phase: batches run timed, each shard worker records a per-op
+/// [`LatencyHistogram`](crate::trace::LatencyHistogram), and the merged
+/// per-batch histograms (associative + commutative pointwise sums, so the
+/// merge order across workers cannot matter) land in the collector via
+/// [`TraceCollector::note_batch`]. `p50_ns` / `p99_ns` in the returned
+/// report are filled from the merged distribution instead of staying 0.
+///
+/// Granularity caveats versus the per-op traced runners: trajectory
+/// windows close on batch boundaries (so a window may run up to
+/// `batch - 1` ops long), and a range op contributes one latency
+/// observation per shard it fanned out to rather than one end-to-end
+/// fan-out latency. Counted measurements are still bit-identical to the
+/// untraced [`run_stream_sharded`] — timing is a pure observer.
+pub fn run_stream_sharded_traced(
+    method: &mut ShardedMethod,
+    stream: OpStream,
+    batch: usize,
+    trace: &mut TraceCollector,
+) -> Result<RumReport> {
+    let mut report = run_stream_sharded_impl(method, stream, batch, Some(trace))?;
+    let overall = trace.overall_latency();
+    report.p50_ns = overall.p50();
+    report.p99_ns = overall.p99();
+    Ok(report)
+}
+
+/// Shared body of [`run_stream_sharded`] / [`run_stream_sharded_traced`]:
+/// the double-buffered submit/assemble/collect loop, with per-batch timing
+/// switched on only when a collector is observing.
+fn run_stream_sharded_impl(
+    method: &mut ShardedMethod,
     mut stream: OpStream,
     batch: usize,
+    mut trace: Option<&mut TraceCollector>,
 ) -> Result<RumReport> {
     let batch = batch.max(1);
     let initial = stream.take_initial();
     let (load_costs, load_wall_ns) = load_phase(method, &initial)?;
     drop(initial);
     let tracker = std::sync::Arc::clone(method.tracker());
+    let timed = trace.is_some();
+    if let Some(t) = trace.as_deref_mut() {
+        t.begin(&tracker);
+    }
 
     let mut phase = OpPhase::start(&tracker);
     let mut pending: Option<Op> = None;
-    let mut buf: Vec<Op> = Vec::with_capacity(batch);
-    while let Some(first) = pending.take().or_else(|| stream.next()) {
-        let is_read = first.is_read();
+    // Two assembly buffers: the workers read from one (it backs the
+    // in-flight batch's per-shard partitions) while the stream fills the
+    // other.
+    let mut buffers = [Vec::with_capacity(batch), Vec::with_capacity(batch)];
+    let mut which = 0usize;
+    // The dispatched-but-uncollected batch: handle, class, op count.
+    let mut in_flight: Option<(crate::shard::PendingBatch, bool, u64)> = None;
+    loop {
+        // Assemble the next class-contiguous batch; these stream pulls
+        // overlap the workers executing the in-flight batch.
+        let buf = &mut buffers[which];
         buf.clear();
-        buf.push(first);
-        while buf.len() < batch {
-            match stream.next() {
-                Some(op) if op.is_read() == is_read => buf.push(op),
-                Some(op) => {
-                    pending = Some(op);
-                    break;
+        let mut next_class: Option<bool> = None;
+        if let Some(first) = pending.take().or_else(|| stream.next()) {
+            let is_read = first.is_read();
+            next_class = Some(is_read);
+            buf.push(first);
+            while buf.len() < batch {
+                match stream.next() {
+                    Some(op) if op.is_read() == is_read => buf.push(op),
+                    Some(op) => {
+                        pending = Some(op);
+                        break;
+                    }
+                    None => break,
                 }
-                None => break,
             }
         }
+
+        // Collect the in-flight batch before any settle: its cost deltas
+        // must be in the tracker while its class is still the running one.
+        if let Some((handle, class, count)) = in_flight.take() {
+            let latency = method.finish_batch(handle)?;
+            phase.count(class, count);
+            if let Some(t) = trace.as_deref_mut() {
+                let hist = latency.unwrap_or_default();
+                t.note_batch(class, count, &hist, &tracker, method);
+            }
+        }
+
+        let Some(is_read) = next_class else { break };
         if phase.batch_is_read != Some(is_read) {
             phase.settle(&tracker, Some(is_read));
         }
-        method.execute_batch(&buf)?;
-        phase.count(is_read, buf.len() as u64);
+        let count = buffers[which].len() as u64;
+        let handle = method.submit_batch(&buffers[which], timed)?;
+        in_flight = Some((handle, is_read, count));
+        which ^= 1;
     }
     let totals = phase.finish(&tracker);
+    if let Some(t) = trace {
+        t.finish(&tracker, method);
+    }
     Ok(assemble_report(method, load_costs, load_wall_ns, totals))
 }
 
@@ -1010,6 +1090,67 @@ mod tests {
         )
         .unwrap();
         assert_same_measurements(&a, &b);
+    }
+
+    #[test]
+    fn run_stream_sharded_pooled_matches_serial_sharded() {
+        // Force the persistent pool (the container may have 1 core, which
+        // would make `new()` run inline) and fewer workers than shards.
+        let spec = WorkloadSpec {
+            initial_records: 400,
+            operations: 2000,
+            mix: OpMix::BALANCED,
+            seed: 43,
+            ..Default::default()
+        };
+        let factory = |_: usize| -> Box<dyn AccessMethod> { Box::new(Amp2::new()) };
+        let w = Workload::generate(&spec);
+        let mut serial = crate::shard::ShardedMethod::with_threads(4, 1, factory);
+        let a = run_workload(&mut serial, &w).unwrap();
+        for threads in [2, 4] {
+            let mut pooled = crate::shard::ShardedMethod::with_threads(4, threads, factory);
+            let b = run_stream_sharded(&mut pooled, crate::workload::OpStream::new(&spec), 257)
+                .unwrap();
+            assert!(pooled.pool_running(), "threads={threads}");
+            assert_same_measurements(&a, &b);
+        }
+    }
+
+    #[test]
+    fn traced_sharded_run_matches_untraced_and_fills_latency_quantiles() {
+        let spec = WorkloadSpec {
+            initial_records: 400,
+            operations: 2000,
+            mix: OpMix::BALANCED,
+            seed: 51,
+            ..Default::default()
+        };
+        let factory = |_: usize| -> Box<dyn AccessMethod> { Box::new(Amp2::new()) };
+        let mut plain = crate::shard::ShardedMethod::with_threads(4, 2, factory);
+        let a = run_stream_sharded(&mut plain, crate::workload::OpStream::new(&spec), 257).unwrap();
+        assert_eq!((a.p50_ns, a.p99_ns), (0, 0), "untraced quantiles stay 0");
+
+        for threads in [1, 2] {
+            let mut traced = crate::shard::ShardedMethod::with_threads(4, threads, factory);
+            let mut trace = crate::trace::TraceCollector::new(500, crate::trace::noop_sink());
+            let b = run_stream_sharded_traced(
+                &mut traced,
+                crate::workload::OpStream::new(&spec),
+                257,
+                &mut trace,
+            )
+            .unwrap();
+            assert_same_measurements(&a, &b);
+            assert!(b.p50_ns > 0, "threads={threads}: p50 must be measured");
+            assert!(b.p99_ns >= b.p50_ns, "threads={threads}");
+            assert_eq!(
+                trace.windowed_sum(),
+                b.read_costs.add(&b.write_costs),
+                "threads={threads}: window deltas must sum to the op-phase totals"
+            );
+            let total_ops: u64 = trace.windows().iter().map(|w| w.ops).sum();
+            assert_eq!(total_ops, 2000, "threads={threads}");
+        }
     }
 
     #[test]

@@ -12,24 +12,310 @@
 //! are **bit-identical** to the same sharded structure driven serially —
 //! only wall-clock time changes. `tests/shard_equivalence.rs` pins this.
 //!
+//! ## Execution model: a persistent worker pool
+//!
+//! Batched execution ([`execute_batch`](ShardedMethod::execute_batch) /
+//! [`submit_batch`](ShardedMethod::submit_batch)) runs on a **persistent
+//! pool** of long-lived named worker threads (`rum-shard-{w}`), started
+//! lazily by the first threaded batch and joined when the facade drops.
+//! Shard `s` is always served by worker `s % workers` through that
+//! worker's FIFO job lane, so each shard's job stream executes in
+//! submission order even when one worker serves several shards
+//! (`threads < K`). Jobs carry whole per-shard sub-batches in; completions
+//! carry the shard's tracker delta (plus an optional per-op latency
+//! histogram) back over a per-dispatch channel, and the facade folds the
+//! deltas in shard order. The old design spawned and joined K scoped
+//! threads for *every* batch — at the default 8192-op batch size that
+//! dispatch tax collapsed sharded throughput by 25–60×.
+//!
+//! Per-op facade calls ([`get`](AccessMethod::get), ...) never touch the
+//! pool: each shard lives behind its own mutex, so the facade locks the
+//! owning shard and runs inline. The lock is uncontended whenever no batch
+//! is in flight, which is the only way the measurement runners drive it.
+//!
 //! ## Cost accounting
 //!
 //! The wrapper's tracker is the single source of truth. Inner trackers are
-//! scratch space: after every delegated call (or per-shard batch), the
+//! scratch space: after every delegated call (or per-shard job), the
 //! inner tracker's delta is [`absorb`](crate::tracker::CostTracker::absorb)ed
 //! into the wrapper's tracker. Logical traffic is charged exactly once —
 //! by the wrapper's instrumented entry points on the per-op path, or by
 //! the inner wrappers on the batched path — so both paths report the same
 //! totals.
 
-use std::sync::Arc;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::access::{AccessMethod, SpaceProfile};
 use crate::error::{panic_payload_message, Result, RumError};
-use crate::trace::{EventKind, TraceSink};
+use crate::trace::{EventKind, LatencyHistogram, TraceSink};
 use crate::tracker::{CostSnapshot, CostTracker};
 use crate::types::{Key, Record, Value};
 use crate::workload::Op;
+
+/// One shard slot, shared between the facade and the pool workers.
+///
+/// The mutex serializes access to the inner method; the `poisoned` flag is
+/// this module's own panic containment (a job that panics mid-mutation
+/// leaves the structure in an unknown state, so every later access is
+/// refused with [`RumError::Corrupt`] instead of reading garbage).
+struct Shard {
+    method: Mutex<Box<dyn AccessMethod>>,
+    poisoned: AtomicBool,
+}
+
+impl Shard {
+    fn new(method: Box<dyn AccessMethod>) -> Arc<Shard> {
+        Arc::new(Shard {
+            method: Mutex::new(method),
+            poisoned: AtomicBool::new(false),
+        })
+    }
+
+    /// Lock the inner method. Std mutex poisoning is deliberately ignored:
+    /// job panics are caught *inside* the guard scope (so they never poison
+    /// the std mutex), and the `poisoned` flag — not the mutex — is the
+    /// authoritative "state is unreliable" signal.
+    fn lock(&self) -> MutexGuard<'_, Box<dyn AccessMethod>> {
+        self.method
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+fn poisoned_error(shard: usize) -> RumError {
+    RumError::Corrupt(format!(
+        "shard {shard} was poisoned by an earlier worker panic; its state is unreliable"
+    ))
+}
+
+/// What a worker should do with its shard.
+enum JobPayload {
+    /// Execute ops through the instrumented wrappers (measurement path;
+    /// results are discarded, logical traffic lands on the inner tracker).
+    Ops(Vec<Op>),
+    /// Replace contents from this shard's bulk-load partition (via
+    /// `bulk_load_impl`: the facade charges the logical write once).
+    Load(Vec<Record>),
+}
+
+/// One unit of work on a worker's job lane.
+struct Job {
+    shard: usize,
+    payload: JobPayload,
+    /// Record a per-op latency histogram while executing.
+    timed: bool,
+    reply: Sender<Completion>,
+}
+
+/// What a worker sends back when a job finishes (or fails).
+struct Completion {
+    shard: usize,
+    outcome: Result<()>,
+    /// The shard tracker's delta over this job — everything the facade
+    /// needs to fold the job's cost into the wrapper tracker.
+    delta: CostSnapshot,
+    /// Per-op latencies, present when the job was `timed`.
+    latency: Option<LatencyHistogram>,
+    /// The job's op buffer, cleared and returned for reuse (double-buffered
+    /// batch assembly: submission never reallocates in steady state).
+    recycled: Option<Vec<Op>>,
+}
+
+/// Execute one job against its shard, with panic containment.
+///
+/// This is the single execution path for *both* the pool workers and the
+/// inline (threads ≤ 1) mode, which is what makes the two modes trivially
+/// cost-equivalent: same per-shard op order, same instrumented wrappers,
+/// same tracker delta arithmetic.
+fn run_shard_job(shard: &Shard, index: usize, payload: JobPayload, timed: bool) -> Completion {
+    if shard.poisoned.load(Ordering::Acquire) {
+        return Completion {
+            shard: index,
+            outcome: Err(poisoned_error(index)),
+            delta: CostSnapshot::default(),
+            latency: None,
+            recycled: recycle(payload),
+        };
+    }
+    let mut guard = shard.lock();
+    let before = guard.tracker().snapshot();
+    let mut latency = if timed {
+        Some(LatencyHistogram::new())
+    } else {
+        None
+    };
+    let caught = {
+        let method = guard.as_mut();
+        let hist = &mut latency;
+        // The catch_unwind boundary sits inside the lock scope, so a
+        // panicking op never unwinds through the guard (no std mutex
+        // poisoning) and the tracker can still be read for the partial
+        // delta the op accrued before it died.
+        catch_unwind(AssertUnwindSafe(|| match &payload {
+            JobPayload::Ops(ops) => execute_ops(method, ops, hist),
+            JobPayload::Load(records) => method.bulk_load_impl(records),
+        }))
+    };
+    let delta = guard.tracker().since(&before);
+    drop(guard);
+    let outcome = match caught {
+        Ok(result) => result,
+        Err(payload) => {
+            shard.poisoned.store(true, Ordering::Release);
+            Err(RumError::Corrupt(format!(
+                "shard worker panicked on shard {index} ({}); shard state is unreliable",
+                panic_payload_message(&payload)
+            )))
+        }
+    };
+    Completion {
+        shard: index,
+        outcome,
+        delta,
+        latency,
+        recycled: recycle(payload),
+    }
+}
+
+/// Reclaim a job's op buffer (cleared) so the facade can reuse it.
+fn recycle(payload: JobPayload) -> Option<Vec<Op>> {
+    match payload {
+        JobPayload::Ops(mut ops) => {
+            ops.clear();
+            Some(ops)
+        }
+        JobPayload::Load(_) => None,
+    }
+}
+
+/// Run a per-shard sub-batch through the instrumented wrappers, timing
+/// each op into `latency` when present.
+///
+/// Latency semantics on the sharded path: a range op fans out to every
+/// shard, so it contributes one observation *per shard visited* (the
+/// per-shard probe latency), not one end-to-end fan-out latency.
+fn execute_ops(
+    method: &mut dyn AccessMethod,
+    ops: &[Op],
+    latency: &mut Option<LatencyHistogram>,
+) -> Result<()> {
+    for &op in ops {
+        let started = if latency.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        match op {
+            Op::Get(key) => {
+                method.get(key)?;
+            }
+            Op::Range(lo, hi) => {
+                method.range(lo, hi)?;
+            }
+            Op::Insert(key, value) => {
+                method.insert(key, value)?;
+            }
+            Op::Update(key, value) => {
+                method.update(key, value)?;
+            }
+            Op::Delete(key) => {
+                method.delete(key)?;
+            }
+        }
+        if let (Some(hist), Some(started)) = (latency.as_mut(), started) {
+            hist.record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+    Ok(())
+}
+
+/// The persistent worker pool: long-lived named threads, one FIFO job lane
+/// each. Dropping the pool closes every lane and joins every worker.
+struct WorkerPool {
+    /// `lanes[w]` feeds worker `w`; shard `s` always uses lane `s % lanes.len()`,
+    /// so each shard's jobs execute in submission order.
+    lanes: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn start(shards: &[Arc<Shard>], workers: usize) -> WorkerPool {
+        let mut lanes = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let shards: Vec<Arc<Shard>> = shards.to_vec();
+            // Named workers so panics and profiler output say which worker
+            // fired instead of `<unnamed>`.
+            let handle = std::thread::Builder::new()
+                .name(format!("rum-shard-{w}"))
+                .spawn(move || {
+                    for job in rx {
+                        let completion =
+                            run_shard_job(&shards[job.shard], job.shard, job.payload, job.timed);
+                        // A dropped receiver means the dispatch was
+                        // abandoned; nothing useful to do with the result.
+                        let _ = job.reply.send(completion);
+                    }
+                })
+                .expect("spawn rum-shard worker");
+            lanes.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { lanes, handles }
+    }
+
+    fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn lane_for(&self, shard: usize) -> &Sender<Job> {
+        &self.lanes[shard % self.lanes.len()]
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect every lane; workers drain their queues and exit.
+        self.lanes.clear();
+        for handle in self.handles.drain(..) {
+            // Worker panics are caught per-job; a join error here means the
+            // runtime died outside a job, which drop cannot surface.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A dispatched batch awaiting collection — returned by
+/// [`ShardedMethod::submit_batch`], consumed by
+/// [`ShardedMethod::finish_batch`].
+///
+/// Every submitted batch **must** be finished: the per-shard cost deltas
+/// travel in the completions, so dropping a `PendingBatch` unfinished
+/// loses that traffic from the facade tracker.
+pub struct PendingBatch {
+    state: BatchState,
+}
+
+enum BatchState {
+    /// Executed synchronously (no pool): deltas already absorbed.
+    Done {
+        outcome: Result<()>,
+        latency: Option<LatencyHistogram>,
+    },
+    /// In flight on the pool; completions pending on `rx`.
+    InFlight {
+        rx: Receiver<Completion>,
+        expected: usize,
+        timed: bool,
+    },
+}
 
 /// `K` instances of an access method behind one [`AccessMethod`] facade,
 /// partitioned by key hash. Built from a factory so every shard gets its
@@ -70,42 +356,54 @@ use crate::workload::Op;
 /// ```
 pub struct ShardedMethod {
     name: String,
-    shards: Vec<Box<dyn AccessMethod>>,
+    /// Declared before `shards` so drop joins the workers first; the
+    /// workers' own `Arc<Shard>` clones keep the shards alive meanwhile.
+    pool: Option<WorkerPool>,
+    shards: Vec<Arc<Shard>>,
     /// The externally visible tracker: logical charges from the wrapper
     /// entry points plus every absorbed inner delta.
     tracker: Arc<CostTracker>,
-    /// Worker threads for [`execute_batch`](Self::execute_batch) and bulk
-    /// load; `<= 1` runs shards inline (identical costs, no spawns).
+    /// Worker count for the batch pool; `<= 1` runs batches inline
+    /// (identical costs, no threads at all).
     threads: usize,
     /// Structured-event channel for batch dispatches; the disabled
     /// [`NoopSink`](crate::trace::NoopSink) by default.
     sink: Arc<dyn TraceSink>,
+    /// Cleared op buffers recycled through completions, so steady-state
+    /// batch submission allocates nothing.
+    spare: Vec<Vec<Op>>,
 }
 
 impl ShardedMethod {
-    /// `k` shards from `factory(shard_index)`, one batch worker per shard.
+    /// `k` shards from `factory(shard_index)`, with the batch worker pool
+    /// capped at [`default_threads`](crate::runner::default_threads) — on
+    /// a host with fewer cores than shards (or under `RUM_THREADS`), a
+    /// worker serves several shard queues instead of oversubscribing.
     pub fn new<F>(k: usize, factory: F) -> Self
     where
         F: Fn(usize) -> Box<dyn AccessMethod>,
     {
-        Self::with_threads(k, k, factory)
+        Self::with_threads(k, crate::runner::default_threads(), factory)
     }
 
     /// `k` shards with an explicit batch worker count (capped at `k`;
-    /// `threads <= 1` executes batches inline, in shard order).
+    /// `threads <= 1` executes batches inline, in shard order, with no
+    /// pool).
     pub fn with_threads<F>(k: usize, threads: usize, factory: F) -> Self
     where
         F: Fn(usize) -> Box<dyn AccessMethod>,
     {
         assert!(k >= 1, "a sharded method needs at least one shard");
-        let shards: Vec<Box<dyn AccessMethod>> = (0..k).map(&factory).collect();
-        let name = format!("{}-x{}", shards[0].name(), k);
+        let shards: Vec<Arc<Shard>> = (0..k).map(|i| Shard::new(factory(i))).collect();
+        let name = format!("{}-x{}", shards[0].lock().name(), k);
         ShardedMethod {
             name,
+            pool: None,
             shards,
             tracker: CostTracker::new(),
             threads: threads.clamp(1, k),
             sink: crate::trace::noop_sink(),
+            spare: Vec::new(),
         }
     }
 
@@ -117,6 +415,19 @@ impl ShardedMethod {
     /// Batch worker threads this wrapper will use.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether the persistent pool is currently running (it starts lazily
+    /// on the first threaded batch and stops on drop or
+    /// [`shutdown_pool`](Self::shutdown_pool)).
+    pub fn pool_running(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Join and discard the worker pool, if running. The next threaded
+    /// batch starts a fresh one; per-op calls never need the pool.
+    pub fn shutdown_pool(&mut self) {
+        self.pool = None;
     }
 
     /// Which shard owns `key`. Fibonacci hashing, so dense sequential key
@@ -131,23 +442,48 @@ impl ShardedMethod {
     }
 
     /// Run `f` against one shard and fold the physical traffic it accrued
-    /// on its private tracker into the wrapper tracker.
+    /// on its private tracker into the wrapper tracker. This is the per-op
+    /// path: it locks the shard and runs inline, never touching the pool.
     fn mirrored<T>(
-        &mut self,
+        &self,
         shard: usize,
         f: impl FnOnce(&mut dyn AccessMethod) -> Result<T>,
     ) -> Result<T> {
-        let inner = self.shards[shard].as_mut();
-        let before = inner.tracker().snapshot();
-        let out = f(inner);
-        let delta = inner.tracker().since(&before);
+        let slot = &self.shards[shard];
+        if slot.poisoned.load(Ordering::Acquire) {
+            return Err(poisoned_error(shard));
+        }
+        let mut guard = slot.lock();
+        let before = guard.tracker().snapshot();
+        let out = f(guard.as_mut());
+        let delta = guard.tracker().since(&before);
         self.tracker.absorb(&delta);
         out
     }
 
+    /// Start the pool if this wrapper is configured for threaded batches.
+    /// Returns whether batches should be dispatched to the pool.
+    fn ensure_pool(&mut self) -> bool {
+        if self.threads <= 1 || self.shards.len() <= 1 {
+            return false;
+        }
+        if self.pool.is_none() {
+            let workers = self.threads.min(self.shards.len());
+            self.pool = Some(WorkerPool::start(&self.shards, workers));
+        }
+        true
+    }
+
+    /// A cleared per-shard op buffer, recycled when possible.
+    fn part_buffer(&mut self) -> Vec<Op> {
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
     /// Execute a batch of operations, partitioned per shard (ranges fan
-    /// out to every shard), each shard's sub-batch on its own scoped
-    /// worker thread when `threads > 1`.
+    /// out to every shard), concurrently on the persistent worker pool
+    /// when `threads > 1`.
     ///
     /// Per-shard sub-batches preserve the batch's relative op order, and
     /// every key deterministically maps to one shard, so each shard's
@@ -158,8 +494,27 @@ impl ShardedMethod {
     /// wrapper tracker afterwards, giving totals bit-identical to driving
     /// the wrapper one op at a time.
     pub fn execute_batch(&mut self, ops: &[Op]) -> Result<()> {
+        let batch = self.submit_batch(ops, false)?;
+        self.finish_batch(batch).map(|_| ())
+    }
+
+    /// Partition `ops` into per-shard sub-batches and hand them to the
+    /// worker pool, returning without waiting for completion — the caller
+    /// can assemble the next batch while the workers run this one, then
+    /// [`finish_batch`](Self::finish_batch) to fold the costs in.
+    ///
+    /// Without a pool (`threads <= 1` or `K == 1`) the batch executes
+    /// inline, in shard order, before returning; `finish_batch` then just
+    /// reports its outcome. With `timed`, each worker records a per-op
+    /// [`LatencyHistogram`] returned (merged in shard order) by
+    /// `finish_batch`.
+    pub fn submit_batch(&mut self, ops: &[Op], timed: bool) -> Result<PendingBatch> {
         let k = self.shards.len();
-        let mut parts: Vec<Vec<Op>> = vec![Vec::new(); k];
+        let mut parts: Vec<Vec<Op>> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let buf = self.part_buffer();
+            parts.push(buf);
+        }
         for &op in ops {
             match op {
                 Op::Range(..) => {
@@ -173,94 +528,188 @@ impl ShardedMethod {
                 }
             }
         }
+        let pooled = self.ensure_pool();
         if self.sink.enabled() {
             let largest = parts.iter().map(Vec::len).max().unwrap_or(0);
+            let workers = self.pool.as_ref().map_or(1, WorkerPool::workers);
             self.sink.emit(
                 EventKind::ShardDispatch,
                 &[
                     ("ops", ops.len() as u64),
                     ("shards", k as u64),
+                    ("workers", workers as u64),
                     ("largest_part", largest as u64),
                 ],
             );
         }
-        self.run_on_shards(&parts, |shard, part| {
-            for &op in part {
-                match op {
-                    Op::Get(key) => {
-                        shard.get(key)?;
-                    }
-                    Op::Range(lo, hi) => {
-                        shard.range(lo, hi)?;
-                    }
-                    Op::Insert(key, value) => {
-                        shard.insert(key, value)?;
-                    }
-                    Op::Update(key, value) => {
-                        shard.update(key, value)?;
-                    }
-                    Op::Delete(key) => {
-                        shard.delete(key)?;
-                    }
+
+        if !pooled {
+            // Inline: the exact same job runner the workers use, shard
+            // order, costs folded immediately.
+            let mut outcome: Result<()> = Ok(());
+            let mut merged = if timed {
+                Some(LatencyHistogram::new())
+            } else {
+                None
+            };
+            for (index, part) in parts.into_iter().enumerate() {
+                if part.is_empty() {
+                    self.spare.push(part);
+                    continue;
+                }
+                let c = run_shard_job(&self.shards[index], index, JobPayload::Ops(part), timed);
+                self.tracker.absorb(&c.delta);
+                if let Some(buf) = c.recycled {
+                    self.spare.push(buf);
+                }
+                if let (Some(m), Some(h)) = (merged.as_mut(), c.latency.as_ref()) {
+                    m.merge(h);
+                }
+                if outcome.is_ok() {
+                    outcome = c.outcome;
                 }
             }
-            Ok(())
+            return Ok(PendingBatch {
+                state: BatchState::Done {
+                    outcome,
+                    latency: merged,
+                },
+            });
+        }
+
+        let (reply, rx) = channel();
+        let mut expected = 0usize;
+        for (index, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                self.spare.push(part);
+                continue;
+            }
+            let job = Job {
+                shard: index,
+                payload: JobPayload::Ops(part),
+                timed,
+                reply: reply.clone(),
+            };
+            self.send_job(index, job)?;
+            expected += 1;
+        }
+        drop(reply);
+        Ok(PendingBatch {
+            state: BatchState::InFlight {
+                rx,
+                expected,
+                timed,
+            },
         })
     }
 
-    /// Run `f(shard, job)` for every shard with its job — threaded when
-    /// configured — then fold every shard's tracker delta into the wrapper
-    /// tracker (in shard order; the sums are order-independent anyway).
-    fn run_on_shards<J: Sync>(
-        &mut self,
-        jobs: &[J],
-        f: impl Fn(&mut dyn AccessMethod, &J) -> Result<()> + Sync,
-    ) -> Result<()> {
-        debug_assert_eq!(jobs.len(), self.shards.len());
-        let marks: Vec<CostSnapshot> = self.shards.iter().map(|s| s.tracker().snapshot()).collect();
-        let outcome: Result<()> = if self.threads <= 1 || self.shards.len() <= 1 {
-            self.shards
-                .iter_mut()
-                .zip(jobs)
-                .try_for_each(|(shard, job)| f(shard.as_mut(), job))
-        } else {
-            let results: Vec<Result<()>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .zip(jobs)
-                    .enumerate()
-                    .map(|(k, (shard, job))| {
-                        // Named workers so panics and profiler output say
-                        // which shard fired instead of `<unnamed>`.
-                        std::thread::Builder::new()
-                            .name(format!("rum-shard-{k}"))
-                            .spawn_scoped(scope, || f(shard.as_mut(), job))
-                            .expect("spawn rum-shard thread")
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        // A panicking worker must not abort the harness:
-                        // surface it as a structural error so the caller
-                        // can drop this method and keep measuring others.
-                        h.join().unwrap_or_else(|payload| {
-                            Err(RumError::Corrupt(format!(
-                                "shard worker panicked ({}); shard state is unreliable",
-                                panic_payload_message(&payload)
-                            )))
-                        })
-                    })
-                    .collect()
-            });
-            results.into_iter().collect()
-        };
-        for (shard, mark) in self.shards.iter().zip(&marks) {
-            self.tracker.absorb(&shard.tracker().since(mark));
-        }
-        outcome
+    fn send_job(&self, shard: usize, job: Job) -> Result<()> {
+        let pool = self.pool.as_ref().expect("send_job requires a pool");
+        pool.lane_for(shard).send(job).map_err(|_| {
+            RumError::Corrupt(format!(
+                "worker lane {} is dead (worker thread exited); pool is unusable",
+                shard % pool.workers()
+            ))
+        })
     }
+
+    /// Wait for a submitted batch, fold every completed shard's tracker
+    /// delta into the wrapper tracker **in shard order**, and return the
+    /// merged latency histogram when the batch was timed.
+    ///
+    /// Errors surface in shard order too: the first failing shard's error
+    /// is returned after *all* completions (and their cost deltas) have
+    /// been folded in, so a failed batch never loses counted traffic from
+    /// the shards that did finish.
+    pub fn finish_batch(&mut self, batch: PendingBatch) -> Result<Option<LatencyHistogram>> {
+        match batch.state {
+            BatchState::Done { outcome, latency } => outcome.map(|()| latency),
+            BatchState::InFlight {
+                rx,
+                expected,
+                timed,
+            } => self.collect(rx, expected, timed),
+        }
+    }
+
+    /// Receive `expected` completions and fold them in shard order.
+    fn collect(
+        &mut self,
+        rx: Receiver<Completion>,
+        expected: usize,
+        timed: bool,
+    ) -> Result<Option<LatencyHistogram>> {
+        let k = self.shards.len();
+        let mut completions: Vec<Option<Completion>> =
+            std::iter::repeat_with(|| None).take(k).collect();
+        let mut received = 0usize;
+        while received < expected {
+            match rx.recv() {
+                Ok(c) => {
+                    let slot = c.shard;
+                    completions[slot] = Some(c);
+                    received += 1;
+                }
+                // Every sender dropped with completions missing: a worker
+                // died outside the per-job panic guard.
+                Err(_) => break,
+            }
+        }
+        let mut outcome: Result<()> = if received == expected {
+            Ok(())
+        } else {
+            Err(RumError::Corrupt(
+                "a shard worker died before completing its job; its cost delta is lost".into(),
+            ))
+        };
+        let mut merged = if timed {
+            Some(LatencyHistogram::new())
+        } else {
+            None
+        };
+        for c in completions.into_iter().flatten() {
+            self.tracker.absorb(&c.delta);
+            if let Some(buf) = c.recycled {
+                self.spare.push(buf);
+            }
+            if let (Some(m), Some(h)) = (merged.as_mut(), c.latency.as_ref()) {
+                m.merge(h);
+            }
+            if outcome.is_ok() {
+                if let Err(e) = c.outcome {
+                    outcome = Err(e);
+                }
+            }
+        }
+        outcome.map(|()| merged)
+    }
+}
+
+/// K-way merge of individually sorted, key-disjoint partial results into
+/// one ascending run, via a min-heap seeded with each partial's head:
+/// O(total · log K) instead of the old O(total · K) selection scan. Ties
+/// (impossible for key-disjoint shards, but handled) pop the lowest shard
+/// index first, matching the old scan's preference.
+fn merge_sorted_partials(partials: Vec<Vec<Record>>) -> Vec<Record> {
+    use std::cmp::Reverse;
+    let total: usize = partials.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; partials.len()];
+    let mut heap: BinaryHeap<Reverse<(Key, usize)>> = partials
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.is_empty())
+        .map(|(shard, p)| Reverse((p[0].key, shard)))
+        .collect();
+    while let Some(Reverse((_, shard))) = heap.pop() {
+        let cursor = cursors[shard];
+        merged.push(partials[shard][cursor]);
+        cursors[shard] = cursor + 1;
+        if let Some(next) = partials[shard].get(cursor + 1) {
+            heap.push(Reverse((next.key, shard)));
+        }
+    }
+    merged
 }
 
 impl AccessMethod for ShardedMethod {
@@ -269,7 +718,7 @@ impl AccessMethod for ShardedMethod {
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.len()).sum()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     fn tracker(&self) -> &Arc<CostTracker> {
@@ -283,7 +732,7 @@ impl AccessMethod for ShardedMethod {
         self.shards
             .iter()
             .fold(SpaceProfile::default(), |acc, shard| {
-                let p = shard.space_profile();
+                let p = shard.lock().space_profile();
                 SpaceProfile {
                     base_bytes: acc.base_bytes + p.base_bytes,
                     aux_bytes: acc.aux_bytes + p.aux_bytes,
@@ -304,24 +753,7 @@ impl AccessMethod for ShardedMethod {
         for shard in 0..k {
             partials.push(self.mirrored(shard, |m| m.range_impl(lo, hi))?);
         }
-        let total: usize = partials.iter().map(Vec::len).sum();
-        let mut merged = Vec::with_capacity(total);
-        let mut cursors = vec![0usize; k];
-        for _ in 0..total {
-            let mut best: Option<usize> = None;
-            for (shard, &cursor) in cursors.iter().enumerate() {
-                if cursor < partials[shard].len()
-                    && best
-                        .is_none_or(|b| partials[shard][cursor].key < partials[b][cursors[b]].key)
-                {
-                    best = Some(shard);
-                }
-            }
-            let shard = best.expect("total counts a remaining record");
-            merged.push(partials[shard][cursors[shard]]);
-            cursors[shard] += 1;
-        }
-        Ok(merged)
+        Ok(merge_sorted_partials(partials))
     }
 
     fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
@@ -340,7 +772,9 @@ impl AccessMethod for ShardedMethod {
     }
 
     /// Partition the (ascending) input per shard — each partition stays
-    /// strictly ascending — and load shards concurrently.
+    /// strictly ascending — and load shards concurrently on the pool.
+    /// Every shard loads its partition, including empty ones: bulk load
+    /// replaces prior contents everywhere.
     fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
         let k = self.shards.len();
         let mut parts: Vec<Vec<Record>> = vec![Vec::new(); k];
@@ -348,9 +782,29 @@ impl AccessMethod for ShardedMethod {
             let shard = self.shard_of(r.key);
             parts[shard].push(r);
         }
-        // Every shard loads its partition, including empty ones: bulk load
-        // replaces prior contents everywhere.
-        self.run_on_shards(&parts, |shard, part| shard.bulk_load_impl(part))
+        if !self.ensure_pool() {
+            let mut outcome: Result<()> = Ok(());
+            for (index, part) in parts.into_iter().enumerate() {
+                let c = run_shard_job(&self.shards[index], index, JobPayload::Load(part), false);
+                self.tracker.absorb(&c.delta);
+                if outcome.is_ok() {
+                    outcome = c.outcome;
+                }
+            }
+            return outcome;
+        }
+        let (reply, rx) = channel();
+        for (index, part) in parts.into_iter().enumerate() {
+            let job = Job {
+                shard: index,
+                payload: JobPayload::Load(part),
+                timed: false,
+                reply: reply.clone(),
+            };
+            self.send_job(index, job)?;
+        }
+        drop(reply);
+        self.collect(rx, k, false).map(|_| ())
     }
 
     fn flush(&mut self) -> Result<()> {
@@ -363,8 +817,8 @@ impl AccessMethod for ShardedMethod {
     /// Keep the sink for dispatch events and forward it to every shard, so
     /// inner structures (LSM trees, WALs...) report into the same channel.
     fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
-        for shard in self.shards.iter_mut() {
-            shard.set_trace_sink(Arc::clone(&sink));
+        for shard in self.shards.iter() {
+            shard.lock().set_trace_sink(Arc::clone(&sink));
         }
         self.sink = sink;
     }
@@ -456,6 +910,38 @@ mod tests {
         (0..n).map(|k| Record::new(3 * k, k)).collect()
     }
 
+    fn drive_per_op(m: &mut ShardedMethod, ops: &[Op]) {
+        for &op in ops {
+            match op {
+                Op::Get(k) => {
+                    m.get(k).unwrap();
+                }
+                Op::Range(lo, hi) => {
+                    m.range(lo, hi).unwrap();
+                }
+                Op::Insert(k, v) => m.insert(k, v).unwrap(),
+                Op::Update(k, v) => {
+                    m.update(k, v).unwrap();
+                }
+                Op::Delete(k) => {
+                    m.delete(k).unwrap();
+                }
+            }
+        }
+    }
+
+    fn mixed_ops(count: u64) -> Vec<Op> {
+        (0..count)
+            .map(|i| match i % 5 {
+                0 => Op::Get(3 * (i % 500)),
+                1 => Op::Insert(3 * i + 2, i),
+                2 => Op::Update(3 * (i % 500), i),
+                3 => Op::Delete(3 * ((i / 5) % 500)),
+                _ => Op::Range(3 * (i % 300), 3 * (i % 300) + 90),
+            })
+            .collect()
+    }
+
     #[test]
     fn routing_covers_every_shard() {
         let sharded = ShardedMethod::new(8, Amp2::boxed);
@@ -506,24 +992,23 @@ mod tests {
         bare.bulk_load(&records).unwrap();
         sharded.bulk_load(&records).unwrap();
         for &op in &ops {
-            for m in [bare.as_mut(), &mut sharded as &mut dyn AccessMethod] {
-                match op {
-                    Op::Get(k) => {
-                        m.get(k).unwrap();
-                    }
-                    Op::Range(lo, hi) => {
-                        m.range(lo, hi).unwrap();
-                    }
-                    Op::Insert(k, v) => m.insert(k, v).unwrap(),
-                    Op::Update(k, v) => {
-                        m.update(k, v).unwrap();
-                    }
-                    Op::Delete(k) => {
-                        m.delete(k).unwrap();
-                    }
+            match op {
+                Op::Get(k) => {
+                    bare.get(k).unwrap();
+                }
+                Op::Range(lo, hi) => {
+                    bare.range(lo, hi).unwrap();
+                }
+                Op::Insert(k, v) => bare.insert(k, v).unwrap(),
+                Op::Update(k, v) => {
+                    bare.update(k, v).unwrap();
+                }
+                Op::Delete(k) => {
+                    bare.delete(k).unwrap();
                 }
             }
         }
+        drive_per_op(&mut sharded, &ops);
         assert_eq!(bare.len(), sharded.len());
         assert_eq!(bare.tracker().snapshot(), sharded.tracker().snapshot());
         let bp = bare.space_profile();
@@ -534,55 +1019,138 @@ mod tests {
     #[test]
     fn batched_concurrent_costs_match_per_op_serial() {
         // The same op sequence, driven (a) one op at a time through the
-        // wrapper and (b) as threaded per-shard batches, must leave both
-        // wrappers with bit-identical tracker totals and contents.
+        // wrapper and (b) as pooled per-shard batches, must leave both
+        // wrappers with bit-identical tracker totals and contents — with
+        // full-width pools and with fewer workers than shards.
         let records = sample_records(500);
-        let ops: Vec<Op> = (0..4000u64)
-            .map(|i| match i % 5 {
-                0 => Op::Get(3 * (i % 500)),
-                1 => Op::Insert(3 * i + 2, i),
-                2 => Op::Update(3 * (i % 500), i),
-                3 => Op::Delete(3 * ((i / 5) % 500)),
-                _ => Op::Range(3 * (i % 300), 3 * (i % 300) + 90),
-            })
-            .collect();
+        let ops = mixed_ops(4000);
 
         let mut per_op = ShardedMethod::with_threads(4, 1, Amp2::boxed);
         per_op.bulk_load(&records).unwrap();
-        for &op in &ops {
-            match op {
-                Op::Get(k) => {
-                    per_op.get(k).unwrap();
-                }
-                Op::Range(lo, hi) => {
-                    per_op.range(lo, hi).unwrap();
-                }
-                Op::Insert(k, v) => per_op.insert(k, v).unwrap(),
-                Op::Update(k, v) => {
-                    per_op.update(k, v).unwrap();
-                }
-                Op::Delete(k) => {
-                    per_op.delete(k).unwrap();
-                }
+        drive_per_op(&mut per_op, &ops);
+        // Taken once, before any content-equality range below charges the
+        // reference instance's tracker.
+        let reference_costs = per_op.tracker().snapshot();
+
+        for threads in [2, 4] {
+            let mut batched = ShardedMethod::with_threads(4, threads, Amp2::boxed);
+            batched.bulk_load(&records).unwrap();
+            for chunk in ops.chunks(257) {
+                batched.execute_batch(chunk).unwrap();
             }
+            assert!(batched.pool_running(), "threads={threads}");
+            assert_eq!(per_op.len(), batched.len());
+            assert_eq!(
+                reference_costs,
+                batched.tracker().snapshot(),
+                "threads={threads}: pooled batches must not change a single counted byte"
+            );
+            assert_eq!(
+                per_op.range(0, Key::MAX).unwrap(),
+                batched.range(0, Key::MAX).unwrap(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_persists_across_batches_and_stops_on_demand() {
+        let mut sharded = ShardedMethod::with_threads(4, 2, Amp2::boxed);
+        assert!(!sharded.pool_running(), "pool starts lazily");
+        sharded.bulk_load(&sample_records(100)).unwrap();
+        assert!(sharded.pool_running(), "bulk load starts the pool");
+        for chunk in mixed_ops(1000).chunks(100) {
+            sharded.execute_batch(chunk).unwrap();
+        }
+        assert!(sharded.pool_running(), "pool survives across batches");
+        sharded.shutdown_pool();
+        assert!(!sharded.pool_running());
+        // A later batch restarts it transparently.
+        sharded.execute_batch(&[Op::Insert(1, 1)]).unwrap();
+        assert!(sharded.pool_running());
+    }
+
+    #[test]
+    fn timed_batches_return_merged_histograms() {
+        for threads in [1, 3] {
+            let mut sharded = ShardedMethod::with_threads(4, threads, Amp2::boxed);
+            sharded.bulk_load(&sample_records(200)).unwrap();
+            let ops: Vec<Op> = (0..300u64).map(|i| Op::Insert(5 * i + 1, i)).collect();
+            let pending = sharded.submit_batch(&ops, true).unwrap();
+            let hist = sharded
+                .finish_batch(pending)
+                .unwrap()
+                .expect("timed batch returns a histogram");
+            // Point ops are timed exactly once each.
+            assert_eq!(hist.count(), 300, "threads={threads}");
+            // Untimed batches return no histogram.
+            let pending = sharded.submit_batch(&ops, false).unwrap();
+            assert!(sharded.finish_batch(pending).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn heap_merge_matches_linear_scan_reference() {
+        // The old O(total×K) selection loop, kept as the reference.
+        fn linear_merge(partials: &[Vec<Record>]) -> Vec<Record> {
+            let total: usize = partials.iter().map(Vec::len).sum();
+            let mut merged = Vec::with_capacity(total);
+            let mut cursors = vec![0usize; partials.len()];
+            for _ in 0..total {
+                let mut best: Option<usize> = None;
+                for (shard, &cursor) in cursors.iter().enumerate() {
+                    if cursor < partials[shard].len()
+                        && best.is_none_or(|b| {
+                            partials[shard][cursor].key < partials[b][cursors[b]].key
+                        })
+                    {
+                        best = Some(shard);
+                    }
+                }
+                let shard = best.expect("total counts a remaining record");
+                merged.push(partials[shard][cursors[shard]]);
+                cursors[shard] += 1;
+            }
+            merged
         }
 
-        let mut batched = ShardedMethod::with_threads(4, 4, Amp2::boxed);
-        batched.bulk_load(&records).unwrap();
-        for chunk in ops.chunks(257) {
-            batched.execute_batch(chunk).unwrap();
+        // Deterministic pseudo-random disjoint partials of varying shapes,
+        // including empty ones.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for k in [1usize, 2, 3, 5, 8] {
+            let mut partials: Vec<Vec<Record>> = vec![Vec::new(); k];
+            for i in 0..500u64 {
+                let key = next() % 10_000;
+                partials[(key as usize) % k].push(Record::new(key, i));
+            }
+            for p in partials.iter_mut() {
+                p.sort();
+                p.dedup_by_key(|r| r.key);
+            }
+            partials[0].clear(); // one empty partial
+            let expected = linear_merge(&partials);
+            assert_eq!(merge_sorted_partials(partials), expected, "k={k}");
         }
+        assert_eq!(merge_sorted_partials(Vec::new()), Vec::new());
+    }
 
-        assert_eq!(per_op.len(), batched.len());
+    #[test]
+    fn new_caps_threads_at_default_and_shards() {
+        let sharded = ShardedMethod::new(8, Amp2::boxed);
+        assert!(sharded.threads() <= 8);
+        assert!(sharded.threads() >= 1);
+        // with_threads clamps to [1, k].
         assert_eq!(
-            per_op.tracker().snapshot(),
-            batched.tracker().snapshot(),
-            "threaded batches must not change a single counted byte"
+            ShardedMethod::with_threads(4, 100, Amp2::boxed).threads(),
+            4
         );
-        assert_eq!(
-            per_op.range(0, Key::MAX).unwrap(),
-            batched.range(0, Key::MAX).unwrap()
-        );
+        assert_eq!(ShardedMethod::with_threads(4, 0, Amp2::boxed).threads(), 1);
     }
 
     #[test]

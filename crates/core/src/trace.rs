@@ -578,6 +578,38 @@ impl TraceCollector {
         }
     }
 
+    /// Record a whole executed batch of `ops` same-class operations whose
+    /// per-op latencies arrive pre-aggregated in `latency` (merged from the
+    /// shard workers that executed the batch); closes a window when the op
+    /// count reaches the window width.
+    ///
+    /// This is [`note_op`](Self::note_op) at batch granularity, for the
+    /// sharded runner: windows then close on batch boundaries, so a window
+    /// may hold up to `batch - 1` ops more than `window_ops` — the windowed
+    /// deltas still partition the op-phase traffic byte-exactly, only the
+    /// window widths quantize. Note the histogram is merged as-is: on a
+    /// sharded batch a range op contributes one observation per shard it
+    /// fanned out to, so `latency.count()` may exceed `ops`.
+    pub fn note_batch(
+        &mut self,
+        is_read: bool,
+        ops: u64,
+        latency: &LatencyHistogram,
+        tracker: &CostTracker,
+        method: &dyn AccessMethod,
+    ) {
+        debug_assert!(self.started, "note_batch before begin");
+        if is_read {
+            self.read_latency.merge(latency);
+        } else {
+            self.write_latency.merge(latency);
+        }
+        self.ops_in_window += ops;
+        if self.ops_in_window >= self.window_ops {
+            self.close_window(tracker, method);
+        }
+    }
+
     /// Close the trailing partial window (if any). Call once, after the
     /// last op; every byte the tracker accrued since
     /// [`begin`](Self::begin) is then covered by exactly one window, so

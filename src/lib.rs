@@ -69,9 +69,9 @@ pub mod prelude {
         MeasuredRanking, MeasuredRecommendation, MethodProfile, ProfilePoint, ProfileStore,
     };
     pub use rum_core::runner::{
-        measure_ops, parallel_map, run_stream, run_stream_sharded, run_stream_traced, run_suite,
-        run_suite_parallel, run_suite_stream, run_suite_with_threads, run_workload,
-        run_workload_traced, RumReport, DEFAULT_STREAM_BATCH,
+        measure_ops, parallel_map, run_stream, run_stream_sharded, run_stream_sharded_traced,
+        run_stream_traced, run_suite, run_suite_parallel, run_suite_stream, run_suite_with_threads,
+        run_workload, run_workload_traced, RumReport, DEFAULT_STREAM_BATCH,
     };
     pub use rum_core::trace::{
         noop_sink, Event, EventKind, LatencyHistogram, MemorySink, NoopSink, TraceCollector,

@@ -1,12 +1,17 @@
 //! The sharded executor's contract, pinned on real access methods:
 //!
-//! 1. `run_stream_sharded` (concurrent, batched, streaming) produces the
-//!    same RO / UO / MO and cost snapshots as `run_workload` (serial,
-//!    per-op, materialized) driving the *same* `ShardedMethod` — bit for
-//!    bit, for every K. The cost model is deterministic; concurrency may
+//! 1. `run_stream_sharded` (concurrent, batched, streaming, on the
+//!    persistent worker pool) produces the same RO / UO / MO and cost
+//!    snapshots as `run_workload` (serial, per-op, materialized) driving
+//!    the *same* `ShardedMethod` — bit for bit, for every K, whether the
+//!    pool is full-width or narrower than K (workers serving several
+//!    shard queues). The cost model is deterministic; concurrency may
 //!    only change wall-clock fields.
 //! 2. A K=1 `ShardedMethod` is cost-transparent: it reports exactly what
 //!    the bare inner method reports.
+//! 3. The pool's failure semantics: a worker panic poisons exactly its
+//!    shard (later batches on healthy shards still run), surfaces as
+//!    `RumError::Corrupt`, and never leaks worker threads.
 //!
 //! Checked for a B-tree, an LSM-tree, and a sorted column — one
 //! representative per RUM corner.
@@ -63,13 +68,54 @@ fn concurrent_sharded_run_matches_serial_bit_for_bit() {
             let mut serial = rum::core::ShardedMethod::with_threads(k, 1, |_| factory());
             let s = run_workload(&mut serial, &workload).expect("serial run");
 
-            // Concurrent: streamed ops, batched across k shard workers.
-            let mut concurrent = rum::core::ShardedMethod::new(k, |_| factory());
-            let c = run_stream_sharded(&mut concurrent, OpStream::new(&spec), 777)
-                .expect("sharded stream run");
-
-            assert_same_rum(&format!("{name} K={k}"), &s, &c);
+            // Pool widths are forced explicitly (`new` would follow the
+            // host's core count): full width, and — where K allows it —
+            // narrower than K, so one worker serves several shard queues.
+            let mut widths = vec![k];
+            if k > 3 {
+                widths.push(3);
+            }
+            for threads in widths {
+                // Concurrent: streamed ops, batched across the wrapper's
+                // persistent worker pool.
+                let mut concurrent =
+                    rum::core::ShardedMethod::with_threads(k, threads, |_| factory());
+                let c = run_stream_sharded(&mut concurrent, OpStream::new(&spec), 777)
+                    .expect("sharded stream run");
+                if threads > 1 && k > 1 {
+                    assert!(
+                        concurrent.pool_running(),
+                        "{name} K={k} T={threads}: pool must be live after batches"
+                    );
+                }
+                assert_same_rum(&format!("{name} K={k} T={threads}"), &s, &c);
+            }
         }
+    }
+}
+
+#[test]
+fn traced_sharded_run_is_cost_identical_and_measures_latency() {
+    // The traced variant fixes the permanently-zero p50/p99 columns on
+    // the sharded path without perturbing a single counted byte.
+    let spec = spec();
+    let workload = Workload::generate(&spec);
+    for (name, factory) in factories() {
+        let mut serial = rum::core::ShardedMethod::with_threads(4, 1, |_| factory());
+        let s = run_workload(&mut serial, &workload).expect("serial run");
+
+        let mut concurrent = rum::core::ShardedMethod::with_threads(4, 2, |_| factory());
+        let mut trace = TraceCollector::new(1024, noop_sink());
+        let c = run_stream_sharded_traced(&mut concurrent, OpStream::new(&spec), 777, &mut trace)
+            .expect("traced sharded run");
+        assert_same_rum(&format!("{name} traced K=4 T=2"), &s, &c);
+        assert!(c.p50_ns > 0, "{name}: sharded p50 must be measured");
+        assert!(c.p99_ns >= c.p50_ns, "{name}");
+        assert_eq!(
+            trace.windowed_sum(),
+            c.read_costs.add(&c.write_costs),
+            "{name}: window deltas must sum byte-exactly to the op-phase totals"
+        );
     }
 }
 
@@ -84,4 +130,134 @@ fn single_shard_wrapper_is_cost_transparent() {
         let w = run_workload(&mut wrapped, &workload).expect("wrapped run");
         assert_same_rum(&format!("{name} K=1 vs bare"), &b, &w);
     }
+}
+
+// ---- pool failure semantics ----------------------------------------------
+
+/// A B-tree that panics when asked to insert one specific key — a stand-in
+/// for a structure corrupting itself mid-mutation on a worker thread.
+struct PanicOnKey {
+    inner: rum::btree::BTree,
+    trigger: Key,
+}
+
+impl AccessMethod for PanicOnKey {
+    fn name(&self) -> String {
+        "panic-on-key".into()
+    }
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn tracker(&self) -> &std::sync::Arc<CostTracker> {
+        self.inner.tracker()
+    }
+    fn space_profile(&self) -> SpaceProfile {
+        self.inner.space_profile()
+    }
+    fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+        self.inner.get_impl(key)
+    }
+    fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+        self.inner.range_impl(lo, hi)
+    }
+    fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+        assert!(key != self.trigger, "tripwire key inserted");
+        self.inner.insert_impl(key, value)
+    }
+    fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+        self.inner.update_impl(key, value)
+    }
+    fn delete_impl(&mut self, key: Key) -> Result<bool> {
+        self.inner.delete_impl(key)
+    }
+    fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+        self.inner.bulk_load_impl(records)
+    }
+}
+
+#[test]
+fn worker_panic_poisons_one_shard_and_spares_the_rest() {
+    let trigger: Key = 0xBAD_F00D;
+    let mut sharded = rum::core::ShardedMethod::with_threads(2, 2, |_| {
+        Box::new(PanicOnKey {
+            inner: rum::btree::BTree::new(),
+            trigger,
+        }) as Box<dyn AccessMethod>
+    });
+    let bad_shard = sharded.shard_of(trigger);
+    // Deterministic keys routed to each side of the partition.
+    let on_shard = |m: &rum::core::ShardedMethod, want: usize| -> Vec<Key> {
+        (0..10_000u64)
+            .filter(|&key| key != trigger && m.shard_of(key) == want)
+            .take(64)
+            .collect()
+    };
+    let healthy_keys = on_shard(&sharded, 1 - bad_shard);
+    let doomed_keys = on_shard(&sharded, bad_shard);
+
+    // A batch touching both shards, with the tripwire in the middle of the
+    // bad shard's sub-batch: the panic must surface as Corrupt, not abort.
+    let mut ops: Vec<Op> = healthy_keys.iter().map(|&k| Op::Insert(k, 1)).collect();
+    ops.extend(doomed_keys.iter().map(|&k| Op::Insert(k, 1)));
+    ops.insert(ops.len() / 2, Op::Insert(trigger, 1));
+    let err = sharded.execute_batch(&ops).expect_err("panic must surface");
+    match err {
+        RumError::Corrupt(m) => assert!(m.contains("panicked"), "message: {m}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // The pool survives, and later batches confined to the healthy shard
+    // run normally.
+    assert!(sharded.pool_running(), "pool must survive a worker panic");
+    let follow_up: Vec<Op> = healthy_keys.iter().map(|&k| Op::Update(k, 2)).collect();
+    sharded
+        .execute_batch(&follow_up)
+        .expect("healthy shard keeps working");
+    assert_eq!(sharded.get(healthy_keys[0]).unwrap(), Some(2));
+
+    // Anything touching the poisoned shard — batched, per-op, or a range
+    // fan-out — is refused with Corrupt instead of reading unknown state.
+    for result in [
+        sharded
+            .execute_batch(&[Op::Insert(doomed_keys[0], 9)])
+            .map(|_| ()),
+        sharded.get(doomed_keys[0]).map(|_| ()),
+        sharded.range(0, Key::MAX).map(|_| ()),
+    ] {
+        match result.expect_err("poisoned shard must refuse") {
+            RumError::Corrupt(m) => assert!(m.contains("poisoned"), "message: {m}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+    // Drop joins the workers; a hang here would fail the test by timeout.
+    drop(sharded);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn dropped_pools_do_not_leak_worker_threads() {
+    fn thread_count() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .map(|entries| entries.count())
+            .unwrap_or(0)
+    }
+
+    let before = thread_count();
+    for round in 0..25u64 {
+        let mut sharded = rum::core::ShardedMethod::with_threads(4, 2, |_| {
+            Box::new(rum::btree::BTree::new()) as Box<dyn AccessMethod>
+        });
+        let ops: Vec<Op> = (0..256u64)
+            .map(|i| Op::Insert(round * 1000 + i, i))
+            .collect();
+        sharded.execute_batch(&ops).unwrap();
+        assert!(sharded.pool_running());
+    }
+    // The task count is process-global and other tests run concurrently,
+    // so allow generous slack; 25 leaked pools would add ~50 threads.
+    let after = thread_count();
+    assert!(
+        after <= before + 8,
+        "worker threads leaked: {before} before, {after} after"
+    );
 }
