@@ -79,13 +79,14 @@ impl AdvisorConfig {
 /// family whose measured cost is a multiple of the real winner's.
 pub const AGREEMENT_TOLERANCE: f64 = 2.0;
 
-/// The four canonical operation mixes of the experiments.
-pub fn canonical_mixes() -> [(&'static str, OpMix); 4] {
+/// The five canonical operation mixes of the experiments.
+pub fn canonical_mixes() -> [(&'static str, OpMix); 5] {
     [
         ("read-heavy", OpMix::READ_HEAVY),
         ("write-heavy", OpMix::WRITE_HEAVY),
         ("balanced", OpMix::BALANCED),
         ("scan-heavy", OpMix::SCAN_HEAVY),
+        ("range-heavy", OpMix::RANGE_HEAVY),
     ]
 }
 
@@ -372,7 +373,7 @@ mod tests {
         assert_eq!(run.verdicts.len(), 1);
         let v = &run.verdicts[0];
         assert!(v.measured.calibrated, "all 7 families must be measured");
-        // 20 suite methods × 2 scales land in the store.
+        // 21 suite methods × 2 scales land in the store.
         assert!(run.store.len() >= 19, "store has {}", run.store.len());
         for (desc, ok) in checks(&run) {
             if desc.contains("agree on the top family") {

@@ -5,7 +5,7 @@
 //! Usage:
 //!   cargo run --release -p rum-bench --bin advisor [--smoke]
 //!
-//! Default: scales {2k, 8k, 32k} × {uniform, zipf 0.99} × the four
+//! Default: scales {2k, 8k, 32k} × {uniform, zipf 0.99} × the five
 //! canonical mixes; writes `results/advisor_profiles.csv` (the persistent
 //! profile store) and `results/advisor.txt` (the ranking tables).
 //! `--smoke` is the CI job (two scales, uniform keys, no files) and exits

@@ -1,0 +1,45 @@
+//! Range-read acceleration sweep: the sorted view's RO-vs-MO trade.
+//!
+//! Usage:
+//!   cargo run --release -p rum-bench --bin range_sweep [--smoke]
+//!
+//! Default grid: n = 10^5 records, 3·10^4 ops, three range-carrying mixes
+//! × {bloom, quotient} × {view off, view on}; every view-on cell is
+//! differentially replayed against its view-off twin (results must be
+//! bit-identical) and scan-heavy must show the headline ≥2× RO win.
+//! `--smoke` is the CI job: a reduced grid that still checks equality
+//! and a strict RO win, exiting non-zero on any failure. The full run
+//! writes `results/range_sweep.csv` and `results/range_sweep.txt`.
+
+use rum_bench::range_sweep;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke {
+        range_sweep::RangeSweepConfig::smoke()
+    } else {
+        range_sweep::RangeSweepConfig::default()
+    };
+
+    let rows = range_sweep::run(&config);
+    let rendered = range_sweep::render(&rows);
+    println!("{rendered}");
+
+    println!("=== Checks ===");
+    let mut all_ok = true;
+    for (desc, ok) in range_sweep::checks(&config, &rows) {
+        println!("  [{}] {desc}", if ok { "PASS" } else { "FAIL" });
+        all_ok &= ok;
+    }
+
+    if !smoke {
+        std::fs::create_dir_all("results").expect("results dir");
+        std::fs::write("results/range_sweep.csv", range_sweep::to_csv(&rows)).expect("write csv");
+        std::fs::write("results/range_sweep.txt", &rendered).expect("write txt");
+        println!("wrote results/range_sweep.csv and results/range_sweep.txt");
+    }
+
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -108,6 +108,7 @@ fn section_lsm_retune() {
             size_ratio: 4,
             policy: CompactionPolicy::Tiering, // start write-optimized
             bloom_bits_per_key: 4.0,
+            ..Default::default()
         });
         // Phase 1: heavy ingest with scattered keys (runs overlap).
         for k in 0..60_000u64 {

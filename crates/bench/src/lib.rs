@@ -16,6 +16,7 @@
 //! | `advisor` | §5 wizard calibrated from measured profiles (analytic vs measured rankings) |
 //! | `baseline_gate` | RUM regression gate against `results/baseline_rum.json` |
 //! | `rum_trace` | time-resolved tracing: windowed RO/UO/MO trajectories, latency histograms, event JSONL + folded stacks |
+//! | `range_sweep` | REMIX-style sorted-view range acceleration: RO bought with MO/UO, view on/off × bloom/quotient × 3 mixes |
 //!
 //! This library holds the measurement machinery those binaries (and the
 //! criterion benches) share, so experiments are reproducible from tests
@@ -35,6 +36,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod props;
+pub mod range_sweep;
 pub mod scale;
 pub mod table1;
 pub mod trace;

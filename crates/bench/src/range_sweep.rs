@@ -1,0 +1,379 @@
+//! Range-read acceleration sweep: the REMIX-style sorted view's RO-vs-MO
+//! trade, measured.
+//!
+//! Grid: three range-carrying canonical mixes × point-probe filter
+//! (Bloom / quotient) × sorted view (off / on), all over the same
+//! write-optimized tiered LSM (`T = 8`, 64-record memtable) — the
+//! many-run shape where per-run range probes hurt and REMIX pays off.
+//! Short scans (`range_len = 16`) keep each query's *useful* pages small,
+//! so the per-run probe waste the view removes dominates the cell.
+//!
+//! What the table shows, in RUM terms:
+//!
+//! * **RO** drops with the view on: a range query binary-searches one
+//!   global anchor array and touches only pages holding live newest
+//!   versions, instead of paying a fence search plus at least one page on
+//!   every overlapping run.
+//! * **MO** rises: the view's `(key, run, page)` anchors are resident
+//!   auxiliary bytes (the `view KiB` column), and **UO** absorbs each
+//!   lazy rebuild after a flush/compaction invalidates the anchors.
+//! * Correctness is not traded: every cell pair runs a differential
+//!   replay — view-on results must be bit-identical to view-off, op by
+//!   op, `Get` and `Range` alike.
+
+use rum_core::runner::{run_workload, RumReport};
+use rum_core::workload::{KeySpace, Op, OpMix, Workload, WorkloadSpec};
+use rum_core::{AccessMethod, Key};
+use rum_lsm::{CompactionPolicy, FilterKind, LsmConfig, LsmTree};
+use std::collections::{HashMap, HashSet};
+
+/// Sweep configuration.
+#[derive(Clone, Debug)]
+pub struct RangeSweepConfig {
+    /// Records bulk-loaded before the op stream (the scale axis).
+    pub n: usize,
+    /// Operations in the stream.
+    pub operations: usize,
+    /// Target result size of each range query.
+    pub range_len: usize,
+    /// Required RO advantage of view-on over view-off on the scan-heavy
+    /// mix: `ro_off >= ro_on * ro_ratio_floor`. The full sweep demands
+    /// the headline 2×; the smoke run only demands strictly lower.
+    pub ro_ratio_floor: f64,
+}
+
+impl Default for RangeSweepConfig {
+    fn default() -> Self {
+        RangeSweepConfig {
+            n: 100_000,
+            operations: 30_000,
+            range_len: 16,
+            ro_ratio_floor: 2.0,
+        }
+    }
+}
+
+impl RangeSweepConfig {
+    /// The reduced grid the CI smoke job runs: small enough to finish in
+    /// seconds, still asserting result equality and a strict RO win on
+    /// the scan-heavy mix.
+    pub fn smoke() -> Self {
+        RangeSweepConfig {
+            n: 20_000,
+            operations: 8_000,
+            ro_ratio_floor: 1.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// The three canonical mixes that exercise range reads.
+pub fn range_mixes() -> [(&'static str, OpMix); 3] {
+    [
+        ("balanced", OpMix::BALANCED),
+        ("range-heavy", OpMix::RANGE_HEAVY),
+        ("scan-heavy", OpMix::SCAN_HEAVY),
+    ]
+}
+
+/// The two filter kinds under test.
+pub fn filters() -> [(&'static str, FilterKind); 2] {
+    [
+        ("bloom", FilterKind::Bloom),
+        ("quotient", FilterKind::Quotient { rbits: 10 }),
+    ]
+}
+
+fn tree(filter: FilterKind, sorted_view: bool) -> LsmTree {
+    // Small memtable + tiering: the op stream's write trickle becomes a
+    // steady supply of fresh whole-domain runs, the many-run shape where
+    // per-run range probes hurt and the sorted view pays off.
+    LsmTree::with_config(LsmConfig {
+        memtable_records: 64,
+        size_ratio: 8,
+        policy: CompactionPolicy::Tiering,
+        filter,
+        sorted_view,
+        ..Default::default()
+    })
+}
+
+/// Gap between bulk-loaded keys: inserts land on the in-between slots.
+const KEY_SPACING: u64 = 4;
+
+fn spec_for(config: &RangeSweepConfig, mix: OpMix, seed_salt: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        initial_records: config.n,
+        operations: config.operations,
+        mix,
+        range_len: config.range_len,
+        key_space: KeySpace::Dense {
+            spacing: KEY_SPACING,
+        },
+        seed: 0x0005_EED0 ^ seed_salt,
+        ..Default::default()
+    }
+}
+
+/// Scatter the stream's fresh-insert keys across the bulk-loaded domain.
+///
+/// The generator appends fresh keys *above* the initial population, so
+/// every flushed run would occupy a disjoint key segment — a shape run
+/// envelopes already prune perfectly, leaving the sorted view nothing to
+/// accelerate. Real ingest interleaves new keys with resident ones; this
+/// remaps each fresh key into a random unused gap slot of the spaced bulk
+/// domain (rewriting every later reference to it consistently), producing
+/// the overlapping-run shape REMIX-style views actually target.
+fn scatter_inserts(workload: &mut Workload, n: usize, seed: u64) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut taken: HashSet<Key> = HashSet::new();
+    let mut map: HashMap<Key, Key> = HashMap::new();
+    let remap = |map: &HashMap<Key, Key>, k: Key| *map.get(&k).unwrap_or(&k);
+    for op in &mut workload.ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let s = loop {
+                    let slot = next() % n.max(1) as u64;
+                    let cand = slot * KEY_SPACING + 1 + next() % (KEY_SPACING - 1);
+                    if taken.insert(cand) {
+                        break cand;
+                    }
+                };
+                map.insert(k, s);
+                *op = Op::Insert(s, v);
+            }
+            Op::Get(k) => *op = Op::Get(remap(&map, k)),
+            Op::Update(k, v) => *op = Op::Update(remap(&map, k), v),
+            Op::Delete(k) => *op = Op::Delete(remap(&map, k)),
+            Op::Range(lo, hi) => {
+                let l = remap(&map, lo);
+                *op = Op::Range(l, l.saturating_add(hi - lo));
+            }
+        }
+    }
+}
+
+/// One measured cell.
+#[derive(Clone, Debug)]
+pub struct RangeRow {
+    pub mix: &'static str,
+    pub filter: &'static str,
+    pub view: bool,
+    pub report: RumReport,
+    /// Resident anchor bytes after the run (rebuilt if a trailing flush
+    /// had invalidated them, so the MO column is never understated).
+    pub view_bytes: u64,
+    /// Whether the differential replay against the view-off twin found
+    /// every op result bit-identical (view-on cells only).
+    pub identical: Option<bool>,
+}
+
+/// Replay the workload op-by-op on a view-off and a view-on tree,
+/// comparing every observable result bit-for-bit.
+fn differential(workload: &Workload, filter: FilterKind) -> bool {
+    let mut off = tree(filter, false);
+    let mut on = tree(filter, true);
+    off.bulk_load(&workload.initial).expect("bulk load");
+    on.bulk_load(&workload.initial).expect("bulk load");
+    for op in &workload.ops {
+        let same = match *op {
+            Op::Get(k) => off.get(k).unwrap() == on.get(k).unwrap(),
+            Op::Insert(k, v) => {
+                off.insert(k, v).unwrap();
+                on.insert(k, v).unwrap();
+                true
+            }
+            Op::Update(k, v) => off.update(k, v).unwrap() == on.update(k, v).unwrap(),
+            Op::Delete(k) => off.delete(k).unwrap() == on.delete(k).unwrap(),
+            Op::Range(lo, hi) => off.range(lo, hi).unwrap() == on.range(lo, hi).unwrap(),
+        };
+        if !same || off.len() != on.len() {
+            return false;
+        }
+    }
+    off.range(0, Key::MAX).unwrap() == on.range(0, Key::MAX).unwrap()
+}
+
+/// Run the grid. Rows come back mix-major, then filter, then view off/on.
+pub fn run(config: &RangeSweepConfig) -> Vec<RangeRow> {
+    let mut rows = Vec::new();
+    for (mix_name, mix) in range_mixes() {
+        let spec = spec_for(config, mix, mix_name.len() as u64);
+        let mut workload = Workload::generate(&spec);
+        scatter_inserts(&mut workload, config.n, spec.seed);
+        let workload = workload;
+        for (filter_name, filter) in filters() {
+            eprintln!("[range] {mix_name} / {filter_name} ...");
+            let identical = differential(&workload, filter);
+            for view in [false, true] {
+                let mut t = tree(filter, view);
+                let report = run_workload(&mut t, &workload).expect("workload run");
+                // The MO column must not be understated by a trailing
+                // flush having dropped the anchors: rebuild (post-
+                // measurement) so `view_bytes` reports the resident cost
+                // a steady-state reader pays.
+                if view {
+                    t.range(0, 0).expect("view rebuild");
+                }
+                rows.push(RangeRow {
+                    mix: mix_name,
+                    filter: filter_name,
+                    view,
+                    report,
+                    view_bytes: t.view_bytes(),
+                    identical: view.then_some(identical),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// CSV of the grid: cell coordinates + the standard report columns.
+pub fn to_csv(rows: &[RangeRow]) -> String {
+    let mut out = String::from(
+        "mix,filter,view,method,n_final,ro,uo,mo,pages_per_read_op,pages_per_write_op,sim_ns,\
+         p50_ns,p99_ns,ops_per_sec,view_kib,identical\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.1},{}\n",
+            r.mix,
+            r.filter,
+            if r.view { "on" } else { "off" },
+            r.report.csv_row(),
+            r.view_bytes as f64 / 1024.0,
+            r.identical.map_or("", |ok| if ok { "yes" } else { "NO" }),
+        ));
+    }
+    out
+}
+
+/// Fixed-width table of the grid.
+pub fn render(rows: &[RangeRow]) -> String {
+    let mut out = String::from(
+        "=== Range-read acceleration: cross-run sorted view, RO bought with MO/UO ===\n",
+    );
+    out.push_str(&format!(
+        "{:>12} {:>9} {:>4}  {}  {:>9} {:>6}\n",
+        "mix",
+        "filter",
+        "view",
+        RumReport::table_header(),
+        "view KiB",
+        "equal"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>12} {:>9} {:>4}  {}  {:>9.1} {:>6}\n",
+            r.mix,
+            r.filter,
+            if r.view { "on" } else { "off" },
+            r.report.table_row(),
+            r.view_bytes as f64 / 1024.0,
+            r.identical.map_or("", |ok| if ok { "yes" } else { "NO" }),
+        ));
+    }
+    out
+}
+
+/// The sweep's claims, checked. Any `false` fails the smoke job.
+pub fn checks(config: &RangeSweepConfig, rows: &[RangeRow]) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    for r in rows {
+        out.push((
+            format!(
+                "{}/{}/view={}: RO/UO/MO all finite",
+                r.mix, r.filter, r.view
+            ),
+            r.report.ro.is_finite() && r.report.uo.is_finite() && r.report.mo.is_finite(),
+        ));
+        if let Some(ok) = r.identical {
+            out.push((
+                format!(
+                    "{}/{}: view-on results bit-identical to view-off",
+                    r.mix, r.filter
+                ),
+                ok,
+            ));
+        }
+        if r.view {
+            out.push((
+                format!("{}/{}: view reports resident bytes", r.mix, r.filter),
+                r.view_bytes > 0,
+            ));
+        }
+    }
+    // The headline: the view's RO advantage on the scan-heavy mix, for
+    // both filters (the filter guards point probes, not ranges, so the
+    // advantage must not depend on it).
+    for (filter_name, _) in filters() {
+        let ro_of = |view: bool| {
+            rows.iter()
+                .find(|r| r.mix == "scan-heavy" && r.filter == filter_name && r.view == view)
+                .map(|r| r.report.ro)
+        };
+        if let (Some(off), Some(on)) = (ro_of(false), ro_of(true)) {
+            let desc = if config.ro_ratio_floor > 1.0 {
+                format!(
+                    "scan-heavy/{filter_name}: view-on RO at least {}x lower ({on:.2} vs {off:.2})",
+                    config.ro_ratio_floor
+                )
+            } else {
+                format!("scan-heavy/{filter_name}: view-on RO strictly lower ({on:.2} vs {off:.2})")
+            };
+            let ok = if config.ro_ratio_floor > 1.0 {
+                on * config.ro_ratio_floor <= off
+            } else {
+                on < off
+            };
+            out.push((desc, ok));
+        }
+    }
+    // The trade is visible: every view-on cell pays MO (view bytes) and
+    // UO (rebuild traffic) at or above its view-off twin's.
+    for (mix_name, _) in range_mixes() {
+        for (filter_name, _) in filters() {
+            let pair: Vec<&RangeRow> = rows
+                .iter()
+                .filter(|r| r.mix == mix_name && r.filter == filter_name)
+                .collect();
+            if let [off, on] = pair.as_slice() {
+                out.push((
+                    format!("{mix_name}/{filter_name}: view-on UO not below view-off (rebuilds are priced)"),
+                    on.report.uo >= off.report.uo,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_holds_the_contract() {
+        let config = RangeSweepConfig {
+            n: 4_000,
+            operations: 3_000,
+            range_len: 16,
+            ro_ratio_floor: 1.0,
+        };
+        let rows = run(&config);
+        assert_eq!(rows.len(), 12); // 3 mixes x 2 filters x 2 view states
+        for (desc, ok) in checks(&config, &rows) {
+            assert!(ok, "failed check: {desc}");
+        }
+        let csv = to_csv(&rows);
+        assert_eq!(csv.lines().count(), 13);
+        assert!(!csv.contains("NO"));
+    }
+}

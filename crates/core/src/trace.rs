@@ -75,6 +75,12 @@ pub enum EventKind {
     BufferEviction,
     /// A sharded facade dispatching one batch across its workers.
     ShardDispatch,
+    /// LSM cross-run sorted view (re)built from the current runs.
+    LsmViewBuild,
+    /// LSM sorted view dropped because the run set changed.
+    LsmViewInvalidate,
+    /// A range query served through a valid LSM sorted view.
+    LsmViewHit,
     /// A [`TraceCollector`] trajectory window closing.
     Window,
 }
@@ -90,6 +96,9 @@ impl EventKind {
             EventKind::WalRecovery => "wal_recovery",
             EventKind::BufferEviction => "buffer_eviction",
             EventKind::ShardDispatch => "shard_dispatch",
+            EventKind::LsmViewBuild => "lsm_view_build",
+            EventKind::LsmViewInvalidate => "lsm_view_invalidate",
+            EventKind::LsmViewHit => "lsm_view_hit",
             EventKind::Window => "window",
         }
     }
@@ -97,7 +106,11 @@ impl EventKind {
     /// The component a folded-stack view groups this kind under.
     pub fn component(self) -> &'static str {
         match self {
-            EventKind::LsmFlush | EventKind::LsmCompaction => "lsm",
+            EventKind::LsmFlush
+            | EventKind::LsmCompaction
+            | EventKind::LsmViewBuild
+            | EventKind::LsmViewInvalidate
+            | EventKind::LsmViewHit => "lsm",
             EventKind::WalSync | EventKind::WalCheckpoint | EventKind::WalRecovery => "wal",
             EventKind::BufferEviction => "buffer",
             EventKind::ShardDispatch => "shard",

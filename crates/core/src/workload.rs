@@ -91,6 +91,17 @@ impl OpMix {
         delete: 0.0,
         range: 0.90,
     };
+    /// Range-dominated with a real write stream: the mix that exercises an
+    /// access method's range path while flushes/reorganizations keep
+    /// happening underneath it (unlike [`SCAN_HEAVY`](Self::SCAN_HEAVY),
+    /// whose trickle of inserts barely perturbs the structure).
+    pub const RANGE_HEAVY: OpMix = OpMix {
+        get: 0.10,
+        insert: 0.10,
+        update: 0.05,
+        delete: 0.05,
+        range: 0.70,
+    };
     /// Point reads only.
     pub const READ_ONLY: OpMix = OpMix {
         get: 1.0,
@@ -839,6 +850,7 @@ mod tests {
             OpMix::READ_HEAVY,
             OpMix::WRITE_HEAVY,
             OpMix::SCAN_HEAVY,
+            OpMix::RANGE_HEAVY,
             drain,
         ] {
             for initial in [0usize, 1, 1000] {
@@ -939,6 +951,7 @@ mod tests {
             ("write-heavy", OpMix::WRITE_HEAVY),
             ("balanced", OpMix::BALANCED),
             ("scan-heavy", OpMix::SCAN_HEAVY),
+            ("range-heavy", OpMix::RANGE_HEAVY),
             ("read-only", OpMix::READ_ONLY),
             ("insert-only", OpMix::INSERT_ONLY),
         ];

@@ -29,7 +29,7 @@ fn synth_store(seed: u64, families: u8) -> ProfileStore {
             continue;
         }
         for scale in [1_000usize, 10_000] {
-            for mix in [OpMix::READ_HEAVY, OpMix::WRITE_HEAVY] {
+            for mix in [OpMix::READ_HEAVY, OpMix::WRITE_HEAVY, OpMix::RANGE_HEAVY] {
                 store.add_point(
                     family.suite_method(),
                     ProfilePoint {
@@ -143,6 +143,38 @@ proptest! {
             prop_assert_eq!(m.family, a.family);
             prop_assert_eq!(m.feasible, a.feasible);
             prop_assert_eq!(m.expected_cost, a.expected_cost);
+        }
+    }
+
+    /// The range-heavy canonical mix is first-class: a fully-measured
+    /// store answers it calibrated, rankings are deterministic, and the
+    /// `needs_ranges` constraint composes with the measured profiles
+    /// (every recommended-feasible family must support ranges).
+    #[test]
+    fn range_heavy_mix_is_served_measured(
+        seed in any::<u64>(),
+        needs_ranges in any::<bool>(),
+    ) {
+        let store = synth_store(seed, 0x7F);
+        let cons = Constraints { needs_ranges, ..Constraints::default() };
+        let env = Environment::default();
+        let ranking = store.recommend_measured(&OpMix::RANGE_HEAVY, &env, &cons);
+        prop_assert!(ranking.calibrated);
+        prop_assert_eq!(ranking.recs.len(), Family::ALL.len());
+        for rec in &ranking.recs {
+            prop_assert!(rec.calibrated, "{:?} lacks measurements", rec.family);
+            prop_assert!(rec.measured.is_some());
+        }
+        let again = store.recommend_measured(&OpMix::RANGE_HEAVY, &env, &cons);
+        prop_assert_eq!(format!("{ranking:?}"), format!("{again:?}"));
+        if needs_ranges {
+            for rec in ranking.recs.iter().filter(|r| r.feasible) {
+                prop_assert!(
+                    rum_core::wizard::profile(rec.family, &env).supports_ranges,
+                    "{:?} feasible despite needs_ranges",
+                    rec.family
+                );
+            }
         }
     }
 

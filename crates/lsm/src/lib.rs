@@ -17,16 +17,23 @@
 //! number of merge trees dynamically, the depth of the merge hierarchy and
 //! the frequency of merging, we can build access methods that dynamically
 //! adapt to workload and hardware changes" — see [`tuning`].
+//!
+//! Range reads can additionally be accelerated by a REMIX-style cross-run
+//! sorted [`view`]: one binary search plus a forward walk replaces the
+//! probe-every-run merge, trading MO (the view's anchors) and UO (lazy
+//! rebuilds after the run set changes) for RO.
 
 pub mod memtable;
 pub mod run;
 pub mod tree;
 pub mod tuning;
+pub mod view;
 
 pub use memtable::Memtable;
-pub use run::SortedRun;
+pub use run::{FilterKind, SortedRun};
 pub use tree::{CompactionPolicy, LsmConfig, LsmStats, LsmTree};
 pub use tuning::{advise, retune, TuningGoal};
+pub use view::SortedView;
 
 /// A crash-consistent LSM tree: every mutation is write-ahead logged
 /// through [`rum_storage::Durable`], so the reported UO includes the

@@ -1,31 +1,105 @@
 //! Immutable sorted runs: packed pages + fence pointers + an optional
-//! Bloom filter.
+//! point-probe filter (Bloom or quotient).
 //!
 //! Fence pointers (first key per page, kept in memory) route a point probe
-//! to exactly one page; the Bloom filter short-circuits probes for absent
-//! keys — the paper's "more efficient reads ... by avoiding accessing
-//! unnecessary data at the expense of additional space".
+//! to exactly one page; the filter short-circuits probes for absent keys —
+//! the paper's "more efficient reads ... by avoiding accessing unnecessary
+//! data at the expense of additional space".
 
 use rum_core::{DataClass, Key, Record, Result, Value, RECORDS_PER_PAGE, RECORD_SIZE};
-use rum_sketch::BloomFilter;
+use rum_sketch::{BloomFilter, QuotientFilter};
 use rum_storage::{BlockDevice, PageBuf, PageId, Pager};
+
+/// Which probabilistic filter guards point probes into a run. The per-key
+/// space budget for [`Bloom`](FilterKind::Bloom) comes from
+/// `LsmConfig::bloom_bits_per_key`; setting that knob to zero disables the
+/// filter for either kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterKind {
+    /// A Bloom filter (the classic choice: smallest for a given FPR, but
+    /// supports neither deletes nor resizing).
+    Bloom,
+    /// A quotient filter with `rbits`-bit remainders — the §5 roadmap's
+    /// updatable probabilistic structure. FPR ≈ `load × 2^-rbits`.
+    Quotient { rbits: u32 },
+}
+
+/// A built per-run filter. Both kinds are charged identically: the build
+/// is an aux write of [`size_bytes`](Self::size_bytes), every membership
+/// probe an aux read of [`probe_bytes`](Self::probe_bytes).
+enum RunFilter {
+    Bloom(BloomFilter),
+    Quotient(QuotientFilter),
+}
+
+impl RunFilter {
+    fn build(kind: FilterKind, bits_per_key: f64, records: &[Record]) -> Option<RunFilter> {
+        if bits_per_key <= 0.0 || records.is_empty() {
+            return None;
+        }
+        Some(match kind {
+            FilterKind::Bloom => {
+                let mut b = BloomFilter::new(records.len(), bits_per_key);
+                for r in records {
+                    b.insert(r.key);
+                }
+                RunFilter::Bloom(b)
+            }
+            FilterKind::Quotient { rbits } => {
+                let mut q = QuotientFilter::with_capacity(records.len(), rbits);
+                for r in records {
+                    q.insert(r.key);
+                }
+                RunFilter::Quotient(q)
+            }
+        })
+    }
+
+    fn may_contain(&self, key: Key) -> bool {
+        match self {
+            RunFilter::Bloom(b) => b.may_contain(key),
+            RunFilter::Quotient(q) => q.may_contain(key),
+        }
+    }
+
+    /// Auxiliary bytes the filter occupies.
+    fn size_bytes(&self) -> u64 {
+        match self {
+            RunFilter::Bloom(b) => b.size_bytes(),
+            RunFilter::Quotient(q) => q.size_bytes(),
+        }
+    }
+
+    /// Bytes one membership probe touches: `k` bit probes for a Bloom
+    /// filter, one `(rbits + 3)`-bit slot cluster for a quotient filter —
+    /// both rounded up to whole bytes.
+    fn probe_bytes(&self) -> u64 {
+        match self {
+            RunFilter::Bloom(b) => (b.hashes() as u64).div_ceil(8).max(1),
+            RunFilter::Quotient(q) => (q.rbits() as u64 + 3).div_ceil(8).max(1),
+        }
+    }
+}
 
 /// One immutable sorted run.
 pub struct SortedRun {
     pages: Vec<PageId>,
     /// First key of each page.
     fences: Vec<Key>,
-    bloom: Option<BloomFilter>,
+    filter: Option<RunFilter>,
+    /// Largest key in the run (meaningful only when `len > 0`).
+    last_key: Key,
     len: usize,
 }
 
 impl SortedRun {
     /// Write `records` (sorted, unique keys, tombstones included) as a new
-    /// run. `bloom_bits_per_key = 0` disables the filter.
+    /// run. `bits_per_key = 0` disables the filter regardless of `filter`.
     pub fn build<D: BlockDevice>(
         pager: &mut Pager<D>,
         records: &[Record],
-        bloom_bits_per_key: f64,
+        filter: FilterKind,
+        bits_per_key: f64,
     ) -> Result<SortedRun> {
         debug_assert!(records.windows(2).all(|w| w[0].key < w[1].key));
         let mut pages = Vec::with_capacity(records.len().div_ceil(RECORDS_PER_PAGE));
@@ -40,21 +114,16 @@ impl SortedRun {
             fences.push(chunk[0].key);
             pages.push(id);
         }
-        let bloom = if bloom_bits_per_key > 0.0 && !records.is_empty() {
-            let mut b = BloomFilter::new(records.len(), bloom_bits_per_key);
-            for r in records {
-                b.insert(r.key);
-            }
+        let filter = RunFilter::build(filter, bits_per_key, records);
+        if let Some(f) = &filter {
             // Building the filter is an auxiliary write.
-            pager.tracker().write(DataClass::Aux, b.size_bytes());
-            Some(b)
-        } else {
-            None
-        };
+            pager.tracker().write(DataClass::Aux, f.size_bytes());
+        }
         Ok(SortedRun {
             pages,
             fences,
-            bloom,
+            filter,
+            last_key: records.last().map_or(0, |r| r.key),
             len: records.len(),
         })
     }
@@ -72,13 +141,30 @@ impl SortedRun {
         self.pages.len()
     }
 
-    /// Auxiliary bytes: fences + Bloom filter.
+    /// Auxiliary bytes: fences + point-probe filter.
     pub fn aux_bytes(&self) -> u64 {
-        (self.fences.len() * 8) as u64 + self.bloom.as_ref().map_or(0, |b| b.size_bytes())
+        (self.fences.len() * 8) as u64 + self.filter.as_ref().map_or(0, |f| f.size_bytes())
     }
 
     pub fn has_bloom(&self) -> bool {
-        self.bloom.is_some()
+        self.filter.is_some()
+    }
+
+    /// Smallest key in the run, `None` when empty.
+    pub fn min_key(&self) -> Option<Key> {
+        self.fences.first().copied()
+    }
+
+    /// Largest key in the run, `None` when empty.
+    pub fn max_key(&self) -> Option<Key> {
+        (self.len > 0).then_some(self.last_key)
+    }
+
+    /// Whether the run's `[min, max]` key envelope intersects `[lo, hi]`.
+    /// A pure in-memory comparison against two cached keys — deliberately
+    /// charge-free, so callers can prune disjoint runs for nothing.
+    pub fn overlaps(&self, lo: Key, hi: Key) -> bool {
+        self.len > 0 && self.fences[0] <= hi && self.last_key >= lo
     }
 
     fn records_in_page(&self, page_idx: usize) -> usize {
@@ -94,7 +180,10 @@ impl SortedRun {
         }
     }
 
-    fn read_page<D: BlockDevice>(
+    /// Read one page's records by in-run page index (charged like any base
+    /// read). Public so the cross-run sorted view can fetch exactly the
+    /// pages its anchors name.
+    pub fn read_page<D: BlockDevice>(
         &self,
         pager: &mut Pager<D>,
         page_idx: usize,
@@ -105,18 +194,15 @@ impl SortedRun {
             .collect())
     }
 
-    /// Point probe. Charges: one Bloom probe (if present), a fence binary
+    /// Point probe. Charges: one filter probe (if present), a fence binary
     /// search, and at most one page read.
     pub fn get<D: BlockDevice>(&self, pager: &mut Pager<D>, key: Key) -> Result<Option<Value>> {
         if self.len == 0 {
             return Ok(None);
         }
-        if let Some(b) = &self.bloom {
-            // k bit probes, rounded up to bytes.
-            pager
-                .tracker()
-                .read(DataClass::Aux, (b.hashes() as u64).div_ceil(8).max(1));
-            if !b.may_contain(key) {
+        if let Some(f) = &self.filter {
+            pager.tracker().read(DataClass::Aux, f.probe_bytes());
+            if !f.may_contain(key) {
                 return Ok(None);
             }
         }
@@ -207,7 +293,7 @@ mod tests {
     #[test]
     fn build_and_probe() {
         let mut p = pager();
-        let run = SortedRun::build(&mut p, &recs(1000), 10.0).unwrap();
+        let run = SortedRun::build(&mut p, &recs(1000), FilterKind::Bloom, 10.0).unwrap();
         assert_eq!(run.len(), 1000);
         assert_eq!(run.get(&mut p, 500).unwrap(), Some(250));
         assert_eq!(run.get(&mut p, 501).unwrap(), None);
@@ -218,7 +304,13 @@ mod tests {
     #[test]
     fn probe_reads_at_most_one_page() {
         let mut p = pager();
-        let run = SortedRun::build(&mut p, &recs(64 * RECORDS_PER_PAGE as u64), 10.0).unwrap();
+        let run = SortedRun::build(
+            &mut p,
+            &recs(64 * RECORDS_PER_PAGE as u64),
+            FilterKind::Bloom,
+            10.0,
+        )
+        .unwrap();
         let before = p.tracker().snapshot();
         run.get(&mut p, 12346).unwrap();
         let d = p.tracker().since(&before);
@@ -228,7 +320,7 @@ mod tests {
     #[test]
     fn bloom_short_circuits_misses() {
         let mut p = pager();
-        let run = SortedRun::build(&mut p, &recs(10_000), 10.0).unwrap();
+        let run = SortedRun::build(&mut p, &recs(10_000), FilterKind::Bloom, 10.0).unwrap();
         let before = p.tracker().snapshot();
         let mut pages = 0;
         for k in 0..1000u64 {
@@ -244,7 +336,7 @@ mod tests {
     #[test]
     fn no_bloom_means_every_miss_reads_a_page() {
         let mut p = pager();
-        let run = SortedRun::build(&mut p, &recs(10_000), 0.0).unwrap();
+        let run = SortedRun::build(&mut p, &recs(10_000), FilterKind::Bloom, 0.0).unwrap();
         assert!(!run.has_bloom());
         let before = p.tracker().snapshot();
         for k in 0..100u64 {
@@ -258,7 +350,7 @@ mod tests {
     #[test]
     fn range_is_inclusive_and_sequential() {
         let mut p = pager();
-        let run = SortedRun::build(&mut p, &recs(5000), 10.0).unwrap();
+        let run = SortedRun::build(&mut p, &recs(5000), FilterKind::Bloom, 10.0).unwrap();
         let rs = run.range(&mut p, 100, 200).unwrap();
         let keys: Vec<u64> = rs.iter().map(|r| r.key).collect();
         assert_eq!(keys, (100..=200).step_by(2).collect::<Vec<_>>());
@@ -267,7 +359,13 @@ mod tests {
     #[test]
     fn range_cost_scales_with_result() {
         let mut p = pager();
-        let run = SortedRun::build(&mut p, &recs(64 * RECORDS_PER_PAGE as u64), 10.0).unwrap();
+        let run = SortedRun::build(
+            &mut p,
+            &recs(64 * RECORDS_PER_PAGE as u64),
+            FilterKind::Bloom,
+            10.0,
+        )
+        .unwrap();
         let cost = |run: &SortedRun, p: &mut Pager<MemDevice>, span: u64| {
             let before = p.tracker().snapshot();
             run.range(p, 1000, 1000 + span).unwrap();
@@ -282,14 +380,14 @@ mod tests {
     fn scan_all_roundtrips() {
         let mut p = pager();
         let data = recs(3000);
-        let run = SortedRun::build(&mut p, &data, 5.0).unwrap();
+        let run = SortedRun::build(&mut p, &data, FilterKind::Bloom, 5.0).unwrap();
         assert_eq!(run.scan_all(&mut p).unwrap(), data);
     }
 
     #[test]
     fn destroy_frees_pages() {
         let mut p = pager();
-        let run = SortedRun::build(&mut p, &recs(1000), 5.0).unwrap();
+        let run = SortedRun::build(&mut p, &recs(1000), FilterKind::Bloom, 5.0).unwrap();
         assert!(p.live_pages() > 0);
         run.destroy(&mut p).unwrap();
         assert_eq!(p.live_pages(), 0);
@@ -298,7 +396,7 @@ mod tests {
     #[test]
     fn empty_run() {
         let mut p = pager();
-        let run = SortedRun::build(&mut p, &[], 10.0).unwrap();
+        let run = SortedRun::build(&mut p, &[], FilterKind::Bloom, 10.0).unwrap();
         assert!(run.is_empty());
         assert_eq!(run.get(&mut p, 5).unwrap(), None);
         assert!(run.range(&mut p, 0, 100).unwrap().is_empty());

@@ -5,12 +5,14 @@ use std::sync::Arc;
 
 use rum_core::trace::{EventKind, TraceSink};
 use rum_core::{
-    check_bulk_input, AccessMethod, CostTracker, Key, Record, Result, RumError, SpaceProfile, Value,
+    check_bulk_input, AccessMethod, CostSnapshot, CostTracker, Key, Record, Result, RumError,
+    SpaceProfile, Value,
 };
 use rum_storage::{MemDevice, Pager};
 
 use crate::memtable::Memtable;
-use crate::run::SortedRun;
+use crate::run::{FilterKind, SortedRun};
+use crate::view::SortedView;
 use crate::TOMBSTONE;
 
 /// How levels absorb runs.
@@ -33,8 +35,15 @@ pub struct LsmConfig {
     /// Size ratio between adjacent levels (`T`).
     pub size_ratio: usize,
     pub policy: CompactionPolicy,
-    /// Bits per key for per-run Bloom filters; 0 disables them.
+    /// Bits per key for per-run point-probe filters; 0 disables them.
     pub bloom_bits_per_key: f64,
+    /// Which filter family guards point probes (Bloom or quotient); the
+    /// per-key budget above applies to either.
+    pub filter: FilterKind,
+    /// Maintain a REMIX-style cross-run [`SortedView`] so range queries
+    /// pay one binary search instead of a probe per run. Buys RO with MO
+    /// (the view's anchors) and UO (each lazy rebuild).
+    pub sorted_view: bool,
 }
 
 impl Default for LsmConfig {
@@ -44,6 +53,8 @@ impl Default for LsmConfig {
             size_ratio: 4,
             policy: CompactionPolicy::Levelling,
             bloom_bits_per_key: 10.0,
+            filter: FilterKind::Bloom,
+            sorted_view: false,
         }
     }
 }
@@ -78,6 +89,9 @@ pub struct LsmTree {
     /// Structured-event channel for flush/compaction records; the disabled
     /// [`NoopSink`](rum_core::trace::NoopSink) by default.
     sink: Arc<dyn TraceSink>,
+    /// Cross-run sorted view, present only when `config.sorted_view` and
+    /// the run set has not changed since the last build (`None` = stale).
+    view: Option<SortedView>,
 }
 
 impl LsmTree {
@@ -98,6 +112,7 @@ impl LsmTree {
             live: HashSet::new(),
             compactions: 0,
             sink: rum_core::trace::noop_sink(),
+            view: None,
         }
     }
 
@@ -167,12 +182,74 @@ impl LsmTree {
             .collect()
     }
 
+    /// Resident bytes of the sorted view (0 when disabled or stale).
+    pub fn view_bytes(&self) -> u64 {
+        self.view.as_ref().map_or(0, |v| v.size_bytes())
+    }
+
+    /// Drop the sorted view because the run set is about to change. The
+    /// next view-enabled range query rebuilds it lazily.
+    fn invalidate_view(&mut self) {
+        if let Some(v) = self.view.take() {
+            if self.sink.enabled() {
+                self.sink.emit(
+                    EventKind::LsmViewInvalidate,
+                    &[("entries", v.len() as u64), ("bytes", v.size_bytes())],
+                );
+            }
+        }
+    }
+
+    /// Build the sorted view if it is stale. The scan's read traffic is
+    /// re-classed as auxiliary **write** bytes (UO): materialising the
+    /// view is maintenance spent to cheapen future reads, the same way a
+    /// compaction's traffic is, so leaving it on the read side would let
+    /// the view hide its own cost inside the RO it is supposed to lower.
+    fn ensure_view(&mut self) -> Result<()> {
+        if self.view.is_some() {
+            return Ok(());
+        }
+        let scratch = CostTracker::new();
+        self.pager.set_tracker(Arc::clone(&scratch));
+        let (levels, pager) = (&self.levels, &mut self.pager);
+        let runs: Vec<&SortedRun> = levels.iter().rev().flat_map(|l| l.iter()).collect();
+        let built = SortedView::build(pager, &runs);
+        self.pager.set_tracker(Arc::clone(&self.tracker));
+        let view = built?;
+        let d = scratch.snapshot();
+        self.tracker.absorb(&CostSnapshot {
+            aux_write_bytes: d.total_read_bytes() + view.size_bytes(),
+            page_writes: d.page_reads,
+            sim_time_ns: d.sim_time_ns,
+            ..Default::default()
+        });
+        if self.sink.enabled() {
+            self.sink.emit(
+                EventKind::LsmViewBuild,
+                &[
+                    ("entries", view.len() as u64),
+                    ("bytes", view.size_bytes()),
+                    ("read_bytes", d.total_read_bytes()),
+                ],
+            );
+        }
+        self.view = Some(view);
+        Ok(())
+    }
+
     fn place_run(&mut self, level: usize, records: Vec<Record>) -> Result<()> {
+        // Any change to the run set strands the view's anchors.
+        self.invalidate_view();
         self.ensure_level(level);
         if records.is_empty() {
             return Ok(());
         }
-        let run = SortedRun::build(&mut self.pager, &records, self.config.bloom_bits_per_key)?;
+        let run = SortedRun::build(
+            &mut self.pager,
+            &records,
+            self.config.filter,
+            self.config.bloom_bits_per_key,
+        )?;
         self.levels[level].push(run);
         Ok(())
     }
@@ -255,9 +332,14 @@ impl Default for LsmTree {
 
 impl AccessMethod for LsmTree {
     fn name(&self) -> String {
-        match self.config.policy {
-            CompactionPolicy::Levelling => "lsm-tree".into(),
-            CompactionPolicy::Tiering => "lsm-tree-tiered".into(),
+        let base = match self.config.policy {
+            CompactionPolicy::Levelling => "lsm-tree",
+            CompactionPolicy::Tiering => "lsm-tree-tiered",
+        };
+        if self.config.sorted_view {
+            format!("{base}+view")
+        } else {
+            base.into()
         }
     }
 
@@ -276,7 +358,8 @@ impl AccessMethod for LsmTree {
             .flat_map(|runs| runs.iter())
             .map(|r| r.aux_bytes())
             .sum();
-        let physical = self.pager.physical_bytes() + aux + self.memtable.size_bytes();
+        let physical =
+            self.pager.physical_bytes() + aux + self.memtable.size_bytes() + self.view_bytes();
         SpaceProfile::from_physical(self.live.len(), physical)
     }
 
@@ -302,11 +385,46 @@ impl AccessMethod for LsmTree {
                 "inverted range {lo}..{hi}"
             )));
         }
+        if self.config.sorted_view {
+            self.ensure_view()?;
+            // Snapshot after ensure_view so the hit event prices the
+            // query itself, not a rebuild it happened to trigger.
+            let before = self.sink.enabled().then(|| self.tracker.snapshot());
+            let LsmTree {
+                levels,
+                pager,
+                view,
+                ..
+            } = self;
+            let runs: Vec<&SortedRun> = levels.iter().rev().flat_map(|l| l.iter()).collect();
+            let on_disk = view
+                .as_ref()
+                .expect("ensure_view just built it")
+                .range(pager, &runs, lo, hi)?;
+            let mem = self.memtable.range(lo, hi, &self.tracker);
+            let out = Self::merge_streams(vec![on_disk, mem], true);
+            if let Some(before) = before {
+                let d = self.tracker.since(&before);
+                self.sink.emit(
+                    EventKind::LsmViewHit,
+                    &[
+                        ("records", out.len() as u64),
+                        ("read_bytes", d.total_read_bytes()),
+                    ],
+                );
+            }
+            return Ok(out);
+        }
         // Oldest sources first so newer versions overwrite.
         let mut inputs: Vec<Vec<Record>> = Vec::new();
         let (levels, pager) = (&self.levels, &mut self.pager);
         for level in levels.iter().rev() {
             for run in level.iter() {
+                // Envelope pruning: a run whose [min, max] is disjoint
+                // from the query cannot contribute — skip it for free.
+                if !run.overlaps(lo, hi) {
+                    continue;
+                }
                 inputs.push(run.range(pager, lo, hi)?);
             }
         }
@@ -363,6 +481,7 @@ impl AccessMethod for LsmTree {
             ));
         }
         // Tear down.
+        self.invalidate_view();
         self.memtable = Memtable::new();
         for runs in std::mem::take(&mut self.levels) {
             for run in runs {
@@ -450,6 +569,7 @@ mod tests {
             size_ratio: 3,
             policy,
             bloom_bits_per_key: 10.0,
+            ..Default::default()
         }
     }
 
@@ -554,6 +674,7 @@ mod tests {
             size_ratio: 4,
             policy: CompactionPolicy::Levelling,
             bloom_bits_per_key: 10.0,
+            ..Default::default()
         });
         for k in 0..50_000u64 {
             t.insert(k, k).unwrap();
@@ -573,6 +694,7 @@ mod tests {
             size_ratio: 4,
             policy: CompactionPolicy::Levelling,
             bloom_bits_per_key: 10.0,
+            ..Default::default()
         });
         for k in 0..50_000u64 {
             t.insert(k, k).unwrap();
@@ -596,6 +718,7 @@ mod tests {
                 size_ratio: 3,
                 policy: CompactionPolicy::Tiering,
                 bloom_bits_per_key: bits,
+                ..Default::default()
             });
             for k in 0..20_000u64 {
                 t.insert(k * 2, k).unwrap();
@@ -677,6 +800,7 @@ mod tests {
             size_ratio: 4,
             policy: CompactionPolicy::Levelling,
             bloom_bits_per_key: 10.0,
+            ..Default::default()
         });
         for k in 0..40_000u64 {
             t.insert(k, k).unwrap();
@@ -742,6 +866,7 @@ mod tests {
                 size_ratio: ratio,
                 policy: CompactionPolicy::Levelling,
                 bloom_bits_per_key: 10.0,
+                ..Default::default()
             });
             for k in 0..40_000u64 {
                 t.insert(k, k).unwrap();
@@ -759,5 +884,210 @@ mod tests {
         let shallow = depth(10);
         assert!(shallow < deep, "T=10 ({shallow}) vs T=2 ({deep})");
         let _ = RECORDS_PER_PAGE;
+    }
+
+    #[test]
+    fn pruned_run_charges_zero_reads() {
+        // Two disjoint key clusters end up in separate runs under tiering
+        // (no eager merging); a range inside one cluster must not charge
+        // a single read byte against the other run.
+        let mut t = LsmTree::with_config(LsmConfig {
+            memtable_records: 64,
+            size_ratio: 10,
+            policy: CompactionPolicy::Tiering,
+            bloom_bits_per_key: 0.0,
+            ..Default::default()
+        });
+        for k in 0..64u64 {
+            t.insert(k, k).unwrap();
+        }
+        AccessMethod::flush(&mut t).unwrap();
+        for k in 10_000..10_064u64 {
+            t.insert(k, k).unwrap();
+        }
+        AccessMethod::flush(&mut t).unwrap();
+        let runs: usize = t.stats().levels.iter().map(|&(r, _)| r).sum();
+        assert_eq!(runs, 2, "setup should leave two disjoint runs");
+        // Cost of a range confined to the low cluster...
+        let before = t.tracker().snapshot();
+        assert_eq!(t.range(0, 63).unwrap().len(), 64);
+        let with_other_run = t.tracker().since(&before);
+        // ...equals the cost of the same range on a tree holding only
+        // the low cluster: the disjoint run contributed zero reads.
+        let mut solo = LsmTree::with_config(LsmConfig {
+            memtable_records: 64,
+            size_ratio: 10,
+            policy: CompactionPolicy::Tiering,
+            bloom_bits_per_key: 0.0,
+            ..Default::default()
+        });
+        for k in 0..64u64 {
+            solo.insert(k, k).unwrap();
+        }
+        AccessMethod::flush(&mut solo).unwrap();
+        let before = solo.tracker().snapshot();
+        assert_eq!(solo.range(0, 63).unwrap().len(), 64);
+        let alone = solo.tracker().since(&before);
+        assert_eq!(
+            with_other_run.total_read_bytes(),
+            alone.total_read_bytes(),
+            "pruned run must charge zero reads"
+        );
+        assert_eq!(with_other_run.page_reads, alone.page_reads);
+    }
+
+    #[test]
+    fn view_ranges_match_disabled_tree() {
+        for policy in [CompactionPolicy::Levelling, CompactionPolicy::Tiering] {
+            let mut plain = LsmTree::with_config(small_config(policy));
+            let mut viewed = LsmTree::with_config(LsmConfig {
+                sorted_view: true,
+                ..small_config(policy)
+            });
+            for k in 0..1500u64 {
+                for t in [&mut plain, &mut viewed] {
+                    t.insert(k * 3 % 1501, k).unwrap();
+                }
+            }
+            for k in (0..1500u64).step_by(7) {
+                for t in [&mut plain, &mut viewed] {
+                    t.delete(k).unwrap();
+                }
+            }
+            for (lo, hi) in [(0, 1500), (100, 250), (1499, 1499), (0, u64::MAX)] {
+                assert_eq!(
+                    plain.range(lo, hi).unwrap(),
+                    viewed.range(lo, hi).unwrap(),
+                    "policy {policy:?} range {lo}..{hi}"
+                );
+            }
+            // Results must also stay identical when the memtable holds
+            // newer versions and tombstones than the viewed runs.
+            for t in [&mut plain, &mut viewed] {
+                t.insert(200, 9999).unwrap();
+                t.delete(201).unwrap();
+            }
+            assert_eq!(
+                plain.range(195, 205).unwrap(),
+                viewed.range(195, 205).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn view_cuts_range_reads_and_costs_memory() {
+        // The shape the view exists for: a big sorted base plus a trickle
+        // of fresh runs that each span the whole key domain. The probe-
+        // every-run path pays a fence search and a boundary page on every
+        // fresh run for every query; the view touches only pages that
+        // actually hold a newest version inside the range.
+        let build = |view: bool| {
+            let mut t = LsmTree::with_config(LsmConfig {
+                memtable_records: 256,
+                size_ratio: 8,
+                policy: CompactionPolicy::Tiering,
+                sorted_view: view,
+                ..Default::default()
+            });
+            let recs: Vec<Record> = (0..30_000u64).map(|k| Record::new(k, k)).collect();
+            t.bulk_load(&recs).unwrap();
+            for k in 0..1200u64 {
+                t.insert(k.wrapping_mul(7919) % 30_000, k).unwrap();
+            }
+            let before = t.tracker().snapshot();
+            let mut total = 0usize;
+            for lo in (0..29_000u64).step_by(500) {
+                total += t.range(lo, lo + 15).unwrap().len();
+            }
+            assert_eq!(total, 58 * 16);
+            (
+                t.tracker().since(&before).total_read_bytes(),
+                t.view_bytes(),
+            )
+        };
+        let (ro_off, vb_off) = build(false);
+        let (ro_on, vb_on) = build(true);
+        assert_eq!(vb_off, 0);
+        assert!(vb_on > 0, "enabled view must report resident bytes");
+        assert!(
+            ro_on * 2 <= ro_off,
+            "view should at least halve range RO: {ro_on} vs {ro_off}"
+        );
+    }
+
+    #[test]
+    fn view_rebuild_is_charged_as_aux_writes() {
+        let mut t = LsmTree::with_config(LsmConfig {
+            memtable_records: 64,
+            size_ratio: 3,
+            sorted_view: true,
+            ..Default::default()
+        });
+        for k in 0..1000u64 {
+            t.insert(k, k).unwrap();
+        }
+        AccessMethod::flush(&mut t).unwrap();
+        let before = t.tracker().snapshot();
+        t.range(0, 10).unwrap(); // triggers the lazy build
+        let d = t.tracker().since(&before);
+        assert!(
+            d.aux_write_bytes >= t.view_bytes(),
+            "build must charge at least the view bytes as UO: {} vs {}",
+            d.aux_write_bytes,
+            t.view_bytes()
+        );
+        // The build's scan was re-classed: the only base reads surfaced
+        // are the query's own single page, not the full-tree scan.
+        assert!(d.page_reads <= 1, "build reads must land on UO, not RO");
+        // A second range hits the cached view: no further build charge.
+        let before = t.tracker().snapshot();
+        t.range(0, 10).unwrap();
+        assert_eq!(t.tracker().since(&before).aux_write_bytes, 0);
+        // Mutating invalidates; the next range rebuilds.
+        t.insert(5000, 1).unwrap();
+        AccessMethod::flush(&mut t).unwrap();
+        assert_eq!(t.view_bytes(), 0, "flush must invalidate the view");
+        t.range(0, 10).unwrap();
+        assert!(t.view_bytes() > 0);
+    }
+
+    #[test]
+    fn quotient_filter_matches_bloom_semantics() {
+        let build = |filter: FilterKind, bits: f64| {
+            let mut t = LsmTree::with_config(LsmConfig {
+                memtable_records: 256,
+                size_ratio: 3,
+                policy: CompactionPolicy::Tiering,
+                filter,
+                bloom_bits_per_key: bits,
+                ..Default::default()
+            });
+            for k in 0..10_000u64 {
+                t.insert(k * 2, k).unwrap();
+            }
+            // Hits stay correct under either filter...
+            for k in 0..1000u64 {
+                assert_eq!(t.get(4 * k).unwrap(), Some(2 * k));
+            }
+            // ...and out-of-domain misses price the filter's worth.
+            let before = t.tracker().snapshot();
+            for k in 0..1000u64 {
+                assert_eq!(t.get(2 * (k + 20_000) + 1).unwrap(), None);
+            }
+            let miss_reads = t.tracker().since(&before).page_reads;
+            (miss_reads, t.space_profile().total_bytes())
+        };
+        let (bloom_reads, bloom_bytes) = build(FilterKind::Bloom, 10.0);
+        let (q_reads, q_bytes) = build(FilterKind::Quotient { rbits: 10 }, 10.0);
+        let (bare_reads, bare_bytes) = build(FilterKind::Bloom, 0.0);
+        // Both filter kinds prune the vast majority of miss probes.
+        assert!(
+            bloom_reads * 5 < bare_reads,
+            "{bloom_reads} vs {bare_reads}"
+        );
+        assert!(q_reads * 5 < bare_reads, "{q_reads} vs {bare_reads}");
+        // Both charge their resident bytes as space (MO above filterless).
+        assert!(bloom_bytes > bare_bytes);
+        assert!(q_bytes > bare_bytes);
     }
 }

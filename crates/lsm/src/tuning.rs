@@ -73,6 +73,11 @@ pub fn advise(mix: &OpMix, goal: TuningGoal) -> LsmConfig {
             }
         }
     }
+    // A range-dominated mix amortizes the sorted view's rebuild cost over
+    // many cheap walks: buy RO with MO/UO (unless space is the goal).
+    if mix.range / total >= 0.5 && goal != TuningGoal::Space {
+        cfg.sorted_view = true;
+    }
     cfg
 }
 
@@ -111,6 +116,17 @@ mod tests {
     }
 
     #[test]
+    fn range_heavy_mix_gets_sorted_view() {
+        let cfg = advise(&OpMix::RANGE_HEAVY, TuningGoal::Balanced);
+        assert!(cfg.sorted_view, "range-heavy should enable the view");
+        assert!(advise(&OpMix::SCAN_HEAVY, TuningGoal::Reads).sorted_view);
+        // Space goal keeps the MO spend off the table.
+        assert!(!advise(&OpMix::RANGE_HEAVY, TuningGoal::Space).sorted_view);
+        // Point-read mixes don't pay for a structure they rarely use.
+        assert!(!advise(&OpMix::READ_HEAVY, TuningGoal::Balanced).sorted_view);
+    }
+
+    #[test]
     fn explicit_goals_override() {
         let cfg = advise(&OpMix::WRITE_HEAVY, TuningGoal::Reads);
         assert_eq!(cfg.policy, CompactionPolicy::Levelling);
@@ -125,6 +141,7 @@ mod tests {
             size_ratio: 2,
             policy: CompactionPolicy::Tiering,
             bloom_bits_per_key: 0.0,
+            ..Default::default()
         });
         for k in 0..2000u64 {
             t.insert(k, k + 7).unwrap();
@@ -137,6 +154,7 @@ mod tests {
                 size_ratio: 8,
                 policy: CompactionPolicy::Levelling,
                 bloom_bits_per_key: 12.0,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -154,6 +172,7 @@ mod tests {
             size_ratio: 8,
             policy: CompactionPolicy::Tiering,
             bloom_bits_per_key: 0.0,
+            ..Default::default()
         });
         // Scatter keys so every flushed run spans the whole key domain —
         // otherwise fence pointers prune disjoint runs and tiering's extra
@@ -177,6 +196,7 @@ mod tests {
                 size_ratio: 8,
                 policy: CompactionPolicy::Levelling,
                 bloom_bits_per_key: 0.0,
+                ..Default::default()
             },
         )
         .unwrap();

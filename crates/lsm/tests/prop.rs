@@ -2,8 +2,9 @@
 //! compaction policies and varied geometry.
 
 use proptest::prelude::*;
-use rum_core::{AccessMethod, Record};
-use rum_lsm::{CompactionPolicy, LsmConfig, LsmTree};
+use rum_core::{AccessMethod, Key, Record, RumError};
+use rum_lsm::{durable_lsm_with_injector, CompactionPolicy, LsmConfig, LsmTree};
+use rum_storage::{FaultInjector, FaultPlan};
 use std::collections::BTreeMap;
 
 #[derive(Clone, Debug)]
@@ -70,6 +71,57 @@ fn run(config: LsmConfig, ops: &[LsmOp]) {
     assert_eq!(all, expect);
 }
 
+/// Apply `ops` to a view-enabled and a view-disabled tree in lockstep:
+/// every operation's result — range results bit-for-bit included — must
+/// be identical between the two configurations.
+fn run_view_differential(config: LsmConfig, ops: &[LsmOp]) {
+    let mut plain = LsmTree::with_config(config);
+    let mut viewed = LsmTree::with_config(LsmConfig {
+        sorted_view: true,
+        ..config
+    });
+    for op in ops {
+        match *op {
+            LsmOp::Insert(k, v) => {
+                plain.insert(k as u64, v as u64).unwrap();
+                viewed.insert(k as u64, v as u64).unwrap();
+            }
+            LsmOp::Update(k, v) => {
+                assert_eq!(
+                    plain.update(k as u64, v as u64).unwrap(),
+                    viewed.update(k as u64, v as u64).unwrap()
+                );
+            }
+            LsmOp::Delete(k) => {
+                assert_eq!(
+                    plain.delete(k as u64).unwrap(),
+                    viewed.delete(k as u64).unwrap()
+                );
+            }
+            LsmOp::Get(k) => {
+                assert_eq!(plain.get(k as u64).unwrap(), viewed.get(k as u64).unwrap());
+            }
+            LsmOp::Range(lo, span) => {
+                let (lo, hi) = (lo as u64, lo as u64 + span as u64);
+                assert_eq!(
+                    plain.range(lo, hi).unwrap(),
+                    viewed.range(lo, hi).unwrap(),
+                    "range {lo}..{hi} diverged"
+                );
+            }
+            LsmOp::Flush => {
+                plain.flush().unwrap();
+                viewed.flush().unwrap();
+            }
+        }
+        assert_eq!(plain.len(), viewed.len());
+    }
+    assert_eq!(
+        plain.range(0, u64::MAX).unwrap(),
+        viewed.range(0, u64::MAX).unwrap()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -81,6 +133,7 @@ proptest! {
                 size_ratio: 2,
                 policy: CompactionPolicy::Levelling,
                 bloom_bits_per_key: 8.0,
+                ..Default::default()
             },
             &ops,
         );
@@ -94,8 +147,92 @@ proptest! {
                 size_ratio: 3,
                 policy: CompactionPolicy::Tiering,
                 bloom_bits_per_key: 0.0,
+                ..Default::default()
             },
             &ops,
+        );
+    }
+
+    #[test]
+    fn view_equals_no_view_levelling(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        run_view_differential(
+            LsmConfig {
+                memtable_records: 16,
+                size_ratio: 2,
+                policy: CompactionPolicy::Levelling,
+                bloom_bits_per_key: 8.0,
+                ..Default::default()
+            },
+            &ops,
+        );
+    }
+
+    #[test]
+    fn view_equals_no_view_tiering(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        run_view_differential(
+            LsmConfig {
+                memtable_records: 16,
+                size_ratio: 3,
+                policy: CompactionPolicy::Tiering,
+                bloom_bits_per_key: 0.0,
+                ..Default::default()
+            },
+            &ops,
+        );
+    }
+
+    /// Crash at a random WAL offset mid-stream with the view enabled (and
+    /// warm: range queries run before the crash). After recovery the tree
+    /// must serve ranges bit-identical to a view-disabled tree fed the
+    /// committed prefix — i.e. the view rebuilds cleanly from scratch.
+    #[test]
+    fn view_rebuilds_after_crash(seed in 0u64..64, torn in any::<bool>()) {
+        let config = LsmConfig {
+            memtable_records: 16,
+            size_ratio: 2,
+            sorted_view: true,
+            ..Default::default()
+        };
+        let ops: Vec<(u64, u64)> = (0..150u64).map(|k| (k * 7 % 211, k)).collect();
+        // Reference run to learn the stream's WAL footprint.
+        let mut reference = rum_lsm::durable_lsm(config);
+        for &(k, v) in &ops {
+            reference.insert(k, v).unwrap();
+            if k % 13 == 0 {
+                reference.range(k, k + 20).unwrap(); // keep the view warm
+            }
+        }
+        let total = reference.wal().synced_total();
+
+        let plan = FaultPlan::seeded_crash(seed, total, torn);
+        let mut d = durable_lsm_with_injector(config, FaultInjector::new(plan));
+        let mut committed = Vec::new();
+        for &(k, v) in &ops {
+            if k % 13 == 0 && d.range(k, k + 20).is_err() {
+                break;
+            }
+            match d.insert(k, v) {
+                Ok(()) => committed.push((k, v)),
+                Err(RumError::Crash(_)) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        d.recover().unwrap();
+        // Model: a plain (view-off) tree fed the committed prefix.
+        let mut model = LsmTree::with_config(LsmConfig {
+            sorted_view: false,
+            ..config
+        });
+        for &(k, v) in &committed {
+            model.insert(k, v).unwrap();
+        }
+        prop_assert_eq!(
+            d.range(0, Key::MAX).unwrap(),
+            model.range(0, Key::MAX).unwrap()
+        );
+        prop_assert_eq!(
+            d.range(50, 120).unwrap(),
+            model.range(50, 120).unwrap()
         );
     }
 }

@@ -66,6 +66,17 @@ impl QuotientFilter {
         1 << self.qbits
     }
 
+    /// Quotient bits (log2 of the slot count).
+    pub fn qbits(&self) -> u32 {
+        self.qbits
+    }
+
+    /// Remainder bits stored per slot. A probe touches one `(rbits + 3)`-bit
+    /// slot cluster, which is what a caller pricing probes in bytes needs.
+    pub fn rbits(&self) -> u32 {
+        self.rbits
+    }
+
     pub fn load(&self) -> f64 {
         self.entries as f64 / self.slots() as f64
     }

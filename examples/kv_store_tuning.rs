@@ -58,6 +58,7 @@ fn main() -> Result<()> {
         policy: CompactionPolicy::Tiering,
         memtable_records: 1024,
         bloom_bits_per_key: 4.0,
+        ..Default::default()
     });
     ingest(&mut t, 50_000)?;
 

@@ -114,6 +114,14 @@ pub fn standard_suite() -> Vec<Box<dyn AccessMethod>> {
             policy: lsm::CompactionPolicy::Tiering,
             ..Default::default()
         })),
+        // The levelled LSM with the REMIX-style cross-run sorted view:
+        // range queries binary-search one global anchor array instead of
+        // probing every run — RO bought with the view's MO and rebuild UO.
+        Box::new(lsm::LsmTree::with_config(lsm::LsmConfig {
+            memtable_records: 256,
+            sorted_view: true,
+            ..Default::default()
+        })),
         // The levelled LSM again, behind the write-ahead log: same
         // structure, UO now honestly includes the durability protocol —
         // the RUM price of crash consistency, visible in Figure 1.

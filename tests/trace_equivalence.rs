@@ -79,6 +79,66 @@ fn noop_traced_runs_are_bit_identical_and_windows_partition_the_op_phase() {
     }
 }
 
+/// The LSM sorted-view events obey the same opt-in/noop contract as every
+/// other event kind: with a real sink the build / hit / invalidate
+/// lifecycle is visible (component `"lsm"`); with the noop sink the exact
+/// same op sequence charges bit-identical costs.
+#[test]
+fn lsm_view_events_are_opt_in_and_observer_free() {
+    use rum::lsm::{LsmConfig, LsmTree};
+
+    let run = |sink: Option<std::sync::Arc<MemorySink>>| {
+        let mut t = LsmTree::with_config(LsmConfig {
+            memtable_records: 64,
+            sorted_view: true,
+            ..Default::default()
+        });
+        if let Some(s) = &sink {
+            t.set_trace_sink(s.clone());
+        }
+        for k in 0..500u64 {
+            t.insert(k, k).unwrap();
+        }
+        t.flush().unwrap();
+        t.range(0, 100).unwrap(); // lazy build + hit
+        t.range(50, 200).unwrap(); // warm hit
+        for k in 500..600u64 {
+            t.insert(k, k).unwrap();
+        }
+        t.flush().unwrap(); // invalidates
+        t.range(0, 100).unwrap(); // rebuild + hit
+        t.tracker().snapshot()
+    };
+
+    let sink = MemorySink::shared();
+    let traced = run(Some(sink.clone()));
+    let untraced = run(None);
+    assert_eq!(traced, untraced, "view tracing must not charge a byte");
+
+    let events = sink.events();
+    let count = |kind: EventKind| events.iter().filter(|e| e.kind == kind).count();
+    assert_eq!(count(EventKind::LsmViewBuild), 2, "lazy build + rebuild");
+    assert_eq!(count(EventKind::LsmViewHit), 3, "one per range query");
+    assert!(
+        count(EventKind::LsmViewInvalidate) >= 1,
+        "flush after queries must invalidate"
+    );
+    for e in &events {
+        if matches!(
+            e.kind,
+            EventKind::LsmViewBuild | EventKind::LsmViewHit | EventKind::LsmViewInvalidate
+        ) {
+            assert_eq!(e.kind.component(), "lsm");
+        }
+    }
+    // Build events carry the rebuild's cost; hits carry the query's.
+    let build = events
+        .iter()
+        .find(|e| e.kind == EventKind::LsmViewBuild)
+        .unwrap();
+    assert!(build.detail.iter().any(|&(k, v)| k == "bytes" && v > 0));
+}
+
 fn histogram_of(samples: &[u64]) -> LatencyHistogram {
     let mut h = LatencyHistogram::new();
     for &s in samples {
