@@ -17,6 +17,7 @@
 //! | `baseline_gate` | RUM regression gate against `results/baseline_rum.json` |
 //! | `rum_trace` | time-resolved tracing: windowed RO/UO/MO trajectories, latency histograms, event JSONL + folded stacks |
 //! | `range_sweep` | REMIX-style sorted-view range acceleration: RO bought with MO/UO, view on/off × bloom/quotient × 3 mixes |
+//! | `fault_storm` | corruption resilience: methods × seeded fault profiles × retry policies, differential vs a fault-free twin |
 //!
 //! This library holds the measurement machinery those binaries (and the
 //! criterion benches) share, so experiments are reproducible from tests
@@ -32,6 +33,7 @@ use rum_core::{AccessMethod, CostSnapshot, Record, RECORDS_PER_PAGE};
 pub mod advisor;
 pub mod baseline;
 pub mod crash;
+pub mod fault_storm;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

@@ -128,9 +128,19 @@ impl Node {
     }
 
     /// Deserialize from a `node_size` buffer.
+    ///
+    /// Every field read is bounds-checked: a short or bit-damaged buffer
+    /// (e.g. a page flipped behind a checksum seal) yields
+    /// [`RumError::Corrupt`], never a panic and never garbage records.
     pub fn decode(buf: &[u8]) -> Result<Node> {
         let node_size = buf.len();
-        let count = u16::from_le_bytes(buf[2..4].try_into().unwrap()) as usize;
+        if node_size < LEAF_HEADER {
+            return Err(RumError::Corrupt(format!(
+                "node buffer of {node_size} bytes is shorter than the \
+                 {LEAF_HEADER}-byte header"
+            )));
+        }
+        let count = u16::from_le_bytes([buf[2], buf[3]]) as usize;
         match buf[0] {
             TAG_INTERNAL => {
                 let cap = internal_capacity(node_size);
@@ -139,19 +149,15 @@ impl Node {
                         "internal count {count} exceeds capacity {cap}"
                     )));
                 }
-                let keys = (0..count)
-                    .map(|i| {
-                        let off = HEADER + i * 8;
-                        Key::from_le_bytes(buf[off..off + 8].try_into().unwrap())
-                    })
-                    .collect();
+                let mut keys = Vec::with_capacity(count);
+                for i in 0..count {
+                    keys.push(read_u64(buf, HEADER + i * 8)?);
+                }
                 let child_base = HEADER + cap * 8;
-                let children = (0..=count)
-                    .map(|i| {
-                        let off = child_base + i * 8;
-                        NodeId(u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()))
-                    })
-                    .collect();
+                let mut children = Vec::with_capacity(count + 1);
+                for i in 0..=count {
+                    children.push(NodeId(read_u64(buf, child_base + i * 8)?));
+                }
                 Ok(Node::Internal { keys, children })
             }
             TAG_LEAF => {
@@ -161,18 +167,35 @@ impl Node {
                         leaf_capacity(node_size)
                     )));
                 }
-                let next = NodeId(u64::from_le_bytes(buf[8..16].try_into().unwrap()));
-                let records = (0..count)
-                    .map(|i| {
-                        let off = LEAF_HEADER + i * RECORD_SIZE;
-                        Record::decode(&buf[off..off + RECORD_SIZE])
-                    })
-                    .collect();
+                let next = NodeId(read_u64(buf, 8)?);
+                let mut records = Vec::with_capacity(count);
+                for i in 0..count {
+                    let off = LEAF_HEADER + i * RECORD_SIZE;
+                    let Some(bytes) = buf.get(off..off + RECORD_SIZE) else {
+                        return Err(RumError::Corrupt(format!(
+                            "leaf record {i} runs past the {node_size}-byte buffer"
+                        )));
+                    };
+                    records.push(Record::decode(bytes));
+                }
                 Ok(Node::Leaf { records, next })
             }
             t => Err(RumError::Corrupt(format!("unknown node tag {t}"))),
         }
     }
+}
+
+/// Bounds-checked little-endian u64 field read.
+fn read_u64(buf: &[u8], off: usize) -> Result<u64> {
+    buf.get(off..off + 8)
+        .and_then(|s| <[u8; 8]>::try_from(s).ok())
+        .map(u64::from_le_bytes)
+        .ok_or_else(|| {
+            RumError::Corrupt(format!(
+                "node field at offset {off} runs past the {}-byte buffer",
+                buf.len()
+            ))
+        })
 }
 
 #[cfg(test)]
@@ -251,6 +274,28 @@ mod tests {
     fn garbage_tag_rejected() {
         let buf = vec![9u8; 4096];
         assert!(Node::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn short_or_garbled_buffers_error_instead_of_panicking() {
+        // Truncated buffers at every length below the leaf header.
+        for len in 0..LEAF_HEADER {
+            let mut buf = vec![0u8; len];
+            if len > 0 {
+                buf[0] = TAG_LEAF;
+            }
+            assert!(Node::decode(&buf).is_err(), "len {len}");
+        }
+        // A bit-damaged count field claims more entries than fit.
+        for tag in [TAG_INTERNAL, TAG_LEAF] {
+            let mut buf = vec![0u8; 64];
+            buf[0] = tag;
+            buf[2..4].copy_from_slice(&u16::MAX.to_le_bytes());
+            match Node::decode(&buf) {
+                Err(RumError::Corrupt(_)) => {}
+                other => panic!("tag {tag}: expected Corrupt, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl PartitionedBTree {
     /// Seal the active partition and open a new one; consolidate when the
     /// partition budget is exhausted.
     fn maybe_roll(&mut self) -> Result<()> {
-        let active_len = self.partitions.last().expect("active").len();
+        let active_len = self
+            .partitions
+            .last()
+            .expect("a PBT keeps at least one active partition at all times")
+            .len();
         if active_len < self.config.partition_records {
             return Ok(());
         }
@@ -190,7 +194,7 @@ impl AccessMethod for PartitionedBTree {
         // whole point of the PBT. Older copies are shadowed until a merge.
         self.partitions
             .last_mut()
-            .expect("active")
+            .expect("a PBT keeps at least one active partition at all times")
             .insert_impl(key, value)?;
         self.live.insert(key);
         self.maybe_roll()

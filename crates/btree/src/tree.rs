@@ -6,7 +6,7 @@ use rum_core::{
     check_bulk_input, AccessMethod, CostTracker, DataClass, Key, Record, Result, RumError,
     SpaceProfile, Value,
 };
-use rum_storage::{BlockDevice, MemDevice};
+use rum_storage::{BlockDevice, CheckedDevice, MemDevice, RetryPolicy, ScrubReport};
 
 use crate::node::{internal_capacity, leaf_capacity, Node, NodeId};
 use crate::store::NodeStore;
@@ -91,10 +91,16 @@ impl<D: BlockDevice> BTree<D> {
         );
         let tracker = CostTracker::new();
         let mut store = NodeStore::new(device, Arc::clone(&tracker), config.node_size);
-        let root = store.allocate().expect("allocating the root leaf");
+        // Construction runs against a fresh, fault-free device: the fault
+        // and checksum layers only start rejecting I/O after the tree is
+        // built, so these first two page operations cannot fail unless the
+        // device itself is broken at handoff.
+        let root = store
+            .allocate()
+            .expect("a fresh device allocates the root leaf");
         store
             .write(root, DataClass::Base, &Node::empty_leaf())
-            .expect("writing the root leaf");
+            .expect("a fresh device stores the empty root leaf");
         tracker.reset(); // construction is not workload traffic
         BTree {
             store,
@@ -128,6 +134,13 @@ impl<D: BlockDevice> BTree<D> {
     /// Mutable access to the underlying block device.
     pub fn device_mut(&mut self) -> &mut D {
         self.store.pager_mut().device_mut()
+    }
+
+    /// How transient device faults are retried on every node the tree
+    /// touches (see [`RetryPolicy`]; the default retries 3 times with
+    /// exponential backoff).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.store.pager_mut().set_retry_policy(retry);
     }
 
     /// Tree height in levels (a lone leaf is height 1).
@@ -308,9 +321,25 @@ impl<D: BlockDevice> BTree<D> {
     }
 }
 
+/// Walk every live node page behind the checksum seal (see
+/// [`rum_storage::Pager::scrub`]): proactive detection of silent
+/// corruption, charged as auxiliary reads.
+impl<D: BlockDevice> BTree<CheckedDevice<D>> {
+    pub fn scrub(&mut self) -> Result<ScrubReport> {
+        self.store.pager_mut().scrub()
+    }
+}
+
 impl<D: BlockDevice> AccessMethod for BTree<D> {
     fn name(&self) -> String {
         "b+tree".into()
+    }
+
+    /// Forward the sink to the pager so fault/retry/corruption events on
+    /// node I/O are reported; installing a sink never changes a counted
+    /// byte.
+    fn set_trace_sink(&mut self, sink: Arc<dyn rum_core::trace::TraceSink>) {
+        self.store.pager_mut().set_trace_sink(sink);
     }
 
     fn len(&self) -> usize {

@@ -143,6 +143,17 @@ pub trait AccessMethod: Send {
     /// their inner methods.
     fn set_trace_sink(&mut self, _sink: Arc<dyn crate::trace::TraceSink>) {}
 
+    /// Attempt in-place self-repair after a worker panic or detected
+    /// corruption left this instance in a suspect state. Returns
+    /// `Ok(true)` when the method rebuilt itself to a trustworthy state
+    /// (e.g. a durable wrapper replaying checkpoint + committed WAL);
+    /// `Ok(false)` when it has no repair capability — the caller must
+    /// rebuild from scratch (losing volatile contents) or keep the
+    /// instance quarantined. Default: no repair capability.
+    fn try_heal(&mut self) -> Result<bool> {
+        Ok(false)
+    }
+
     // ---- instrumented entry points --------------------------------------
 
     /// Point lookup; charges the retrieved bytes as logical reads.

@@ -28,6 +28,32 @@ pub enum RumError {
     /// mid-operation. Volatile state is gone; durable state keeps whatever
     /// prefix the injector let through. Recovery is expected to follow.
     Crash(String),
+    /// A sealed page failed checksum verification on read: the stored CRC-32
+    /// disagrees with the one computed over the bytes the device returned.
+    /// Silent bit-rot surfaces as this error instead of wrong data; repair
+    /// (scrub + rebuild from checkpoint/WAL) is expected to follow.
+    CorruptPage {
+        /// Raw id of the failing page.
+        id: u64,
+        /// Checksum recorded when the page was sealed.
+        stored: u32,
+        /// Checksum computed over the bytes actually read back.
+        computed: u32,
+    },
+    /// A transient device fault (fault injection): the operation failed but
+    /// is expected to succeed if retried — the retryable error class, as
+    /// opposed to [`Crash`](Self::Crash) (terminal power loss) and
+    /// [`CorruptPage`](Self::CorruptPage) (detected bit-rot).
+    Transient(String),
+}
+
+impl RumError {
+    /// Whether a bounded retry is a sensible response to this error.
+    /// Only [`Transient`](Self::Transient) qualifies; everything else is
+    /// either a caller bug or requires recovery, not repetition.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RumError::Transient(_))
+    }
 }
 
 impl fmt::Display for RumError {
@@ -40,6 +66,15 @@ impl fmt::Display for RumError {
             RumError::Corrupt(m) => write!(f, "corrupt structure: {m}"),
             RumError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             RumError::Crash(m) => write!(f, "simulated crash: {m}"),
+            RumError::CorruptPage {
+                id,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "corrupt page {id}: stored checksum {stored:#010x}, computed {computed:#010x}"
+            ),
+            RumError::Transient(m) => write!(f, "transient fault: {m}"),
         }
     }
 }
@@ -79,6 +114,31 @@ mod tests {
         assert!(RumError::Crash("after 512 bytes".into())
             .to_string()
             .starts_with("simulated crash"));
+        let c = RumError::CorruptPage {
+            id: 7,
+            stored: 0xDEAD_BEEF,
+            computed: 0x1234_5678,
+        };
+        assert_eq!(
+            c.to_string(),
+            "corrupt page 7: stored checksum 0xdeadbeef, computed 0x12345678"
+        );
+        assert!(RumError::Transient("read error".into())
+            .to_string()
+            .starts_with("transient fault"));
+    }
+
+    #[test]
+    fn only_transient_is_retryable() {
+        assert!(RumError::Transient("x".into()).is_transient());
+        assert!(!RumError::Crash("x".into()).is_transient());
+        assert!(!RumError::CorruptPage {
+            id: 0,
+            stored: 0,
+            computed: 1
+        }
+        .is_transient());
+        assert!(!RumError::Storage("x".into()).is_transient());
     }
 
     #[test]

@@ -372,7 +372,16 @@ pub struct ShardedMethod {
     /// Cleared op buffers recycled through completions, so steady-state
     /// batch submission allocates nothing.
     spare: Vec<Vec<Op>>,
+    /// Replacement factory for rebuild-based healing, armed by
+    /// [`set_factory`](Self::set_factory). When a poisoned shard's inner
+    /// method cannot repair itself ([`AccessMethod::try_heal`] returns
+    /// `Ok(false)`), [`heal`](Self::heal) swaps in `factory(shard)` —
+    /// fresh state, service restored.
+    factory: Option<ShardFactory>,
 }
+
+/// Builds a replacement inner method for one shard (by shard index).
+type ShardFactory = Box<dyn Fn(usize) -> Box<dyn AccessMethod> + Send>;
 
 impl ShardedMethod {
     /// `k` shards from `factory(shard_index)`, with the batch worker pool
@@ -404,7 +413,23 @@ impl ShardedMethod {
             threads: threads.clamp(1, k),
             sink: crate::trace::noop_sink(),
             spare: Vec::new(),
+            factory: None,
         }
+    }
+
+    /// Arm rebuild-based healing: when [`heal`](Self::heal) meets a
+    /// poisoned shard whose inner method has no self-repair of its own,
+    /// the shard is replaced with `factory(shard_index)` instead of
+    /// staying refused forever.
+    ///
+    /// Kept separate from the construction factory because the
+    /// constructors accept short-lived closures; healing needs one the
+    /// wrapper can own for its whole lifetime.
+    pub fn set_factory<F>(&mut self, factory: F)
+    where
+        F: Fn(usize) -> Box<dyn AccessMethod> + Send + 'static,
+    {
+        self.factory = Some(Box::new(factory));
     }
 
     /// Number of shards (the paper's `K`).
@@ -428,6 +453,84 @@ impl ShardedMethod {
     /// batch starts a fresh one; per-op calls never need the pool.
     pub fn shutdown_pool(&mut self) {
         self.pool = None;
+    }
+
+    /// Indices of shards currently refusing service after a worker panic.
+    pub fn poisoned_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.poisoned.load(Ordering::Acquire))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Restore service on every poisoned shard and return how many were
+    /// healed. Healing is **explicit** — a poisoned shard keeps refusing
+    /// until the operator (or a supervising layer) decides its state
+    /// question is answered — and two-tiered:
+    ///
+    /// 1. Ask the inner method to repair itself
+    ///    ([`AccessMethod::try_heal`]). A [`Durable`]-wrapped method
+    ///    rebuilds from its checkpoint + committed WAL prefix, so the
+    ///    healed shard serves exactly the acknowledged writes.
+    /// 2. Otherwise, rebuild from the [`set_factory`](Self::set_factory)
+    ///    replacement: a fresh, empty instance — service restored, state
+    ///    reset (the honest outcome for a purely volatile structure).
+    ///
+    /// Repair I/O lands on the shard tracker and is folded into the
+    /// wrapper tracker like any other delegated work; each healed shard
+    /// emits one [`EventKind::RepairComplete`].
+    ///
+    /// Errors if a poisoned shard has neither self-repair nor a factory:
+    /// refusing service stays strictly safer than serving unknown state.
+    ///
+    /// [`Durable`]: AccessMethod::try_heal
+    pub fn heal(&mut self) -> Result<usize> {
+        let poisoned = self.poisoned_shards();
+        for &index in &poisoned {
+            self.heal_shard(index)?;
+        }
+        Ok(poisoned.len())
+    }
+
+    /// Heal one shard (see [`heal`](Self::heal) for the strategy).
+    fn heal_shard(&self, index: usize) -> Result<()> {
+        let slot = &self.shards[index];
+        let mut guard = slot.lock();
+        let before = guard.tracker().snapshot();
+        let self_repaired = match guard.try_heal() {
+            Ok(done) => done,
+            // Self-repair failed outright; fall back to replacement if we
+            // can, otherwise surface the repair error.
+            Err(e) if self.factory.is_none() => return Err(e),
+            Err(_) => false,
+        };
+        let delta = guard.tracker().since(&before);
+        self.tracker.absorb(&delta);
+        let rebuilt = if self_repaired {
+            false
+        } else {
+            let factory = self.factory.as_ref().ok_or_else(|| {
+                RumError::Corrupt(format!(
+                    "shard {index} cannot heal: the inner method has no self-repair \
+                     and no replacement factory is set"
+                ))
+            })?;
+            let mut fresh = factory(index);
+            fresh.set_trace_sink(Arc::clone(&self.sink));
+            *guard = fresh;
+            true
+        };
+        drop(guard);
+        slot.poisoned.store(false, Ordering::Release);
+        if self.sink.enabled() {
+            self.sink.emit(
+                EventKind::RepairComplete,
+                &[("shard", index as u64), ("rebuilt", u64::from(rebuilt))],
+            );
+        }
+        Ok(())
     }
 
     /// Which shard owns `key`. Fibonacci hashing, so dense sequential key
@@ -822,6 +925,13 @@ impl AccessMethod for ShardedMethod {
         }
         self.sink = sink;
     }
+
+    /// Heal every poisoned shard (see [`heal`](Self::heal)); the facade
+    /// reports `Ok(true)` once all shards are serving again.
+    fn try_heal(&mut self) -> Result<bool> {
+        self.heal()?;
+        Ok(true)
+    }
 }
 
 #[cfg(test)]
@@ -1169,5 +1279,142 @@ mod tests {
         let sharded = ShardedMethod::new(4, Amp2::boxed);
         assert_eq!(sharded.name(), "amp2-x4");
         assert_eq!(sharded.shards(), 4);
+    }
+
+    /// An Amp2 that panics when asked to insert one specific key —
+    /// deterministic shard poisoning for the healing tests.
+    struct Trip {
+        inner: Amp2,
+        trigger: Key,
+        /// When set, `try_heal` claims self-repair (data preserved).
+        self_heals: bool,
+    }
+
+    impl Trip {
+        fn factory(trigger: Key, self_heals: bool) -> impl Fn(usize) -> Box<dyn AccessMethod> {
+            move |_| {
+                Box::new(Trip {
+                    inner: Amp2 {
+                        data: Default::default(),
+                        tracker: CostTracker::new(),
+                    },
+                    trigger,
+                    self_heals,
+                })
+            }
+        }
+    }
+
+    impl AccessMethod for Trip {
+        fn name(&self) -> String {
+            "trip".into()
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn tracker(&self) -> &Arc<CostTracker> {
+            self.inner.tracker()
+        }
+        fn space_profile(&self) -> SpaceProfile {
+            self.inner.space_profile()
+        }
+        fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+            self.inner.get_impl(key)
+        }
+        fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+            self.inner.range_impl(lo, hi)
+        }
+        fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+            assert!(key != self.trigger, "tripwire key inserted");
+            self.inner.insert_impl(key, value)
+        }
+        fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+            self.inner.update_impl(key, value)
+        }
+        fn delete_impl(&mut self, key: Key) -> Result<bool> {
+            self.inner.delete_impl(key)
+        }
+        fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+            self.inner.bulk_load_impl(records)
+        }
+        fn try_heal(&mut self) -> Result<bool> {
+            Ok(self.self_heals)
+        }
+    }
+
+    /// Keys deterministically routed to `want`, excluding the tripwire.
+    fn keys_on_shard(m: &ShardedMethod, want: usize, trigger: Key, n: usize) -> Vec<Key> {
+        (0..100_000u64)
+            .filter(|&key| key != trigger && m.shard_of(key) == want)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn heal_rebuilds_a_poisoned_shard_from_the_factory() {
+        let trigger: Key = 0xBAD_F00D;
+        // threads = 1: batches run inline through the same job runner the
+        // pool uses, so poisoning is deterministic and thread-free.
+        let mut sharded = ShardedMethod::with_threads(2, 1, Trip::factory(trigger, false));
+        let sink = crate::trace::MemorySink::shared();
+        sharded.set_trace_sink(Arc::clone(&sink) as _);
+        let bad = sharded.shard_of(trigger);
+        let doomed = keys_on_shard(&sharded, bad, trigger, 4);
+        let healthy = keys_on_shard(&sharded, 1 - bad, trigger, 4);
+        for &k in doomed.iter().chain(&healthy) {
+            sharded.insert(k, k).unwrap();
+        }
+
+        assert!(sharded.execute_batch(&[Op::Insert(trigger, 1)]).is_err());
+        assert_eq!(sharded.poisoned_shards(), vec![bad]);
+        assert!(sharded.get(doomed[0]).is_err(), "poisoned shard refuses");
+
+        // No self-repair, no factory: healing must refuse too.
+        match sharded.heal() {
+            Err(RumError::Corrupt(m)) => assert!(m.contains("no replacement factory"), "{m}"),
+            other => panic!("heal without a factory must fail, got {other:?}"),
+        }
+        assert_eq!(sharded.poisoned_shards(), vec![bad], "still poisoned");
+
+        sharded.set_factory(Trip::factory(trigger, false));
+        assert_eq!(sharded.heal().unwrap(), 1);
+        assert!(sharded.poisoned_shards().is_empty());
+        // Service restored: the rebuilt shard starts fresh (volatile inner,
+        // nothing to replay), the healthy shard kept its data.
+        assert_eq!(sharded.get(doomed[0]).unwrap(), None);
+        assert_eq!(sharded.get(healthy[0]).unwrap(), Some(healthy[0]));
+        sharded.insert(doomed[0], 7).unwrap();
+        assert_eq!(sharded.get(doomed[0]).unwrap(), Some(7));
+        let repairs: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::RepairComplete)
+            .collect();
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].field("shard"), Some(bad as u64));
+        assert_eq!(repairs[0].field("rebuilt"), Some(1));
+        // Healing an already-healthy wrapper is a no-op.
+        assert_eq!(sharded.heal().unwrap(), 0);
+    }
+
+    #[test]
+    fn heal_prefers_the_inner_methods_own_repair() {
+        let trigger: Key = 0xBAD_F00D;
+        let mut sharded = ShardedMethod::with_threads(2, 1, Trip::factory(trigger, true));
+        let bad = sharded.shard_of(trigger);
+        let doomed = keys_on_shard(&sharded, bad, trigger, 4);
+        for &k in &doomed {
+            sharded.insert(k, k).unwrap();
+        }
+        assert!(sharded.execute_batch(&[Op::Insert(trigger, 1)]).is_err());
+        assert_eq!(sharded.poisoned_shards(), vec![bad]);
+        // try_heal reports success (the durable case: state replayed to
+        // the acked prefix), so no factory is needed and data survives.
+        assert_eq!(sharded.heal().unwrap(), 1);
+        assert_eq!(sharded.get(doomed[0]).unwrap(), Some(doomed[0]));
+        // The facade-level try_heal is the same operation behind the trait.
+        assert!(sharded.execute_batch(&[Op::Insert(trigger, 1)]).is_err());
+        assert!(sharded.try_heal().unwrap());
+        assert!(sharded.poisoned_shards().is_empty());
     }
 }

@@ -83,6 +83,17 @@ pub enum EventKind {
     LsmViewHit,
     /// A [`TraceCollector`] trajectory window closing.
     Window,
+    /// A seeded fault fired on the I/O path (transient error, sticky page,
+    /// injected bit-flip).
+    FaultInjected,
+    /// A retry of a page access after a transient fault.
+    RetryAttempt,
+    /// A sealed page failed checksum verification (scrub or foreground
+    /// read): silent corruption became a detected error.
+    CorruptionDetected,
+    /// A quarantined structure or shard finished rebuilding and resumed
+    /// service.
+    RepairComplete,
 }
 
 impl EventKind {
@@ -100,6 +111,10 @@ impl EventKind {
             EventKind::LsmViewInvalidate => "lsm_view_invalidate",
             EventKind::LsmViewHit => "lsm_view_hit",
             EventKind::Window => "window",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::RetryAttempt => "retry_attempt",
+            EventKind::CorruptionDetected => "corruption_detected",
+            EventKind::RepairComplete => "repair_complete",
         }
     }
 
@@ -115,6 +130,8 @@ impl EventKind {
             EventKind::BufferEviction => "buffer",
             EventKind::ShardDispatch => "shard",
             EventKind::Window => "trace",
+            EventKind::FaultInjected | EventKind::RetryAttempt => "fault",
+            EventKind::CorruptionDetected | EventKind::RepairComplete => "repair",
         }
     }
 }

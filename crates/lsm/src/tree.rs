@@ -8,7 +8,7 @@ use rum_core::{
     check_bulk_input, AccessMethod, CostSnapshot, CostTracker, Key, Record, Result, RumError,
     SpaceProfile, Value,
 };
-use rum_storage::{MemDevice, Pager};
+use rum_storage::{BlockDevice, CheckedDevice, MemDevice, Pager, RetryPolicy, ScrubReport};
 
 use crate::memtable::Memtable;
 use crate::run::{FilterKind, SortedRun};
@@ -72,13 +72,17 @@ pub struct LsmStats {
     pub compactions: u64,
 }
 
-/// The log-structured merge tree.
-pub struct LsmTree {
+/// The log-structured merge tree, generic over its backing
+/// [`BlockDevice`] (in-memory by default; wrap the device in a
+/// [`CheckedDevice`] to get checksum-sealed pages and [`scrub`]).
+///
+/// [`scrub`]: LsmTree::scrub
+pub struct LsmTree<D: BlockDevice = MemDevice> {
     config: LsmConfig,
     memtable: Memtable,
     /// `levels[i]` holds the runs of level i, **oldest first**.
     levels: Vec<Vec<SortedRun>>,
-    pager: Pager<MemDevice>,
+    pager: Pager<D>,
     tracker: Arc<CostTracker>,
     /// Liveness oracle for `len()` and update/delete return values — not
     /// part of the structure (neither charged nor counted as space); an
@@ -100,6 +104,15 @@ impl LsmTree {
     }
 
     pub fn with_config(config: LsmConfig) -> Self {
+        Self::with_device(MemDevice::new(), config)
+    }
+}
+
+impl<D: BlockDevice> LsmTree<D> {
+    /// A tree over a caller-supplied device (e.g. a [`CheckedDevice`] for
+    /// corruption detection, or a fault-injecting device for resilience
+    /// experiments).
+    pub fn with_device(device: D, config: LsmConfig) -> Self {
         assert!(config.size_ratio >= 2, "size ratio T must be >= 2");
         assert!(config.memtable_records >= 16, "memtable too small");
         let tracker = CostTracker::new();
@@ -107,13 +120,30 @@ impl LsmTree {
             config,
             memtable: Memtable::new(),
             levels: Vec::new(),
-            pager: Pager::new(MemDevice::new(), Arc::clone(&tracker)),
+            pager: Pager::new(device, Arc::clone(&tracker)),
             tracker,
             live: HashSet::new(),
             compactions: 0,
             sink: rum_core::trace::noop_sink(),
             view: None,
         }
+    }
+
+    /// The underlying block device.
+    pub fn device(&self) -> &D {
+        self.pager.device()
+    }
+
+    /// Mutable access to the underlying block device.
+    pub fn device_mut(&mut self) -> &mut D {
+        self.pager.device_mut()
+    }
+
+    /// How transient device faults are retried on every page the tree
+    /// touches (see [`RetryPolicy`]; the default retries 3 times with
+    /// exponential backoff).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.pager.set_retry_policy(retry);
     }
 
     pub fn config(&self) -> &LsmConfig {
@@ -330,7 +360,16 @@ impl Default for LsmTree {
     }
 }
 
-impl AccessMethod for LsmTree {
+/// Walk every live run page behind the checksum seal (see
+/// [`Pager::scrub`]): proactive detection of silent corruption, charged
+/// as auxiliary reads.
+impl<D: BlockDevice> LsmTree<CheckedDevice<D>> {
+    pub fn scrub(&mut self) -> Result<ScrubReport> {
+        self.pager.scrub()
+    }
+}
+
+impl<D: BlockDevice> AccessMethod for LsmTree<D> {
     fn name(&self) -> String {
         let base = match self.config.policy {
             CompactionPolicy::Levelling => "lsm-tree",
@@ -550,10 +589,12 @@ impl AccessMethod for LsmTree {
         self.compact_from(0)
     }
 
-    /// Keep the sink for flush/compaction events. The tree only observes
-    /// the tracker through it, so installing a sink never changes a
-    /// counted byte.
+    /// Keep the sink for flush/compaction events and forward it to the
+    /// pager (fault/retry/corruption events). The tree only observes the
+    /// tracker through it, so installing a sink never changes a counted
+    /// byte.
     fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.pager.set_trace_sink(Arc::clone(&sink));
         self.sink = sink;
     }
 }

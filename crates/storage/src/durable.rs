@@ -21,12 +21,18 @@ use std::sync::Arc;
 
 use rum_core::trace::{EventKind, TraceSink};
 use rum_core::{
-    AccessMethod, CostTracker, DataClass, Key, Record, Result, SpaceProfile, Value, PAGE_SIZE,
-    RECORD_SIZE,
+    AccessMethod, CostTracker, DataClass, Key, Record, Result, RumError, SpaceProfile, Value,
+    PAGE_SIZE, RECORD_SIZE,
 };
 
 use crate::fault::FaultInjector;
 use crate::wal::{Wal, WalEntry};
+
+/// Quarantine-rebuild cycles one operation may consume before detected
+/// corruption is surfaced to the caller (see
+/// [`Durable`]'s internal `with_healing`). Bounded so actively decaying
+/// storage degrades into an error, not an infinite repair loop.
+pub const MAX_HEAL_CYCLES: usize = 3;
 
 /// What [`Durable::recover`] rebuilt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -146,11 +152,19 @@ impl<M: AccessMethod> Durable<M> {
     /// The write-ahead protocol for one mutation: log the record, sync it,
     /// apply, then sync a commit marker covering exactly this record. An
     /// apply failure leaves the record uncovered in the log — replay will
-    /// discard it, never resurrect it.
-    fn log_write<T>(
+    /// discard it, never resurrect it. Detected corruption during the
+    /// apply quarantines the inner structure, rebuilds it from the
+    /// checkpoint plus the committed WAL prefix, and retries the whole
+    /// sequence on the healed structure, up to [`MAX_HEAL_CYCLES`] times
+    /// (the aborted attempts' records stay uncommitted forever).
+    fn log_write<T>(&mut self, entry: WalEntry, apply: impl Fn(&mut M) -> Result<T>) -> Result<T> {
+        self.with_healing(|d| d.log_write_once(entry, &apply))
+    }
+
+    fn log_write_once<T>(
         &mut self,
         entry: WalEntry,
-        apply: impl FnOnce(&mut M) -> Result<T>,
+        apply: impl Fn(&mut M) -> Result<T>,
     ) -> Result<T> {
         self.wal.append(&entry);
         self.wal.sync()?;
@@ -163,6 +177,54 @@ impl<M: AccessMethod> Durable<M> {
         self.next_seq += 1;
         self.dirty = true;
         Ok(out)
+    }
+
+    /// Read-path healing: run `op` against the inner structure; on
+    /// detected corruption, quarantine + rebuild, then retry (bounded).
+    fn read_healing<T>(&mut self, op: impl Fn(&mut M) -> Result<T>) -> Result<T> {
+        self.with_healing(|d| op(&mut d.inner))
+    }
+
+    /// Run `op`, quarantining + rebuilding on every detected corruption,
+    /// up to [`MAX_HEAL_CYCLES`] rebuilds. More than one cycle is needed
+    /// when the storage is actively decaying: a rebuild writes fresh
+    /// pages, and those very pages can be silently damaged before the
+    /// retried operation reads them back. Persistent corruption beyond
+    /// the bound surfaces as the final [`RumError::CorruptPage`] — the
+    /// caller learns the storage is unsalvageable, never wrong data.
+    fn with_healing<T>(&mut self, op: impl Fn(&mut Self) -> Result<T>) -> Result<T> {
+        let mut last = op(self);
+        for _ in 0..MAX_HEAL_CYCLES {
+            match last {
+                Err(RumError::CorruptPage { .. }) => {
+                    self.repair()?;
+                    last = op(self);
+                }
+                other => return other,
+            }
+        }
+        last
+    }
+
+    /// Quarantine and rebuild after detected corruption: the inner
+    /// structure's physical pages can no longer be trusted, so it is
+    /// discarded wholesale and reborn from the checkpoint plus the
+    /// committed WAL prefix — fresh storage, corrupted pages abandoned.
+    /// The rebuild's I/O is charged to the shared tracker like any
+    /// recovery. (Detection itself is traced where it happened, at the
+    /// pager; this emits the matching [`EventKind::RepairComplete`].)
+    pub fn repair(&mut self) -> Result<RecoveryReport> {
+        let report = self.recover()?;
+        if self.sink.enabled() {
+            self.sink.emit(
+                EventKind::RepairComplete,
+                &[
+                    ("committed_ops", report.committed_ops as u64),
+                    ("checkpoint_records", self.checkpoint.len() as u64),
+                ],
+            );
+        }
+        Ok(report)
     }
 
     /// Simulated reboot: rebuild a fresh structure from the checkpoint plus
@@ -250,11 +312,11 @@ impl<M: AccessMethod> AccessMethod for Durable<M> {
     }
 
     fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
-        self.inner.get_impl(key)
+        self.read_healing(|m| m.get_impl(key))
     }
 
     fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
-        self.inner.range_impl(lo, hi)
+        self.read_healing(|m| m.range_impl(lo, hi))
     }
 
     fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
@@ -321,6 +383,13 @@ impl<M: AccessMethod> AccessMethod for Durable<M> {
         self.inner.set_trace_sink(Arc::clone(&sink));
         self.wal.set_trace_sink(Arc::clone(&sink));
         self.sink = sink;
+    }
+
+    /// A durable wrapper can always heal itself: rebuild from checkpoint
+    /// + committed WAL prefix, exactly the acked state.
+    fn try_heal(&mut self) -> Result<bool> {
+        self.repair()?;
+        Ok(true)
     }
 }
 
@@ -563,6 +632,146 @@ mod tests {
             contents(&mut d),
             vec![Record::new(1, 10), Record::new(3, 30)]
         );
+    }
+
+    /// A method whose reads/applies report detected corruption until the
+    /// factory rebuilds it — the storage-level stand-in for a flipped bit
+    /// under a checksum seal.
+    struct Rotten {
+        inner: Toy,
+        bad: Arc<std::sync::atomic::AtomicBool>,
+    }
+    impl Rotten {
+        fn check(&self) -> Result<()> {
+            if self.bad.load(std::sync::atomic::Ordering::Relaxed) {
+                Err(RumError::CorruptPage {
+                    id: 42,
+                    stored: 1,
+                    computed: 2,
+                })
+            } else {
+                Ok(())
+            }
+        }
+    }
+    impl AccessMethod for Rotten {
+        fn name(&self) -> String {
+            "rotten".into()
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn tracker(&self) -> &Arc<CostTracker> {
+            self.inner.tracker()
+        }
+        fn space_profile(&self) -> SpaceProfile {
+            self.inner.space_profile()
+        }
+        fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+            self.check()?;
+            self.inner.get_impl(key)
+        }
+        fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+            self.check()?;
+            self.inner.range_impl(lo, hi)
+        }
+        fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+            self.check()?;
+            self.inner.insert_impl(key, value)
+        }
+        fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+            self.check()?;
+            self.inner.update_impl(key, value)
+        }
+        fn delete_impl(&mut self, key: Key) -> Result<bool> {
+            self.check()?;
+            self.inner.delete_impl(key)
+        }
+        fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+            self.inner.bulk_load_impl(records)
+        }
+    }
+
+    /// A factory over a shared rot flag: instances share it, and recovery
+    /// (fresh physical storage) clears it — like abandoning bad pages.
+    fn rotten_factory() -> (
+        impl Fn() -> Rotten + Send + 'static,
+        Arc<std::sync::atomic::AtomicBool>,
+    ) {
+        let bad = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let shared = Arc::clone(&bad);
+        let factory = move || {
+            // A rebuilt instance starts on clean storage.
+            shared.store(false, std::sync::atomic::Ordering::Relaxed);
+            Rotten {
+                inner: Toy::new(),
+                bad: Arc::clone(&shared),
+            }
+        };
+        (factory, bad)
+    }
+
+    #[test]
+    fn detected_corruption_on_read_heals_to_the_acked_state() {
+        let (factory, bad) = rotten_factory();
+        let mut d = Durable::new(factory);
+        let sink = rum_core::trace::MemorySink::shared();
+        d.set_trace_sink(Arc::clone(&sink) as _);
+        for k in 0..12u64 {
+            d.insert(k, k * 7).unwrap();
+        }
+        bad.store(true, std::sync::atomic::Ordering::Relaxed);
+        // The read heals transparently: quarantine, rebuild from WAL,
+        // retry — and serves the acked value.
+        assert_eq!(d.get(5).unwrap(), Some(35));
+        assert_eq!(contents(&mut d).len(), 12, "all acked ops survived");
+        let repairs = sink
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::RepairComplete)
+            .count();
+        assert_eq!(repairs, 1, "exactly one repair cycle");
+        // And the structure keeps serving afterwards.
+        d.insert(100, 1).unwrap();
+        assert_eq!(d.get(100).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn detected_corruption_mid_apply_heals_and_retries_the_write() {
+        let (factory, bad) = rotten_factory();
+        let mut d = Durable::new(factory);
+        for k in 0..6u64 {
+            d.insert(k, k).unwrap();
+        }
+        bad.store(true, std::sync::atomic::Ordering::Relaxed);
+        // The apply hits corruption after the record is logged: heal,
+        // re-log, re-apply. The caller just sees Ok.
+        d.insert(50, 500).unwrap();
+        assert_eq!(d.get(50).unwrap(), Some(500));
+        // The aborted first record stays uncommitted forever: recovery
+        // reports it discarded and the contents stay exactly the acked set.
+        let report = d.recover().unwrap();
+        assert!(report.uncommitted_discarded >= 1, "aborted record dropped");
+        let mut want: Vec<Record> = (0..6u64).map(|k| Record::new(k, k)).collect();
+        want.push(Record::new(50, 500));
+        assert_eq!(contents(&mut d), want);
+    }
+
+    #[test]
+    fn try_heal_rebuilds_a_durable_method() {
+        let (factory, _bad) = rotten_factory();
+        let mut d = Durable::new(factory);
+        for k in 0..4u64 {
+            d.insert(k, k + 1).unwrap();
+        }
+        assert!(d.try_heal().unwrap(), "durable methods can heal");
+        assert_eq!(
+            contents(&mut d),
+            (0..4u64).map(|k| Record::new(k, k + 1)).collect::<Vec<_>>()
+        );
+        // The default implementation reports no capability.
+        let mut toy = Toy::new();
+        assert!(!toy.try_heal().unwrap());
     }
 
     #[test]

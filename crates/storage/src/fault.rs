@@ -4,13 +4,19 @@
 //! A [`FaultPlan`] describes *one* failure — crash after N durable bytes
 //! (optionally tearing the write in progress), or failing the nth flush —
 //! and a [`FaultInjector`] arms it over a shared atomic byte/flush clock.
-//! Everything is deterministic: the same plan over the same operation
-//! sequence fires at exactly the same byte, so every cell of the crash
-//! matrix is reproducible bit-for-bit.
+//! A [`FaultProfile`] layers *recurring* faults on top of the one-shot
+//! plan: seeded transient read/write errors with bounded burst length,
+//! sticky bad pages, and silent bit-flips spliced into stored bytes.
+//! Everything is deterministic: the same plan and profile over the same
+//! operation sequence fire at exactly the same byte/op, so every cell of
+//! the crash and fault-storm matrices is reproducible bit-for-bit.
 //!
 //! The injector is consulted by the [`Wal`](crate::wal::Wal) on every
-//! `sync()` and by [`FaultDevice`] on every page write, so both the
-//! logging path and the paged substrate can "lose power" mid-write.
+//! `sync()` and by [`FaultDevice`] on every page read and write — both
+//! through the same [`FaultInjector::on_durable_write`] helper, so the
+//! byte clock advances once per durable write no matter which path
+//! carries it, and a transiently-failed write (which will be retried)
+//! never consumes byte-clock budget.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -75,37 +81,252 @@ pub fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// A profile of *recurring* faults layered over the one-shot [`FaultPlan`].
+/// All draws are splitmix64-seeded: the same profile over the same op
+/// sequence injects exactly the same faults.
+///
+/// Probabilities are in parts per million so integer arithmetic stays
+/// exact. A transient fault that fires at op `n` keeps failing for a
+/// seeded burst of `1..=max_burst` consecutive attempts — a retry policy
+/// converges whenever `max_attempts > max_burst`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultProfile {
+    /// Seed for every draw this profile makes.
+    pub seed: u64,
+    /// Per-read probability (ppm) of a transient read error.
+    pub read_error_ppm: u32,
+    /// Per-write probability (ppm) of a transient write error. Transient
+    /// write failures do **not** advance the durable byte clock — the
+    /// write will be retried, and double-counting would shift every
+    /// downstream `CrashAtByte` point.
+    pub write_error_ppm: u32,
+    /// Longest transient burst: a firing fault fails `1..=max_burst`
+    /// consecutive attempts (seeded draw). Zero behaves as one.
+    pub max_burst: u32,
+    /// Per-persisted-write probability (ppm) of silently flipping one
+    /// seeded bit in the stored bytes. The write reports success — only a
+    /// checksum can reveal the damage.
+    pub bitflip_ppm: u32,
+    /// Per-page probability (ppm) of the page being "sticky bad": every
+    /// read of it fails hard (non-transient), modelling an unreadable
+    /// sector. A function of the page id alone, so it is stable across
+    /// the run.
+    pub sticky_ppm: u32,
+}
+
+/// Domain-separation salts so read, write, flip, and sticky draws sample
+/// independent splitmix64 streams from one seed.
+const READ_SALT: u64 = 0x5245_4144_5F53_4C54;
+const WRITE_SALT: u64 = 0x5752_4954_455F_534C;
+const FLIP_SALT: u64 = 0x464C_4950_5F53_414C;
+const STICKY_SALT: u64 = 0x5354_4943_4B59_5F53;
+
+impl FaultProfile {
+    /// A profile that injects nothing (the matrix's control cell).
+    pub fn none(seed: u64) -> Self {
+        FaultProfile {
+            seed,
+            read_error_ppm: 0,
+            write_error_ppm: 0,
+            max_burst: 1,
+            bitflip_ppm: 0,
+            sticky_ppm: 0,
+        }
+    }
+
+    /// Transient read+write errors at `ppm`, bursts up to `max_burst`.
+    pub fn transient(seed: u64, ppm: u32, max_burst: u32) -> Self {
+        FaultProfile {
+            read_error_ppm: ppm,
+            write_error_ppm: ppm,
+            max_burst: max_burst.max(1),
+            ..Self::none(seed)
+        }
+    }
+
+    /// Silent bit-flips on stored writes at `ppm`.
+    pub fn bitflips(seed: u64, ppm: u32) -> Self {
+        FaultProfile {
+            bitflip_ppm: ppm,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Sticky unreadable pages at `ppm` of the page-id space.
+    pub fn sticky(seed: u64, ppm: u32) -> Self {
+        FaultProfile {
+            sticky_ppm: ppm,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Whether this profile can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.read_error_ppm > 0
+            || self.write_error_ppm > 0
+            || self.bitflip_ppm > 0
+            || self.sticky_ppm > 0
+    }
+}
+
+/// Deterministic bounded backoff: exponential doubling from `base_ns`,
+/// capped at `cap_ns`, no jitter (jitter would break bit-exact replay).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry, in simulated nanoseconds.
+    pub base_ns: u64,
+    /// Ceiling on any single delay.
+    pub cap_ns: u64,
+}
+
+impl Backoff {
+    /// No waiting at all.
+    pub fn none() -> Self {
+        Backoff {
+            base_ns: 0,
+            cap_ns: 0,
+        }
+    }
+
+    /// Simulated delay before retry number `attempt` (1-based: the delay
+    /// taken after the `attempt`-th failed try).
+    pub fn delay_ns(&self, attempt: u32) -> u64 {
+        if self.base_ns == 0 {
+            return 0;
+        }
+        let shifted = self.base_ns.saturating_mul(
+            1u64.checked_shl(attempt.saturating_sub(1))
+                .unwrap_or(u64::MAX),
+        );
+        shifted.min(self.cap_ns.max(self.base_ns))
+    }
+}
+
+/// How many times to attempt a page access that keeps failing
+/// transiently, and how long to (simulated-)wait between attempts.
+/// Consulted by the [`Pager`](crate::pager::Pager) and the
+/// [`Wal`](crate::wal::Wal); every failed attempt is still charged to the
+/// cost tracker, so resilience shows up as RO/UO in the RUM report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Simulated backoff between attempts.
+    pub backoff: Backoff,
+}
+
+impl RetryPolicy {
+    /// Fail on the first transient error — the "no resilience" baseline.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Backoff::none(),
+        }
+    }
+
+    /// `max_attempts` tries with the default backoff curve.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 1 µs doubling to a 1 ms cap. On a clean device the
+    /// policy is never consulted, so the default changes nothing unless
+    /// faults are injected.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Backoff {
+                base_ns: 1_000,
+                cap_ns: 1_000_000,
+            },
+        }
+    }
+}
+
 /// What a durable-write path must do with the bytes it is persisting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WriteOutcome {
     /// All bytes reach durable storage.
     Persist,
+    /// All bytes land, but bit `bit` (an offset into this write's bytes)
+    /// is flipped in the stored copy. The caller persists the damaged
+    /// bytes and reports success — silent corruption by construction.
+    PersistFlipped { bit: u64 },
     /// Power loss: only the first `keep` bytes land; with `torn`, the kept
     /// tail is corrupted in place. The caller must then fail with
     /// [`RumError::Crash`].
     CrashKeeping { keep: u64, torn: bool },
     /// This flush fails wholesale; nothing lands.
     FailFlush,
+    /// Transient device error: nothing lands and the byte clock did not
+    /// advance. The caller surfaces [`RumError::Transient`] and may retry.
+    Transient,
 }
 
-/// Arms a [`FaultPlan`] over shared atomic counters. Cheap to clone via
-/// `Arc` so a WAL and a device can share one byte clock. Each injector
-/// fires **at most once** (`fired`), mirroring a single power event.
+/// What a page read must do, per the recurring profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Serve the page normally.
+    Serve,
+    /// Transient read error: fail with [`RumError::Transient`]; a retry
+    /// may succeed.
+    Transient,
+    /// The page is sticky-bad: fail hard with [`RumError::Storage`];
+    /// retries are pointless.
+    Sticky,
+}
+
+/// Arms a [`FaultPlan`] (and optionally a recurring [`FaultProfile`]) over
+/// shared atomic counters. Cheap to clone via `Arc` so a WAL and a device
+/// can share one byte clock. The one-shot plan fires **at most once**
+/// (`fired`), mirroring a single power event; the profile keeps firing for
+/// as long as its seeded draws say so.
 #[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
+    profile: Option<FaultProfile>,
     durable_bytes: AtomicU64,
     flush_calls: AtomicU64,
     fired: AtomicBool,
+    // Profile op clocks: reads and writes draw from independent seeded
+    // streams; `*_faulty_until` carries an in-progress transient burst.
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+    read_faulty_until: AtomicU64,
+    write_faulty_until: AtomicU64,
+    flip_ops: AtomicU64,
+    // Tallies for reporting.
+    transient_faults: AtomicU64,
+    bitflips: AtomicU64,
+    sticky_hits: AtomicU64,
 }
 
 impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Arc<Self> {
+        Self::with_profile(plan, None)
+    }
+
+    /// An injector arming both a one-shot plan and a recurring profile.
+    pub fn with_profile(plan: FaultPlan, profile: Option<FaultProfile>) -> Arc<Self> {
         Arc::new(FaultInjector {
             plan,
+            profile,
             durable_bytes: AtomicU64::new(0),
             flush_calls: AtomicU64::new(0),
             fired: AtomicBool::new(false),
+            read_ops: AtomicU64::new(0),
+            write_ops: AtomicU64::new(0),
+            read_faulty_until: AtomicU64::new(0),
+            write_faulty_until: AtomicU64::new(0),
+            flip_ops: AtomicU64::new(0),
+            transient_faults: AtomicU64::new(0),
+            bitflips: AtomicU64::new(0),
+            sticky_hits: AtomicU64::new(0),
         })
     }
 
@@ -119,7 +340,12 @@ impl FaultInjector {
         self.plan
     }
 
-    /// Whether the fault has fired.
+    /// The recurring profile, if any.
+    pub fn profile(&self) -> Option<FaultProfile> {
+        self.profile
+    }
+
+    /// Whether the one-shot fault has fired.
     pub fn fired(&self) -> bool {
         self.fired.load(Ordering::Relaxed)
     }
@@ -129,12 +355,92 @@ impl FaultInjector {
         self.durable_bytes.load(Ordering::Relaxed)
     }
 
-    /// Consult the plan for a durable write of `len` bytes (one WAL sync or
-    /// one page write). Advances the byte/flush clocks and returns what the
-    /// caller must persist. Callers are driven `&mut`, so the two-step
-    /// check-then-advance below is not racy in practice; the atomics only
-    /// make sharing one injector across structures safe.
+    /// Transient faults injected so far (reads and writes).
+    pub fn transient_faults(&self) -> u64 {
+        self.transient_faults.load(Ordering::Relaxed)
+    }
+
+    /// Silent bit-flips injected so far.
+    pub fn bitflips(&self) -> u64 {
+        self.bitflips.load(Ordering::Relaxed)
+    }
+
+    /// Reads refused because the page is sticky-bad.
+    pub fn sticky_hits(&self) -> u64 {
+        self.sticky_hits.load(Ordering::Relaxed)
+    }
+
+    /// One seeded transient draw on the `ops`/`until` clock pair. Advances
+    /// the op clock, starts a burst when the per-op draw fires, and keeps
+    /// failing while inside a burst.
+    fn transient_hit(&self, ops: &AtomicU64, until: &AtomicU64, ppm: u32, salt: u64) -> bool {
+        let profile = match self.profile {
+            Some(p) if ppm > 0 => p,
+            _ => return false,
+        };
+        let n = ops.fetch_add(1, Ordering::Relaxed) + 1;
+        let burst_end = until.load(Ordering::Relaxed);
+        if n <= burst_end {
+            self.transient_faults.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        if burst_end > 0 && n == burst_end + 1 {
+            // The first op after a burst is forced clean: bursts never
+            // chain, so consecutive failures are hard-capped at
+            // `max_burst` and a retry policy with `max_attempts >
+            // max_burst` provably converges.
+            return false;
+        }
+        let r = splitmix64(profile.seed ^ salt ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if r % 1_000_000 < u64::from(ppm) {
+            let burst = 1 + splitmix64(r) % u64::from(profile.max_burst.max(1));
+            until.store(n + burst - 1, Ordering::Relaxed);
+            self.transient_faults.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `page` is sticky-bad under the profile: a pure function of
+    /// the page id, so the same pages stay bad for the whole run.
+    pub fn is_sticky(&self, page: u64) -> bool {
+        match self.profile {
+            Some(p) if p.sticky_ppm > 0 => {
+                splitmix64(p.seed ^ STICKY_SALT ^ page) % 1_000_000 < u64::from(p.sticky_ppm)
+            }
+            _ => false,
+        }
+    }
+
+    /// Consult the profile for one page read of `page`.
+    pub fn on_page_read(&self, page: u64) -> ReadOutcome {
+        if self.is_sticky(page) {
+            self.sticky_hits.fetch_add(1, Ordering::Relaxed);
+            return ReadOutcome::Sticky;
+        }
+        let ppm = self.profile.map_or(0, |p| p.read_error_ppm);
+        if self.transient_hit(&self.read_ops, &self.read_faulty_until, ppm, READ_SALT) {
+            ReadOutcome::Transient
+        } else {
+            ReadOutcome::Serve
+        }
+    }
+
+    /// Consult the plan and profile for a durable write of `len` bytes
+    /// (one WAL sync or one page write) — the **single** helper every
+    /// durable path goes through, so the byte/flush clocks advance exactly
+    /// once per landed write. Transient failures are checked first and
+    /// advance neither clock: the write will be retried, and charging it
+    /// would shift every downstream `CrashAtByte` point. Callers are
+    /// driven `&mut`, so the two-step check-then-advance below is not racy
+    /// in practice; the atomics only make sharing one injector across
+    /// structures safe.
     pub fn on_durable_write(&self, len: u64) -> WriteOutcome {
+        let ppm = self.profile.map_or(0, |p| p.write_error_ppm);
+        if self.transient_hit(&self.write_ops, &self.write_faulty_until, ppm, WRITE_SALT) {
+            return WriteOutcome::Transient;
+        }
         let flush_no = self.flush_calls.fetch_add(1, Ordering::Relaxed) + 1;
         let written = self.durable_bytes.load(Ordering::Relaxed);
         match self.plan {
@@ -152,15 +458,39 @@ impl FaultInjector {
             }
             _ => {
                 self.durable_bytes.fetch_add(len, Ordering::Relaxed);
-                WriteOutcome::Persist
+                match self.flip_draw(len * 8) {
+                    Some(bit) => WriteOutcome::PersistFlipped { bit },
+                    None => WriteOutcome::Persist,
+                }
             }
+        }
+    }
+
+    /// Seeded bit-flip draw for a persisted write of `len_bits` bits.
+    fn flip_draw(&self, len_bits: u64) -> Option<u64> {
+        let profile = self.profile?;
+        if profile.bitflip_ppm == 0 || len_bits == 0 {
+            return None;
+        }
+        let n = self.flip_ops.fetch_add(1, Ordering::Relaxed) + 1;
+        let r = splitmix64(profile.seed ^ FLIP_SALT ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if r % 1_000_000 < u64::from(profile.bitflip_ppm) {
+            self.bitflips.fetch_add(1, Ordering::Relaxed);
+            Some(splitmix64(r ^ FLIP_SALT) % len_bits)
+        } else {
+            None
         }
     }
 }
 
-/// A [`BlockDevice`] wrapper that runs every page write past a
+/// A [`BlockDevice`] wrapper that runs every page access past a
 /// [`FaultInjector`]: a crash mid-page persists a *torn page* (new prefix
-/// spliced over the old contents) and surfaces [`RumError::Crash`].
+/// spliced over the old contents) and surfaces [`RumError::Crash`]; a
+/// recurring profile adds transient read/write errors
+/// ([`RumError::Transient`]), sticky-bad pages, and silent bit-flips in
+/// the stored bytes. Stack a
+/// [`CheckedDevice`](crate::checked::CheckedDevice) *around* this wrapper
+/// so flips land under the seal and are caught on read.
 pub struct FaultDevice<D: BlockDevice> {
     inner: D,
     injector: Arc<FaultInjector>,
@@ -190,12 +520,31 @@ impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
     }
 
     fn read_page(&mut self, id: PageId) -> Result<PageBuf> {
-        self.inner.read_page(id)
+        match self.injector.on_page_read(id.0) {
+            ReadOutcome::Serve => self.inner.read_page(id),
+            ReadOutcome::Transient => {
+                Err(RumError::Transient(format!("transient read error on {id}")))
+            }
+            ReadOutcome::Sticky => Err(RumError::Storage(format!(
+                "sticky bad page {id}: unreadable sector"
+            ))),
+        }
     }
 
     fn write_page(&mut self, id: PageId, page: &PageBuf) -> Result<()> {
         match self.injector.on_durable_write(PAGE_SIZE as u64) {
             WriteOutcome::Persist => self.inner.write_page(id, page),
+            WriteOutcome::PersistFlipped { bit } => {
+                // Silent corruption: store the page with one bit flipped
+                // and report success — only a checksum can tell.
+                let mut damaged = page.clone();
+                let bit = (bit as usize) % (PAGE_SIZE * 8);
+                damaged.as_mut_slice()[bit / 8] ^= 1 << (bit % 8);
+                self.inner.write_page(id, &damaged)
+            }
+            WriteOutcome::Transient => Err(RumError::Transient(format!(
+                "transient write error on {id}"
+            ))),
             WriteOutcome::CrashKeeping { keep, torn } => {
                 // Persist a torn page: new prefix over old suffix.
                 let mut merged = self.inner.read_page(id)?;
@@ -281,6 +630,196 @@ mod tests {
                 other => panic!("unexpected plan {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn backoff_doubles_to_cap() {
+        let b = Backoff {
+            base_ns: 100,
+            cap_ns: 500,
+        };
+        assert_eq!(b.delay_ns(1), 100);
+        assert_eq!(b.delay_ns(2), 200);
+        assert_eq!(b.delay_ns(3), 400);
+        assert_eq!(b.delay_ns(4), 500, "capped");
+        assert_eq!(b.delay_ns(100), 500, "huge attempts saturate, no overflow");
+        assert_eq!(Backoff::none().delay_ns(3), 0);
+    }
+
+    #[test]
+    fn transient_profile_is_deterministic_and_bounded() {
+        let profile = FaultProfile::transient(42, 200_000, 3);
+        let a = FaultInjector::with_profile(FaultPlan::None, Some(profile));
+        let b = FaultInjector::with_profile(FaultPlan::None, Some(profile));
+        let seq_a: Vec<WriteOutcome> = (0..400).map(|_| a.on_durable_write(64)).collect();
+        let seq_b: Vec<WriteOutcome> = (0..400).map(|_| b.on_durable_write(64)).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same op sequence, same faults");
+        assert!(a.transient_faults() > 0, "20% ppm over 400 ops must fire");
+        // No burst of consecutive transient failures exceeds max_burst.
+        let mut run = 0u32;
+        for o in &seq_a {
+            if *o == WriteOutcome::Transient {
+                run += 1;
+                assert!(run <= 3, "burst exceeded max_burst");
+            } else {
+                run = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn transient_reads_are_deterministic_and_sticky_pages_stay_bad() {
+        let profile = FaultProfile {
+            sticky_ppm: 100_000,
+            ..FaultProfile::transient(7, 100_000, 2)
+        };
+        let inj = FaultInjector::with_profile(FaultPlan::None, Some(profile));
+        // Sticky-ness is a pure function of the page id: stable across reads
+        // and independent of the transient op clock.
+        let sticky: Vec<u64> = (0..200).filter(|&p| inj.is_sticky(p)).collect();
+        assert!(!sticky.is_empty(), "10% of 200 pages should be sticky");
+        assert!(sticky.len() < 100, "but nowhere near half");
+        for &p in sticky.iter().take(4) {
+            for _ in 0..3 {
+                assert_eq!(inj.on_page_read(p), ReadOutcome::Sticky);
+            }
+        }
+        assert!(inj.sticky_hits() > 0);
+        // A non-sticky page sees only Serve/Transient, deterministically.
+        let good = (0..200).find(|&p| !inj.is_sticky(p)).unwrap();
+        let twin = FaultInjector::with_profile(FaultPlan::None, Some(profile));
+        let seq: Vec<ReadOutcome> = (0..300).map(|_| inj.on_page_read(good)).collect();
+        for &p in sticky.iter().take(4) {
+            for _ in 0..3 {
+                assert_eq!(twin.on_page_read(p), ReadOutcome::Sticky);
+            }
+        }
+        let seq2: Vec<ReadOutcome> = (0..300).map(|_| twin.on_page_read(good)).collect();
+        assert_eq!(seq, seq2);
+        assert!(seq.contains(&ReadOutcome::Transient));
+    }
+
+    #[test]
+    fn transient_write_never_advances_the_byte_clock() {
+        let profile = FaultProfile {
+            read_error_ppm: 0,
+            ..FaultProfile::transient(3, 300_000, 2)
+        };
+        let inj = FaultInjector::with_profile(FaultPlan::None, Some(profile));
+        let mut persisted = 0u64;
+        for _ in 0..500 {
+            match inj.on_durable_write(10) {
+                WriteOutcome::Persist => persisted += 10,
+                WriteOutcome::Transient => {}
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(
+            inj.durable_bytes(),
+            persisted,
+            "byte clock counts only landed bytes"
+        );
+    }
+
+    /// Satellite: the byte clock across *mixed* WAL + device traffic.
+    /// Recurring transient write faults must not double-count or shift the
+    /// one-shot crash point: the crash still fires exactly when cumulative
+    /// *landed* bytes cross the offset, no matter how many transiently
+    /// failed attempts were interleaved on either path.
+    #[test]
+    fn byte_clock_is_shared_and_stable_across_mixed_wal_and_device_traffic() {
+        use crate::device::MemDevice;
+        use crate::wal::{Wal, WalEntry};
+        use rum_core::CostTracker;
+
+        let crash_offset = 3 * PAGE_SIZE as u64 + 100;
+        let profile = FaultProfile {
+            read_error_ppm: 0,
+            ..FaultProfile::transient(11, 250_000, 2)
+        };
+        let inj = FaultInjector::with_profile(FaultPlan::crash_at(crash_offset), Some(profile));
+        let mut wal = Wal::with_injector(CostTracker::new(), Arc::clone(&inj));
+        // Generous retries so transient bursts never surface from sync().
+        wal.set_retry_policy(RetryPolicy::attempts(8));
+        let mut dev = FaultDevice::new(MemDevice::new(), Arc::clone(&inj));
+        let id = dev.allocate().unwrap();
+        let page = PageBuf::zeroed();
+
+        let mut landed = 0u64;
+        let mut crashed = false;
+        'outer: for round in 0..64u64 {
+            // One WAL record synced (8-byte frame header + 17-byte payload)...
+            wal.append(&WalEntry::Insert {
+                key: round,
+                value: round,
+            });
+            match wal.sync() {
+                Ok(()) => landed += 25,
+                Err(RumError::Crash(_)) => {
+                    crashed = true;
+                    break 'outer;
+                }
+                Err(e) => panic!("unexpected WAL error {e:?}"),
+            }
+            // ...then one page write, retried past transient faults.
+            let mut attempts = 0;
+            loop {
+                match dev.write_page(id, &page) {
+                    Ok(()) => {
+                        landed += PAGE_SIZE as u64;
+                        break;
+                    }
+                    Err(RumError::Transient(_)) => {
+                        attempts += 1;
+                        assert!(attempts <= 8, "burst exceeded profile bound");
+                    }
+                    Err(RumError::Crash(_)) => {
+                        crashed = true;
+                        break 'outer;
+                    }
+                    Err(e) => panic!("unexpected device error {e:?}"),
+                }
+            }
+        }
+        assert!(crashed, "the crash plan must eventually fire");
+        assert_eq!(
+            inj.durable_bytes(),
+            crash_offset,
+            "crash fired exactly at the planned byte despite interleaved transients"
+        );
+        assert!(
+            landed >= crash_offset - PAGE_SIZE as u64,
+            "landed bytes track the clock up to the final partial write"
+        );
+    }
+
+    #[test]
+    fn bitflips_are_silent_and_deterministic() {
+        let profile = FaultProfile::bitflips(5, 1_000_000); // always flip
+        let inj = FaultInjector::with_profile(FaultPlan::None, Some(profile));
+        let mut dev = FaultDevice::new(MemDevice::new(), Arc::clone(&inj));
+        let id = dev.allocate().unwrap();
+        let mut page = PageBuf::zeroed();
+        page.as_mut_slice().fill(0x11);
+        dev.write_page(id, &page).unwrap(); // reports success
+        assert_eq!(inj.bitflips(), 1);
+        let stored = dev.read_page(id).unwrap();
+        let differing: Vec<usize> = (0..PAGE_SIZE)
+            .filter(|&i| stored.as_slice()[i] != 0x11)
+            .collect();
+        assert_eq!(differing.len(), 1, "exactly one byte damaged");
+        let delta = stored.as_slice()[differing[0]] ^ 0x11;
+        assert_eq!(delta.count_ones(), 1, "exactly one bit flipped");
+        // Same seed → same bit.
+        let twin_inj = FaultInjector::with_profile(FaultPlan::None, Some(profile));
+        let mut twin = FaultDevice::new(MemDevice::new(), Arc::clone(&twin_inj));
+        let tid = twin.allocate().unwrap();
+        twin.write_page(tid, &page).unwrap();
+        assert_eq!(
+            twin.read_page(tid).unwrap().as_slice(),
+            stored.as_slice(),
+            "flip position is a pure function of the seed and op clock"
+        );
     }
 
     #[test]

@@ -37,9 +37,19 @@
 //! * [`fault`] — deterministic fault injection
 //!   ([`FaultInjector`]): seeded crash points, torn
 //!   writes, and failed flushes over the WAL sync path and the block
-//!   device, powering the crash-matrix experiment.
+//!   device, powering the crash-matrix experiment; plus recurring seeded
+//!   faults ([`FaultProfile`]) — transient read/write errors with bounded
+//!   bursts, sticky bad pages, silent bit-flips — and the deterministic
+//!   [`RetryPolicy`] the pager and WAL answer them with.
+//! * [`checked`] — sealed pages: [`CheckedDevice`]
+//!   seals every write with the WAL's CRC-32 in a sidecar map and verifies
+//!   on read, turning silent bit-rot into
+//!   [`RumError::CorruptPage`](rum_core::RumError::CorruptPage); the
+//!   pager's [`scrub`](Pager::scrub) walks the seals and prices the
+//!   verification as auxiliary reads.
 
 pub mod buffer;
+pub mod checked;
 pub mod cost;
 pub mod device;
 pub mod durable;
@@ -51,10 +61,14 @@ pub mod pager;
 pub mod wal;
 
 pub use buffer::BufferPool;
+pub use checked::{CheckedDevice, ScrubReport};
 pub use cost::DeviceProfile;
 pub use device::{BlockDevice, IoStats, MemDevice};
 pub use durable::{Durable, RecoveryReport};
-pub use fault::{splitmix64, FaultDevice, FaultInjector, FaultPlan, WriteOutcome};
+pub use fault::{
+    splitmix64, Backoff, FaultDevice, FaultInjector, FaultPlan, FaultProfile, ReadOutcome,
+    RetryPolicy, WriteOutcome,
+};
 pub use hierarchy::{HierarchySpec, LevelSpec, MemoryHierarchy};
 pub use lru::LruSet;
 pub use page::{PageBuf, PageId};

@@ -9,10 +9,13 @@
 
 use std::sync::Arc;
 
-use rum_core::{CostTracker, DataClass, Result, PAGE_SIZE};
+use rum_core::trace::{EventKind, TraceSink};
+use rum_core::{CostTracker, DataClass, Result, RumError, PAGE_SIZE};
 
+use crate::checked::{CheckedDevice, ScrubReport};
 use crate::cost::{AccessClassifier, DeviceProfile};
 use crate::device::BlockDevice;
+use crate::fault::RetryPolicy;
 use crate::page::{PageBuf, PageId};
 
 /// Instrumented page manager over any block device.
@@ -21,6 +24,13 @@ pub struct Pager<D: BlockDevice> {
     tracker: Arc<CostTracker>,
     profile: DeviceProfile,
     classifier: AccessClassifier,
+    /// Answer to transient device faults: every attempt — failed or not —
+    /// is charged to the tracker, so retries surface as RO/UO. Never
+    /// consulted on a clean device, so the default changes nothing there.
+    retry: RetryPolicy,
+    /// Structured-event channel for fault/retry/corruption observations;
+    /// the disabled noop sink by default.
+    sink: Arc<dyn TraceSink>,
 }
 
 impl<D: BlockDevice> Pager<D> {
@@ -37,7 +47,21 @@ impl<D: BlockDevice> Pager<D> {
             tracker,
             profile,
             classifier: AccessClassifier::new(),
+            retry: RetryPolicy::default(),
+            sink: rum_core::trace::noop_sink(),
         }
+    }
+
+    /// Change how transient device faults are retried.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Install a sink for fault, retry, and corruption events. The pager
+    /// only reads its own state for them, so tracing never changes what is
+    /// read, written, or charged.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = sink;
     }
 
     pub fn tracker(&self) -> &Arc<CostTracker> {
@@ -70,25 +94,114 @@ impl<D: BlockDevice> Pager<D> {
     }
 
     /// Read a page, charging one page access and `PAGE_SIZE` bytes of
-    /// `class` traffic.
+    /// `class` traffic **per attempt**: transient device faults are
+    /// retried per the [`RetryPolicy`], and every failed attempt still
+    /// touched the device, so resilience is priced as extra RO. Detected
+    /// corruption ([`RumError::CorruptPage`]) is not retryable — the
+    /// stored bytes are wrong, not busy — and is surfaced (and traced)
+    /// immediately.
     pub fn read(&mut self, id: PageId, class: DataClass) -> Result<PageBuf> {
-        let buf = self.device.read_page(id)?;
-        self.tracker.page_read();
-        self.tracker.read(class, PAGE_SIZE as u64);
-        let ns = self.classifier.read(&self.profile, id);
-        self.tracker.sim_time(ns);
-        Ok(buf)
+        let mut attempt = 1u32;
+        loop {
+            let r = self.device.read_page(id);
+            if Self::attempt_touched_device(&r) {
+                self.tracker.page_read();
+                self.tracker.read(class, PAGE_SIZE as u64);
+                let ns = self.classifier.read(&self.profile, id);
+                self.tracker.sim_time(ns);
+            }
+            match r {
+                Ok(buf) => return Ok(buf),
+                Err(e) => {
+                    if let Some(err) = self.note_failure(id, &e, &mut attempt) {
+                        return Err(err);
+                    }
+                }
+            }
+        }
     }
 
     /// Write a page, charging one page access and `PAGE_SIZE` bytes of
-    /// `class` traffic.
+    /// `class` traffic **per attempt**: transient faults are retried per
+    /// the [`RetryPolicy`], and every failed attempt is priced as extra
+    /// UO.
     pub fn write(&mut self, id: PageId, class: DataClass, page: &PageBuf) -> Result<()> {
-        self.device.write_page(id, page)?;
-        self.tracker.page_write();
-        self.tracker.write(class, PAGE_SIZE as u64);
-        let ns = self.classifier.write(&self.profile, id);
-        self.tracker.sim_time(ns);
-        Ok(())
+        let mut attempt = 1u32;
+        loop {
+            let r = self.device.write_page(id, page);
+            if Self::attempt_touched_device(&r) {
+                self.tracker.page_write();
+                self.tracker.write(class, PAGE_SIZE as u64);
+                let ns = self.classifier.write(&self.profile, id);
+                self.tracker.sim_time(ns);
+            }
+            match r {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    if let Some(err) = self.note_failure(id, &e, &mut attempt) {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether one device attempt performed (and should charge) a physical
+    /// page touch. Success always did; a transient fault or a checksum
+    /// mismatch cost the access before failing. Other errors (bad page id,
+    /// power loss — whose partial-write accounting lives with the fault
+    /// injector) keep their long-standing uncharged behavior.
+    fn attempt_touched_device<T>(r: &Result<T>) -> bool {
+        matches!(
+            r,
+            Ok(_) | Err(RumError::Transient(_)) | Err(RumError::CorruptPage { .. })
+        )
+    }
+
+    /// Common failure handling for one failed attempt: trace it, decide
+    /// whether to retry (returns `None`, after charging backoff and
+    /// bumping `attempt`) or give up (returns the error to surface).
+    fn note_failure(&mut self, id: PageId, e: &RumError, attempt: &mut u32) -> Option<RumError> {
+        if self.sink.enabled() {
+            match e {
+                RumError::Transient(_) => {
+                    self.sink.emit(
+                        EventKind::FaultInjected,
+                        &[("page", id.0), ("attempt", u64::from(*attempt))],
+                    );
+                }
+                RumError::CorruptPage {
+                    stored, computed, ..
+                } => {
+                    self.sink.emit(
+                        EventKind::CorruptionDetected,
+                        &[
+                            ("page", id.0),
+                            ("stored", u64::from(*stored)),
+                            ("computed", u64::from(*computed)),
+                        ],
+                    );
+                }
+                _ => {}
+            }
+        }
+        if !e.is_transient() || *attempt >= self.retry.max_attempts {
+            return Some(e.clone());
+        }
+        let delay = self.retry.backoff.delay_ns(*attempt);
+        self.tracker.sim_time(delay);
+        if self.sink.enabled() {
+            self.sink.emit(
+                EventKind::RetryAttempt,
+                &[
+                    ("page", id.0),
+                    ("attempt", u64::from(*attempt)),
+                    ("backoff_ns", delay),
+                ],
+            );
+        }
+        *attempt += 1;
+        None
     }
 
     /// Live pages on the device — the physical footprint in pages.
@@ -104,6 +217,31 @@ impl<D: BlockDevice> Pager<D> {
     /// Flush any cached state in the underlying device.
     pub fn sync(&mut self) -> Result<()> {
         self.device.sync()
+    }
+}
+
+impl<D: BlockDevice> Pager<CheckedDevice<D>> {
+    /// Verify every sealed page against its CRC, in ascending page order.
+    /// Each verification read (including transient-fault retries) is
+    /// charged as an **auxiliary** read — scrubbing is maintenance
+    /// traffic, priced in the same RO currency as everything else. The
+    /// pass does not stop at the first problem: all corrupt and
+    /// unreadable pages are collected so repair can act on the full
+    /// picture.
+    pub fn scrub(&mut self) -> Result<ScrubReport> {
+        let ids = self.device.sealed_pages();
+        let mut report = ScrubReport {
+            pages_scanned: ids.len(),
+            ..ScrubReport::default()
+        };
+        for id in ids {
+            match self.read(id, DataClass::Aux) {
+                Ok(_) => {}
+                Err(RumError::CorruptPage { .. }) => report.corrupt.push(id),
+                Err(_) => report.unreadable.push(id),
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -152,6 +290,106 @@ mod tests {
         assert_eq!(pager.physical_bytes(), 2 * PAGE_SIZE as u64);
         pager.free(a).unwrap();
         assert_eq!(pager.physical_bytes(), PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_priced_as_extra_reads() {
+        use crate::fault::{FaultDevice, FaultInjector, FaultPlan, FaultProfile, RetryPolicy};
+        let run = || {
+            let inj = FaultInjector::with_profile(
+                FaultPlan::None,
+                Some(FaultProfile::transient(17, 400_000, 2)),
+            );
+            let tracker = CostTracker::new();
+            let mut pager = Pager::new(
+                FaultDevice::new(MemDevice::new(), Arc::clone(&inj)),
+                Arc::clone(&tracker),
+            );
+            pager.set_retry_policy(RetryPolicy::attempts(8));
+            let id = pager.allocate().unwrap();
+            pager
+                .write(id, DataClass::Base, &PageBuf::zeroed())
+                .unwrap();
+            for _ in 0..100 {
+                pager.read(id, DataClass::Base).unwrap();
+            }
+            (tracker.snapshot(), inj.transient_faults())
+        };
+        let (a, faults) = run();
+        assert!(faults > 0, "40% fault rate over 100 reads must fire");
+        assert!(
+            a.page_reads > 100,
+            "failed attempts are charged: {} reads for 100 logical",
+            a.page_reads
+        );
+        assert_eq!(
+            a.base_read_bytes,
+            a.page_reads * PAGE_SIZE as u64,
+            "every attempt charged a full page of class traffic"
+        );
+        let (b, _) = run();
+        assert_eq!(a, b, "same seed, same policy, bit-identical costs");
+    }
+
+    #[test]
+    fn no_retry_policy_surfaces_the_first_transient() {
+        use crate::fault::{FaultDevice, FaultInjector, FaultPlan, FaultProfile, RetryPolicy};
+        use rum_core::RumError;
+        // ppm = 1e6: every read attempt faults, so attempt 1 must fail.
+        let inj = FaultInjector::with_profile(
+            FaultPlan::None,
+            Some(FaultProfile {
+                write_error_ppm: 0,
+                ..FaultProfile::transient(1, 1_000_000, 1)
+            }),
+        );
+        let tracker = CostTracker::new();
+        let mut pager = Pager::new(FaultDevice::new(MemDevice::new(), inj), tracker);
+        pager.set_retry_policy(RetryPolicy::none());
+        let id = pager.allocate().unwrap();
+        pager
+            .write(id, DataClass::Base, &PageBuf::zeroed())
+            .unwrap();
+        let err = pager.read(id, DataClass::Base).unwrap_err();
+        assert!(matches!(err, RumError::Transient(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn scrub_verifies_seals_and_charges_aux_reads() {
+        use crate::checked::CheckedDevice;
+        use rum_core::RumError;
+        let tracker = CostTracker::new();
+        let mut pager = Pager::new(CheckedDevice::new(MemDevice::new()), Arc::clone(&tracker));
+        let ids: Vec<_> = (0..3).map(|_| pager.allocate().unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            let mut p = PageBuf::zeroed();
+            p.as_mut_slice().fill(i as u8 + 1);
+            pager.write(*id, DataClass::Base, &p).unwrap();
+        }
+        // Clean scrub: everything verifies, priced as 3 aux page reads.
+        let before = tracker.snapshot();
+        let clean = pager.scrub().unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(clean.pages_scanned, 3);
+        let d = tracker.since(&before);
+        assert_eq!(d.aux_read_bytes, 3 * PAGE_SIZE as u64);
+        assert_eq!(d.page_reads, 3);
+        // Damage one page behind the seal; scrub pinpoints it and keeps
+        // going.
+        let mut damaged = PageBuf::zeroed();
+        damaged.as_mut_slice().fill(0xEE);
+        pager
+            .device_mut()
+            .inner_mut()
+            .write_page(ids[1], &damaged)
+            .unwrap();
+        let dirty = pager.scrub().unwrap();
+        assert_eq!(dirty.corrupt, vec![ids[1]]);
+        assert!(dirty.unreadable.is_empty());
+        // Foreground reads refuse the damaged page too.
+        let err = pager.read(ids[1], DataClass::Base).unwrap_err();
+        assert!(matches!(err, RumError::CorruptPage { .. }));
+        let _ = pager.read(ids[0], DataClass::Base).unwrap();
     }
 
     #[test]

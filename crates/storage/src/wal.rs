@@ -36,7 +36,7 @@ use std::sync::Arc;
 use rum_core::trace::{EventKind, TraceSink};
 use rum_core::{CostTracker, DataClass, Key, Result, RumError, Value, PAGE_SIZE};
 
-use crate::fault::{FaultInjector, WriteOutcome};
+use crate::fault::{FaultInjector, RetryPolicy, WriteOutcome};
 
 /// Frame header size: u32 length + u32 CRC.
 pub const WAL_HEADER_BYTES: usize = 8;
@@ -185,6 +185,10 @@ pub struct Wal {
     /// Structured-event channel for sync outcomes; the disabled
     /// [`NoopSink`](rum_core::trace::NoopSink) by default.
     sink: Arc<dyn TraceSink>,
+    /// How [`sync`](Self::sync) responds to transient injector faults:
+    /// retried in place (pending bytes kept) up to `max_attempts`, backoff
+    /// charged as simulated time. Never consulted on a clean device.
+    retry: RetryPolicy,
 }
 
 impl Wal {
@@ -197,6 +201,7 @@ impl Wal {
             injector: None,
             synced_total: 0,
             sink: rum_core::trace::noop_sink(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -219,6 +224,11 @@ impl Wal {
     /// persisted or charged.
     pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
         self.sink = sink;
+    }
+
+    /// Change how transient sync faults are retried.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// Bytes surviving on durable storage right now.
@@ -271,7 +281,41 @@ impl Wal {
     /// Make pending appends durable. Returns `Err(RumError::Crash)` when
     /// the armed fault fires; whatever prefix the injector let through is
     /// already on "disk" (and charged), mirroring a real power event.
+    /// Transient injector faults are retried in place per the
+    /// [`RetryPolicy`] — pending bytes are kept across failed attempts, and
+    /// backoff is charged as simulated time — before surfacing
+    /// [`RumError::Transient`].
     pub fn sync(&mut self) -> Result<()> {
+        let mut attempt = 1u32;
+        loop {
+            match self.sync_attempt() {
+                Err(RumError::Transient(m)) => {
+                    if self.sink.enabled() {
+                        self.sink.emit(
+                            EventKind::FaultInjected,
+                            &[("attempt", u64::from(attempt)), ("wal", 1)],
+                        );
+                    }
+                    if attempt >= self.retry.max_attempts {
+                        return Err(RumError::Transient(m));
+                    }
+                    let delay = self.retry.backoff.delay_ns(attempt);
+                    self.tracker.sim_time(delay);
+                    if self.sink.enabled() {
+                        self.sink.emit(
+                            EventKind::RetryAttempt,
+                            &[("attempt", u64::from(attempt)), ("backoff_ns", delay)],
+                        );
+                    }
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One sync attempt against the injector.
+    fn sync_attempt(&mut self) -> Result<()> {
         if self.pending.is_empty() {
             return Ok(());
         }
@@ -282,8 +326,20 @@ impl Wal {
         };
         let start = self.durable.len() as u64;
         match outcome {
-            WriteOutcome::Persist => {
+            WriteOutcome::Persist | WriteOutcome::PersistFlipped { .. } => {
+                let flip = match outcome {
+                    WriteOutcome::PersistFlipped { bit } => Some(bit),
+                    _ => None,
+                };
                 self.durable.append(&mut self.pending);
+                if let Some(bit) = flip {
+                    // Silent media corruption inside the just-landed bytes;
+                    // the per-frame CRC turns it into a torn tail on replay.
+                    let idx = start as usize + (bit / 8) as usize;
+                    if idx < self.durable.len() {
+                        self.durable[idx] ^= 1 << (bit % 8);
+                    }
+                }
                 self.charge(start, n);
                 self.synced_total += n;
                 if self.sink.enabled() {
@@ -294,6 +350,9 @@ impl Wal {
                 }
                 Ok(())
             }
+            WriteOutcome::Transient => Err(RumError::Transient(format!(
+                "transient WAL sync fault: {n} bytes still buffered"
+            ))),
             WriteOutcome::CrashKeeping { keep, torn } => {
                 let keep = (keep as usize).min(self.pending.len());
                 self.durable.extend_from_slice(&self.pending[..keep]);

@@ -233,6 +233,122 @@ fn worker_panic_poisons_one_shard_and_spares_the_rest() {
     drop(sharded);
 }
 
+#[test]
+fn poisoned_shard_heals_and_continues_with_bit_exact_costs() {
+    // The full resilience cycle on the pooled path: worker panic poisons a
+    // shard → explicit heal rebuilds it from the factory → the wrapper
+    // keeps executing pooled batches, and everything it counts afterwards
+    // is bit-identical to a never-poisoned control instance in the same
+    // state. Healing restores service without perturbing the cost model.
+    let trigger: Key = 0xBAD_F00D;
+    let factory = move |_: usize| {
+        Box::new(PanicOnKey {
+            inner: rum::btree::BTree::new(),
+            trigger,
+        }) as Box<dyn AccessMethod>
+    };
+    let thread_count = || -> usize {
+        if cfg!(target_os = "linux") {
+            std::fs::read_dir("/proc/self/task")
+                .map(|entries| entries.count())
+                .unwrap_or(0)
+        } else {
+            0
+        }
+    };
+    let threads_before = thread_count();
+
+    let mut sharded = rum::core::ShardedMethod::with_threads(2, 2, factory);
+    let bad_shard = sharded.shard_of(trigger);
+    let keys_on = |m: &rum::core::ShardedMethod, want: usize| -> Vec<Key> {
+        (0..10_000u64)
+            .filter(|&key| key != trigger && m.shard_of(key) == want)
+            .take(64)
+            .collect()
+    };
+    let healthy_keys = keys_on(&sharded, 1 - bad_shard);
+    let doomed_keys = keys_on(&sharded, bad_shard);
+    for &k in healthy_keys.iter().chain(&doomed_keys) {
+        sharded.insert(k, 1).unwrap();
+    }
+
+    // Poison → heal → poison again → heal again: healing must be
+    // repeatable, not a one-shot escape hatch.
+    for round in 0..2 {
+        sharded
+            .execute_batch(&[Op::Insert(trigger, 1)])
+            .expect_err("panic must surface");
+        assert_eq!(sharded.poisoned_shards(), vec![bad_shard], "round {round}");
+        sharded.set_factory(factory);
+        assert_eq!(sharded.heal().unwrap(), 1, "round {round}");
+        assert!(sharded.poisoned_shards().is_empty(), "round {round}");
+    }
+    // The healed shard was rebuilt fresh (PanicOnKey has no WAL to replay):
+    // its pre-panic contents are gone, the healthy shard's survived.
+    assert_eq!(sharded.get(doomed_keys[0]).unwrap(), None);
+    assert_eq!(sharded.get(healthy_keys[0]).unwrap(), Some(1));
+
+    // Control: a never-poisoned instance brought to the identical state —
+    // healthy shard loaded, bad shard empty.
+    let mut control = rum::core::ShardedMethod::with_threads(2, 2, factory);
+    for &k in &healthy_keys {
+        control.insert(k, 1).unwrap();
+    }
+
+    // Identical post-heal traffic on both instances, spanning both shards;
+    // the healed wrapper runs it as pooled batches, the control serially.
+    let follow_up: Vec<Op> = healthy_keys
+        .iter()
+        .map(|&k| Op::Update(k, 2))
+        .chain(doomed_keys.iter().map(|&k| Op::Insert(k, 3)))
+        .chain([Op::Range(0, Key::MAX)])
+        .collect();
+    let healed_before = sharded.tracker().snapshot();
+    let control_before = control.tracker().snapshot();
+    for chunk in follow_up.chunks(17) {
+        sharded.execute_batch(chunk).unwrap();
+    }
+    for &op in &follow_up {
+        match op {
+            Op::Get(k) => {
+                control.get(k).unwrap();
+            }
+            Op::Range(lo, hi) => {
+                control.range(lo, hi).unwrap();
+            }
+            Op::Insert(k, v) => control.insert(k, v).unwrap(),
+            Op::Update(k, v) => {
+                control.update(k, v).unwrap();
+            }
+            Op::Delete(k) => {
+                control.delete(k).unwrap();
+            }
+        }
+    }
+    assert_eq!(
+        sharded.tracker().since(&healed_before),
+        control.tracker().since(&control_before),
+        "post-heal cost folding must be bit-identical to a never-poisoned instance"
+    );
+    assert_eq!(
+        sharded.range(0, Key::MAX).unwrap(),
+        control.range(0, Key::MAX).unwrap(),
+        "post-heal contents must match"
+    );
+
+    // The heal cycles must not have leaked worker threads (the pool is
+    // reused, not respawned, across poison → heal).
+    drop(sharded);
+    drop(control);
+    if cfg!(target_os = "linux") {
+        let threads_after = thread_count();
+        assert!(
+            threads_after <= threads_before + 8,
+            "heal cycle leaked threads: {threads_before} before, {threads_after} after"
+        );
+    }
+}
+
 #[cfg(target_os = "linux")]
 #[test]
 fn dropped_pools_do_not_leak_worker_threads() {
