@@ -1,0 +1,52 @@
+//! Artifact-freshness gate: regenerate every committed smoke CSV and
+//! fail if the checked-in copy drifted.
+//!
+//! Usage:
+//!   cargo run --release -p rum-bench --bin artifact_gate
+//!   UPDATE_ARTIFACTS=1 cargo run --release -p rum-bench --bin artifact_gate
+//!
+//! Runs every experiment module's `--smoke` configuration in-process,
+//! strips the wall-clock columns (the only nondeterministic values), and
+//! byte-compares each result against its committed twin under
+//! `results/smoke/`. Exits non-zero on any drift or missing twin.
+//! `UPDATE_ARTIFACTS=1` rewrites the twins instead — rerun after an
+//! intentional cost-model change and commit the diff. Full-scale
+//! `results/*.csv` stay documentation (too expensive for CI);
+//! `results/baseline_rum.json` is gated separately by `baseline_gate`.
+
+use rum_bench::artifact_gate;
+
+fn main() {
+    let update = std::env::var("UPDATE_ARTIFACTS").is_ok_and(|v| v == "1");
+    let artifacts = artifact_gate::regenerate();
+
+    if update {
+        std::fs::create_dir_all(artifact_gate::SMOKE_DIR).expect("smoke dir");
+        for a in &artifacts {
+            std::fs::write(a.path(), &a.csv).expect("write artifact");
+            println!("wrote {}", a.path());
+        }
+        return;
+    }
+
+    println!("=== Checks ===");
+    let mut all_ok = true;
+    for a in &artifacts {
+        let committed = std::fs::read_to_string(a.path()).ok();
+        match artifact_gate::diff_against_committed(a, committed.as_deref()) {
+            None => println!("  [PASS] {} is fresh", a.path()),
+            Some(why) => {
+                println!("  [FAIL] {why}");
+                all_ok = false;
+            }
+        }
+    }
+
+    if !all_ok {
+        eprintln!(
+            "artifact drift: regenerate with `UPDATE_ARTIFACTS=1 cargo run --release -p \
+             rum-bench --bin artifact_gate` and commit the diff"
+        );
+        std::process::exit(1);
+    }
+}

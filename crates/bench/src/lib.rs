@@ -18,6 +18,8 @@
 //! | `rum_trace` | time-resolved tracing: windowed RO/UO/MO trajectories, latency histograms, event JSONL + folded stacks |
 //! | `range_sweep` | REMIX-style sorted-view range acceleration: RO bought with MO/UO, view on/off × bloom/quotient × 3 mixes |
 //! | `fault_storm` | corruption resilience: methods × seeded fault profiles × retry policies, differential vs a fault-free twin |
+//! | `drift_sweep` | drifting workloads: the online AutoTuner vs every static configuration, priced migrations, bit-identical replay |
+//! | `artifact_gate` | CI artifact freshness: regenerates every committed smoke CSV and fails if the checked-in copy drifted |
 //!
 //! This library holds the measurement machinery those binaries (and the
 //! criterion benches) share, so experiments are reproducible from tests
@@ -31,8 +33,10 @@ use rum_core::workload::Op;
 use rum_core::{AccessMethod, CostSnapshot, Record, RECORDS_PER_PAGE};
 
 pub mod advisor;
+pub mod artifact_gate;
 pub mod baseline;
 pub mod crash;
+pub mod drift_sweep;
 pub mod fault_storm;
 pub mod fig1;
 pub mod fig2;

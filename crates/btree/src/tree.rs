@@ -25,7 +25,7 @@ pub enum SplitPolicy {
 
 /// Tuning knobs (§5: "dynamically tuned parameters, including tree height,
 /// node size, and split condition").
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BTreeConfig {
     /// Node size in bytes. May be less than a page (the slack is honest MO)
     /// or several pages (each node access charges them all).

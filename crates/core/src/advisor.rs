@@ -38,7 +38,8 @@
 //! The `advisor` binary in `rum-bench` persists this under
 //! `results/advisor_profiles.csv`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::{Result, RumError};
 use crate::runner::RumReport;
@@ -179,9 +180,29 @@ impl MethodProfile {
 /// Methods are keyed by their report name (`b+tree`, `lsm-tree`, ...); the
 /// seven wizard families map onto suite methods through
 /// [`Family::suite_method`].
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Debug, Default)]
 pub struct ProfileStore {
     profiles: BTreeMap<String, MethodProfile>,
+    /// Grid re-aggregations performed by [`Self::recommend_measured`]
+    /// (one per calibrated family per uncached call) — the work
+    /// [`AdvisorMemo`] exists to avoid; tests pin the memo against it.
+    aggregations: AtomicU64,
+}
+
+impl Clone for ProfileStore {
+    fn clone(&self) -> Self {
+        ProfileStore {
+            profiles: self.profiles.clone(),
+            aggregations: AtomicU64::new(self.aggregations.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for ProfileStore {
+    fn eq(&self, other: &Self) -> bool {
+        // The aggregation counter is instrumentation, not state.
+        self.profiles == other.profiles
+    }
 }
 
 impl ProfileStore {
@@ -226,6 +247,14 @@ impl ProfileStore {
     /// Total measured points across all methods.
     pub fn point_count(&self) -> usize {
         self.profiles.values().map(|p| p.points.len()).sum()
+    }
+
+    /// How many profile-grid aggregations [`Self::recommend_measured`]
+    /// has performed on this store. Each
+    /// uncached recommendation re-aggregates every calibrated family's
+    /// grid; [`AdvisorMemo`] keeps this flat across repeated queries.
+    pub fn aggregations(&self) -> u64 {
+        self.aggregations.load(Ordering::Relaxed)
     }
 
     /// Serialize the store as CSV (header + one row per point). Floats use
@@ -341,9 +370,10 @@ impl ProfileStore {
                 // internally) so the uncalibrated fallback reproduces the
                 // analytic wizard's costs bit-for-bit.
                 let analytic_cost = analytic.expected_cost(mix);
-                let measured = self
-                    .get(family.suite_method())
-                    .and_then(|p| calibrate(p, &query, env.n));
+                let measured = self.get(family.suite_method()).and_then(|p| {
+                    self.aggregations.fetch_add(1, Ordering::Relaxed);
+                    calibrate(p, &query, env.n)
+                });
                 match measured {
                     Some(m) => {
                         let expected_cost = read_frac * m.read_cost + write_frac * m.write_cost;
@@ -641,6 +671,107 @@ impl MeasuredRanking {
     }
 }
 
+/// Cache key for [`AdvisorMemo`]: the query mix quantized into 1/64
+/// buckets plus the exact environment and constraints. Quantizing the mix
+/// is what makes the memo effective online — successive trajectory-window
+/// estimates of the same regime land in the same bucket even though the
+/// floats differ in the last bits.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct MemoKey {
+    mix: [u16; 5],
+    n: usize,
+    m: usize,
+    partition: usize,
+    size_ratio: usize,
+    caps: [u64; 3],
+    needs_ranges: bool,
+}
+
+impl MemoKey {
+    const BUCKETS: f64 = 64.0;
+
+    fn new(mix: &OpMix, env: &Environment, cons: &Constraints) -> MemoKey {
+        let q = normalize_mix(mix);
+        let b = |f: f64| (f * Self::BUCKETS).round() as u16;
+        MemoKey {
+            mix: [b(q.get), b(q.insert), b(q.update), b(q.delete), b(q.range)],
+            n: env.n,
+            m: env.m,
+            partition: env.partition,
+            size_ratio: env.size_ratio,
+            caps: [
+                cons.max_read_amp.unwrap_or(f64::INFINITY).to_bits(),
+                cons.max_write_amp.unwrap_or(f64::INFINITY).to_bits(),
+                cons.max_space_amp.unwrap_or(f64::INFINITY).to_bits(),
+            ],
+            needs_ranges: cons.needs_ranges,
+        }
+    }
+
+    /// The bucket centroid — the mix actually handed to the store, so
+    /// every query in a bucket gets the identical ranking.
+    fn centroid(&self) -> OpMix {
+        OpMix {
+            get: self.mix[0] as f64 / Self::BUCKETS,
+            insert: self.mix[1] as f64 / Self::BUCKETS,
+            update: self.mix[2] as f64 / Self::BUCKETS,
+            delete: self.mix[3] as f64 / Self::BUCKETS,
+            range: self.mix[4] as f64 / Self::BUCKETS,
+        }
+    }
+}
+
+/// Memoized front-end for [`ProfileStore::recommend_measured`].
+///
+/// The autotuner consults the advisor once per trajectory window; without
+/// memoization every consultation re-aggregates the whole measured profile
+/// grid (one pass per calibrated family). The memo hashes
+/// (mix-bucket, environment, constraints) and replays the cached
+/// [`MeasuredRanking`], so a steady workload regime costs one aggregation
+/// sweep total instead of one per window.
+#[derive(Clone, Debug, Default)]
+pub struct AdvisorMemo {
+    store: ProfileStore,
+    cache: HashMap<MemoKey, MeasuredRanking>,
+}
+
+impl AdvisorMemo {
+    pub fn new(store: ProfileStore) -> AdvisorMemo {
+        AdvisorMemo {
+            store,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The wrapped store (counters included).
+    pub fn store(&self) -> &ProfileStore {
+        &self.store
+    }
+
+    /// Cached rankings held.
+    pub fn cached(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Rank families for `mix` under `env`/`cons`, computing through the
+    /// store only on a bucket miss. Queries that quantize to the same
+    /// bucket return the identical ranking (computed at the bucket
+    /// centroid), so the answer is deterministic in the bucket, not the
+    /// float noise within it.
+    pub fn recommend(
+        &mut self,
+        mix: &OpMix,
+        env: &Environment,
+        cons: &Constraints,
+    ) -> &MeasuredRanking {
+        let key = MemoKey::new(mix, env, cons);
+        self.cache.entry(key.clone()).or_insert_with(|| {
+            let centroid = key.centroid();
+            self.store.recommend_measured(&centroid, env, cons)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -676,6 +807,58 @@ mod tests {
             );
         }
         store
+    }
+
+    #[test]
+    fn memo_skips_grid_reaggregation_within_a_mix_bucket() {
+        // Every uncached recommendation aggregates the grid once per
+        // calibrated family; the memo must make repeated (and
+        // float-jittered same-bucket) queries free.
+        let memo_store = full_store(OpMix::BALANCED);
+        let env = Environment::default();
+        let cons = Constraints::default();
+        let mut memo = AdvisorMemo::new(memo_store);
+
+        let top = memo
+            .recommend(&OpMix::BALANCED, &env, &cons)
+            .top()
+            .expect("ranking")
+            .family;
+        let after_first = memo.store().aggregations();
+        assert_eq!(
+            after_first,
+            Family::ALL.len() as u64,
+            "first query aggregates once per family"
+        );
+
+        // Same mix again, and a jittered estimate that lands in the same
+        // 1/64 bucket: both must be served from cache.
+        let jitter = OpMix {
+            get: OpMix::BALANCED.get + 0.003,
+            ..OpMix::BALANCED
+        };
+        let top_again = memo.recommend(&jitter, &env, &cons).top().unwrap().family;
+        memo.recommend(&OpMix::BALANCED, &env, &cons);
+        assert_eq!(top, top_again, "bucketed query changed the answer");
+        assert_eq!(
+            memo.store().aggregations(),
+            after_first,
+            "cached queries re-aggregated the grid"
+        );
+        assert_eq!(memo.cached(), 1);
+
+        // A genuinely different mix is a miss and aggregates again.
+        memo.recommend(&OpMix::SCAN_HEAVY, &env, &cons);
+        assert_eq!(memo.store().aggregations(), 2 * after_first);
+        assert_eq!(memo.cached(), 2);
+
+        // A changed environment is also a miss even at the same mix.
+        let env2 = Environment {
+            n: env.n * 2,
+            ..env
+        };
+        memo.recommend(&OpMix::BALANCED, &env2, &cons);
+        assert_eq!(memo.store().aggregations(), 3 * after_first);
     }
 
     #[test]

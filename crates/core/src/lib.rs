@@ -33,6 +33,10 @@
 //! * [`advisor`] — the wizard's empirical counterpart: per-method profiles
 //!   built from measured [`RumReport`](runner::RumReport)s, measured
 //!   recommendations, and analytic-vs-measured calibration reporting.
+//! * [`autotune`] — the closed loop over those pieces: an online
+//!   [`AutoTuner`] watching trace trajectories,
+//!   detects workload drift, and morphs the live structure when the
+//!   predicted win beats the migration bill.
 //! * [`trace`] — time-resolved observability: windowed RUM trajectories,
 //!   log-bucketed latency histograms, and structured component events
 //!   ([`trace::TraceSink`]), strictly opt-in with a
@@ -40,6 +44,7 @@
 
 pub mod access;
 pub mod advisor;
+pub mod autotune;
 pub mod error;
 pub mod runner;
 pub mod shard;
@@ -51,6 +56,10 @@ pub mod wizard;
 pub mod workload;
 
 pub use access::{check_bulk_input, AccessMethod, SpaceProfile};
+pub use autotune::{
+    AutoTuneConfig, AutoTuneSummary, AutoTuner, MigrationReceipt, Morphable, OpCounts,
+    RetuneEstimate, TuneKind, TunePlan,
+};
 pub use error::{panic_payload_message, Result, RumError};
 pub use shard::ShardedMethod;
 pub use trace::{

@@ -12,6 +12,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::access::AccessMethod;
+use crate::autotune::{AutoTuneSummary, AutoTuner, Morphable, OpCounts};
 use crate::error::{panic_payload_message, Result, RumError};
 use crate::shard::ShardedMethod;
 use crate::trace::TraceCollector;
@@ -419,6 +420,76 @@ pub fn run_stream_traced(
     report.p50_ns = overall.p50();
     report.p99_ns = overall.p99();
     Ok(report)
+}
+
+/// [`run_stream_traced`] with the [`AutoTuner`] closing the loop: every
+/// time the collector closes a trajectory window, the tuner observes it
+/// (plus the window's op-kind counts) and may order a migration, which is
+/// executed in place via [`Morphable::morph_to`] before the next op runs.
+///
+/// Migration pricing in the paper's currency:
+///
+/// * **UO** — the op phase settles into the *write* class right before the
+///   migration runs, so every byte the migration reads and writes lands in
+///   `write_costs` and inflates UO exactly like compaction traffic.
+/// * **MO** — the transient double-residency (source and destination
+///   coexisting) is returned in each [`MigrationReceipt`]'s
+///   `peak_extra_bytes` and surfaced through the [`AutoTuneSummary`].
+///
+/// Answers are unaffected: migrations preserve logical contents, so a
+/// tuner-on run returns bit-identical results to a tuner-off run of the
+/// same stream (the `drift_sweep` bench replays this differentially).
+///
+/// [`MigrationReceipt`]: crate::autotune::MigrationReceipt
+pub fn run_stream_autotuned(
+    method: &mut dyn Morphable,
+    mut stream: OpStream,
+    tuner: &mut AutoTuner,
+    trace: &mut TraceCollector,
+) -> Result<(RumReport, AutoTuneSummary)> {
+    let initial = stream.take_initial();
+    let (load_costs, load_wall_ns) = load_phase(&mut *method, &initial)?;
+    drop(initial);
+    let tracker = std::sync::Arc::clone(method.tracker());
+    trace.begin(&tracker);
+
+    let mut phase = OpPhase::start(&tracker);
+    let mut counts = OpCounts::default();
+    let mut closed = 0usize;
+    for op in stream {
+        let is_read = op.is_read();
+        if phase.batch_is_read != Some(is_read) {
+            phase.settle(&tracker, Some(is_read));
+        }
+        let op_started = Instant::now();
+        execute_op(&mut *method, op)?;
+        let latency_ns = op_started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        phase.count(is_read, 1);
+        counts.observe(&op);
+        trace.note_op(is_read, latency_ns, &tracker, &*method);
+
+        if trace.windows().len() > closed {
+            closed = trace.windows().len();
+            let window = trace.windows()[closed - 1].clone();
+            let window_counts = std::mem::take(&mut counts);
+            if let Some(plan) = tuner.plan(&window, &window_counts, method) {
+                // Settle into the write class first, so the migration's
+                // I/O is attributed to UO (not smeared into whatever class
+                // happened to be running).
+                phase.settle(&tracker, Some(false));
+                tuner.begin_migration(&plan);
+                let receipt = method.morph_to(plan.family, &plan.mix)?;
+                tuner.complete(plan, receipt);
+            }
+        }
+    }
+    let totals = phase.finish(&tracker);
+    trace.finish(&tracker, &*method);
+    let mut report = assemble_report(&*method, load_costs, load_wall_ns, totals);
+    let overall = trace.overall_latency();
+    report.p50_ns = overall.p50();
+    report.p99_ns = overall.p99();
+    Ok((report, tuner.summary().clone()))
 }
 
 /// Ops pulled from the stream per [`ShardedMethod::submit_batch`] call in

@@ -94,6 +94,17 @@ pub enum EventKind {
     /// A quarantined structure or shard finished rebuilding and resumed
     /// service.
     RepairComplete,
+    /// The autotuner's drifting-mix estimate crossed its hysteresis
+    /// threshold (one event per drift episode, not per window).
+    DriftDetected,
+    /// The autotuner priced a reconfiguration and decided to migrate:
+    /// predicted win exceeded the migration bill.
+    TuneDecision,
+    /// A priced migration (in-place retune or family swap) starting.
+    MigrationStart,
+    /// A priced migration finished; detail carries the I/O charged to UO
+    /// and the transient double-residency charged to MO.
+    MigrationComplete,
 }
 
 impl EventKind {
@@ -115,6 +126,10 @@ impl EventKind {
             EventKind::RetryAttempt => "retry_attempt",
             EventKind::CorruptionDetected => "corruption_detected",
             EventKind::RepairComplete => "repair_complete",
+            EventKind::DriftDetected => "drift_detected",
+            EventKind::TuneDecision => "tune_decision",
+            EventKind::MigrationStart => "migration_start",
+            EventKind::MigrationComplete => "migration_complete",
         }
     }
 
@@ -132,6 +147,10 @@ impl EventKind {
             EventKind::Window => "trace",
             EventKind::FaultInjected | EventKind::RetryAttempt => "fault",
             EventKind::CorruptionDetected | EventKind::RepairComplete => "repair",
+            EventKind::DriftDetected
+            | EventKind::TuneDecision
+            | EventKind::MigrationStart
+            | EventKind::MigrationComplete => "autotune",
         }
     }
 }

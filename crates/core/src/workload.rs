@@ -47,6 +47,117 @@ pub enum KeySpace {
     Sparse { universe_factor: u64 },
 }
 
+/// Deterministic workload drift: a scenario axis layered over the base
+/// [`WorkloadSpec`] mix and key distribution. The active regime is a pure
+/// function of the op index, so a drifting stream is exactly as
+/// deterministic as a static one — same seed, bit-identical stream — and
+/// [`Drift::None`] leaves generation byte-for-byte unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum Drift {
+    /// No drift — the stream draws from `spec.mix`/`spec.dist` throughout.
+    #[default]
+    None,
+    /// Diurnal mix rotation: each `period` splits into four equal phases —
+    /// read-heavy "day", the base mix, write-heavy "night", the base mix
+    /// again — cycling for the whole stream.
+    Diurnal { period: usize },
+    /// Flash crowd: during the last quarter of each `period` the key
+    /// distribution snaps to a hot zipfian
+    /// (θ = [`SPIKE_THETA`](Self::SPIKE_THETA)) under a read-heavy mix — a
+    /// sudden skew spike on top of the base workload.
+    FlashCrowd { period: usize },
+    /// Scan storm: the last quarter of each `period` flips to
+    /// [`OpMix::SCAN_HEAVY`] — an analytics interlude in an OLTP stream.
+    ScanStorm { period: usize },
+    /// One hard flip to `mix` at op index `at` (never flips back). The
+    /// sharpest drift signal — used to pin tuner hysteresis.
+    Flip { at: usize, mix: OpMix },
+}
+
+impl Drift {
+    /// Skew of the flash-crowd spike (the classic YCSB hot setting).
+    pub const SPIKE_THETA: f64 = 0.99;
+
+    /// Which quarter (0..=3) of the drift period op `i` falls in.
+    fn quarter(period: usize, i: usize) -> usize {
+        let p = period.max(4);
+        (i % p) * 4 / p
+    }
+
+    /// Identifier of the mix regime governing op `i`. The stream
+    /// recomputes its sampling thresholds only when this changes, so
+    /// steady regimes pay nothing per op.
+    fn segment(&self, i: usize) -> usize {
+        match *self {
+            Drift::None => 0,
+            Drift::Diurnal { period } => Self::quarter(period, i),
+            Drift::FlashCrowd { period } | Drift::ScanStorm { period } => {
+                usize::from(Self::quarter(period, i) == 3)
+            }
+            Drift::Flip { at, .. } => usize::from(i >= at),
+        }
+    }
+
+    /// The op mix governing op `i`.
+    pub fn mix_at(&self, base: &OpMix, i: usize) -> OpMix {
+        match *self {
+            Drift::None => *base,
+            Drift::Diurnal { period } => match Self::quarter(period, i) {
+                0 => OpMix::READ_HEAVY,
+                2 => OpMix::WRITE_HEAVY,
+                _ => *base,
+            },
+            Drift::FlashCrowd { period } => {
+                if Self::quarter(period, i) == 3 {
+                    OpMix::READ_HEAVY
+                } else {
+                    *base
+                }
+            }
+            Drift::ScanStorm { period } => {
+                if Self::quarter(period, i) == 3 {
+                    OpMix::SCAN_HEAVY
+                } else {
+                    *base
+                }
+            }
+            Drift::Flip { at, mix } => {
+                if i >= at {
+                    mix
+                } else {
+                    *base
+                }
+            }
+        }
+    }
+
+    /// Hot-spike skew overriding the base key distribution at op `i`
+    /// (flash crowds only).
+    fn spike_theta(&self, i: usize) -> Option<f64> {
+        match *self {
+            Drift::FlashCrowd { period } if Self::quarter(period, i) == 3 => {
+                Some(Self::SPIKE_THETA)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this is the no-drift scenario.
+    pub fn is_none(&self) -> bool {
+        matches!(self, Drift::None)
+    }
+
+    /// The three canonical drifting scenarios — the *drift suite* the
+    /// `drift_sweep` bench and the autotuner CI gate run over.
+    pub fn suite(period: usize) -> [(&'static str, Drift); 3] {
+        [
+            ("diurnal", Drift::Diurnal { period }),
+            ("flash-crowd", Drift::FlashCrowd { period }),
+            ("scan-storm", Drift::ScanStorm { period }),
+        ]
+    }
+}
+
 /// Relative frequencies of the operation types. They need not sum to 1;
 /// they are normalized at generation time.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -157,6 +268,9 @@ pub struct WorkloadSpec {
     /// Fraction of point reads aimed at absent keys.
     pub miss_fraction: f64,
     pub seed: u64,
+    /// Drifting-workload scenario layered over `mix`/`dist`
+    /// ([`Drift::None`] reproduces the static workload exactly).
+    pub drift: Drift,
 }
 
 impl Default for WorkloadSpec {
@@ -170,6 +284,7 @@ impl Default for WorkloadSpec {
             range_len: 64,
             miss_fraction: 0.0,
             seed: 0x52_55_4D, // "RUM"
+            drift: Drift::None,
         }
     }
 }
@@ -470,7 +585,12 @@ pub struct OpStream {
     rng: StdRng,
     live: LiveSet,
     zipf: Option<Zipfian>,
+    /// Separate generator for flash-crowd spikes so the spike's hot skew
+    /// never perturbs the base distribution's incremental zeta state.
+    zipf_spike: Option<Zipfian>,
     thresholds: [f64; 4],
+    /// Drift regime the current `thresholds` were computed for.
+    segment: usize,
     /// Fresh keys for inserts continue above the initial population so
     /// they never collide with live keys.
     next_fresh: Key,
@@ -493,14 +613,7 @@ impl OpStream {
             KeyDist::Uniform => None,
         };
 
-        let total = spec.mix.total();
-        assert!(total > 0.0, "operation mix has zero total weight");
-        let thresholds = [
-            spec.mix.get / total,
-            (spec.mix.get + spec.mix.insert) / total,
-            (spec.mix.get + spec.mix.insert + spec.mix.update) / total,
-            (spec.mix.get + spec.mix.insert + spec.mix.update + spec.mix.delete) / total,
-        ];
+        let thresholds = mix_thresholds(&spec.drift.mix_at(&spec.mix, 0));
 
         OpStream {
             spec: *spec,
@@ -508,7 +621,9 @@ impl OpStream {
             rng,
             live,
             zipf,
+            zipf_spike: None,
             thresholds,
+            segment: spec.drift.segment(0),
             next_fresh: max_initial_key + 1,
             fresh_step: match spec.key_space {
                 KeySpace::Dense { spacing } => spacing.max(1),
@@ -563,6 +678,32 @@ impl OpStream {
         self.version += 1;
         Op::Insert(k, value_for(k, self.version))
     }
+
+    /// Pick a live key through the active distribution: the base one, or
+    /// the flash-crowd spike generator when `spike` carries a hot theta.
+    fn pick_key(&mut self, spike: Option<f64>) -> Key {
+        match spike {
+            Some(theta) => {
+                if self.zipf_spike.is_none() {
+                    self.zipf_spike = Some(Zipfian::new(self.live.len().max(2), theta));
+                }
+                pick_live(&self.live, &mut self.zipf_spike, &mut self.rng)
+            }
+            None => pick_live(&self.live, &mut self.zipf, &mut self.rng),
+        }
+    }
+}
+
+/// Cumulative sampling thresholds for one normalized mix.
+fn mix_thresholds(mix: &OpMix) -> [f64; 4] {
+    let total = mix.total();
+    assert!(total > 0.0, "operation mix has zero total weight");
+    [
+        mix.get / total,
+        (mix.get + mix.insert) / total,
+        (mix.get + mix.insert + mix.update) / total,
+        (mix.get + mix.insert + mix.update + mix.delete) / total,
+    ]
 }
 
 impl Iterator for OpStream {
@@ -572,7 +713,14 @@ impl Iterator for OpStream {
         if self.emitted >= self.spec.operations {
             return None;
         }
+        let index = self.emitted;
         self.emitted += 1;
+        let seg = self.spec.drift.segment(index);
+        if seg != self.segment {
+            self.segment = seg;
+            self.thresholds = mix_thresholds(&self.spec.drift.mix_at(&self.spec.mix, index));
+        }
+        let spike = self.spec.drift.spike_theta(index);
         let dice: f64 = self.rng.gen();
         let op = if dice < self.thresholds[0] {
             // GET
@@ -588,7 +736,7 @@ impl Iterator for OpStream {
                 }
                 Op::Get(k)
             } else {
-                Op::Get(pick_live(&self.live, &mut self.zipf, &mut self.rng))
+                Op::Get(self.pick_key(spike))
             }
         } else if dice < self.thresholds[1] {
             self.fresh_insert()
@@ -597,7 +745,7 @@ impl Iterator for OpStream {
             if self.live.len() == 0 {
                 self.fresh_insert()
             } else {
-                let k = pick_live(&self.live, &mut self.zipf, &mut self.rng);
+                let k = self.pick_key(spike);
                 self.version += 1;
                 Op::Update(k, value_for(k, self.version))
             }
@@ -606,7 +754,7 @@ impl Iterator for OpStream {
             if self.live.len() == 0 {
                 self.fresh_insert()
             } else {
-                let k = pick_live(&self.live, &mut self.zipf, &mut self.rng);
+                let k = self.pick_key(spike);
                 self.live.remove(k);
                 Op::Delete(k)
             }
@@ -615,7 +763,7 @@ impl Iterator for OpStream {
             if self.live.len() == 0 {
                 self.fresh_insert()
             } else {
-                let lo = pick_live(&self.live, &mut self.zipf, &mut self.rng);
+                let lo = self.pick_key(spike);
                 let span = expected_span(&self.spec, self.next_fresh, self.live.len());
                 Op::Range(lo, lo.saturating_add(span))
             }
@@ -979,6 +1127,142 @@ mod tests {
                         assert_eq!(stream.emitted(), 2500, "{ctx}");
                         assert_eq!(stream.next(), None, "{ctx}: stream past the end");
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drift_none_leaves_the_stream_unchanged() {
+        // Explicit Drift::None must be byte-identical to a spec that never
+        // mentions drift (the Default) — the axis is strictly opt-in.
+        let base = spec();
+        let with_none = WorkloadSpec {
+            drift: Drift::None,
+            ..base
+        };
+        assert_eq!(
+            Workload::generate(&base).ops,
+            Workload::generate(&with_none).ops
+        );
+    }
+
+    #[test]
+    fn drift_streams_are_deterministic_and_full_length() {
+        let mut scenarios: Vec<(&str, Drift)> = Drift::suite(1024).to_vec();
+        scenarios.push((
+            "flip",
+            Drift::Flip {
+                at: 2500,
+                mix: OpMix::SCAN_HEAVY,
+            },
+        ));
+        for (tag, drift) in scenarios {
+            let s = WorkloadSpec { drift, ..spec() };
+            let a = Workload::generate(&s);
+            let b: Vec<Op> = OpStream::new(&s).collect();
+            assert_eq!(a.ops.len(), s.operations, "{tag}: short stream");
+            assert_eq!(a.ops, b, "{tag}: stream diverged from generate");
+        }
+    }
+
+    #[test]
+    fn diurnal_rotation_shifts_the_mix_per_quarter() {
+        let period = 2000;
+        let w = Workload::generate(&WorkloadSpec {
+            operations: period,
+            mix: OpMix::BALANCED,
+            drift: Drift::Diurnal { period },
+            ..spec()
+        });
+        let frac = |ops: &[Op], f: fn(&Op) -> bool| {
+            ops.iter().filter(|o| f(o)).count() as f64 / ops.len() as f64
+        };
+        let day = &w.ops[..period / 4];
+        let night = &w.ops[period / 2..3 * period / 4];
+        // Day quarter is READ_HEAVY (95% gets); night is WRITE_HEAVY.
+        assert!(
+            frac(day, |o| matches!(o, Op::Get(_))) > 0.85,
+            "day quarter not read-heavy"
+        );
+        assert!(
+            frac(night, |o| !o.is_read()) > 0.80,
+            "night quarter not write-heavy"
+        );
+    }
+
+    #[test]
+    fn scan_storm_floods_the_last_quarter_with_ranges() {
+        let period = 2000;
+        let w = Workload::generate(&WorkloadSpec {
+            operations: period,
+            mix: OpMix::READ_HEAVY,
+            drift: Drift::ScanStorm { period },
+            ..spec()
+        });
+        let storm = &w.ops[3 * period / 4..];
+        let calm = &w.ops[..3 * period / 4];
+        let ranges = |ops: &[Op]| ops.iter().filter(|o| matches!(o, Op::Range(..))).count();
+        assert!(
+            ranges(storm) as f64 > 0.8 * storm.len() as f64,
+            "storm quarter not scan-dominated"
+        );
+        assert_eq!(ranges(calm), 0, "ranges leaked outside the storm");
+    }
+
+    #[test]
+    fn flash_crowd_spike_concentrates_key_traffic() {
+        let period = 4000;
+        let w = Workload::generate(&WorkloadSpec {
+            initial_records: 4000,
+            operations: period,
+            mix: OpMix::READ_ONLY,
+            drift: Drift::FlashCrowd { period },
+            ..spec()
+        });
+        let hottest = |ops: &[Op]| {
+            let mut counts = std::collections::HashMap::new();
+            for o in ops {
+                if let Op::Get(k) = o {
+                    *counts.entry(*k).or_insert(0usize) += 1;
+                }
+            }
+            counts.values().copied().max().unwrap_or(0)
+        };
+        let calm = hottest(&w.ops[..period / 4]);
+        let spike = hottest(&w.ops[3 * period / 4..]);
+        // Uniform base traffic touches each of ~4000 keys a handful of
+        // times per quarter; the hot-zipfian spike hammers one key.
+        assert!(
+            spike > 5 * calm.max(1),
+            "spike not skewed: hottest key hit {spike}× vs {calm}× in calm quarter"
+        );
+    }
+
+    #[test]
+    fn drifting_updates_and_deletes_still_target_live_keys() {
+        for (tag, drift) in Drift::suite(512) {
+            let w = Workload::generate(&WorkloadSpec {
+                mix: OpMix::WRITE_HEAVY,
+                drift,
+                ..spec()
+            });
+            let mut live: std::collections::HashSet<Key> =
+                w.initial.iter().map(|r| r.key).collect();
+            for op in &w.ops {
+                match *op {
+                    Op::Insert(k, _) => {
+                        assert!(!live.contains(&k), "{tag}: insert of live key {k}");
+                        live.insert(k);
+                    }
+                    Op::Update(k, _) => {
+                        assert!(live.contains(&k), "{tag}: update of dead key {k}")
+                    }
+                    Op::Delete(k) => {
+                        assert!(live.contains(&k), "{tag}: delete of dead key {k}");
+                        live.remove(&k);
+                    }
+                    _ => {}
                 }
             }
         }

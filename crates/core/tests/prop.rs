@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use rum_core::triangle::project;
-use rum_core::workload::{KeyDist, KeySpace, Op, OpMix, Workload, WorkloadSpec, Zipfian};
+use rum_core::workload::{
+    Drift, KeyDist, KeySpace, Op, OpMix, OpStream, Workload, WorkloadSpec, Zipfian,
+};
 use rum_core::{CostSnapshot, Record};
 
 fn inside_triangle(x: f64, y: f64) -> bool {
@@ -83,6 +85,7 @@ proptest! {
             range_len: 16,
             miss_fraction: 0.0,
             seed,
+            drift: Drift::None,
         };
         let w = Workload::generate(&spec);
         // Initial is sorted and unique.
@@ -106,5 +109,54 @@ proptest! {
                 Op::Get(_) => {}
             }
         }
+    }
+}
+
+/// Every drifting-workload scenario the generator supports, with
+/// scenario-relative knobs (period, flip point) drawn by the runner.
+fn drift_strategy() -> impl Strategy<Value = Drift> {
+    prop_oneof![
+        Just(Drift::None),
+        (64usize..4096).prop_map(|period| Drift::Diurnal { period }),
+        (64usize..4096).prop_map(|period| Drift::FlashCrowd { period }),
+        (64usize..4096).prop_map(|period| Drift::ScanStorm { period }),
+        (1usize..4096).prop_map(|at| Drift::Flip {
+            at,
+            mix: OpMix::WRITE_HEAVY,
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn drifting_streams_are_exact_and_deterministic(
+        initial in 64usize..1024,
+        operations in 1usize..4096,
+        seed in any::<u64>(),
+        drift in drift_strategy(),
+    ) {
+        let spec = WorkloadSpec {
+            initial_records: initial,
+            operations,
+            mix: OpMix::BALANCED,
+            range_len: 8,
+            seed,
+            drift,
+            ..Default::default()
+        };
+        // Every drift scenario yields exactly the requested op count —
+        // no slot is lost when the active mix rotates mid-stream.
+        let a: Vec<Op> = OpStream::new(&spec).collect();
+        prop_assert_eq!(a.len(), operations);
+        // Same seed ⇒ bit-identical stream, and the materialized
+        // workload is that same stream op for op.
+        let b: Vec<Op> = OpStream::new(&spec).collect();
+        prop_assert_eq!(&a, &b);
+        let w = Workload::generate(&spec);
+        prop_assert_eq!(&w.ops, &a);
+        // The initial dataset is drift-independent: a drifting spec
+        // loads the same records as its static twin.
+        let static_spec = WorkloadSpec { drift: Drift::None, ..spec };
+        prop_assert_eq!(&w.initial, &Workload::generate(&static_spec).initial);
     }
 }

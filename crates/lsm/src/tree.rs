@@ -28,7 +28,7 @@ pub enum CompactionPolicy {
 }
 
 /// LSM tuning knobs — `T` and `MEM` of Table 1 plus the §5 dynamic knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LsmConfig {
     /// Memtable capacity in records (`MEM`).
     pub memtable_records: usize,
@@ -148,6 +148,21 @@ impl<D: BlockDevice> LsmTree<D> {
 
     pub fn config(&self) -> &LsmConfig {
         &self.config
+    }
+
+    /// Toggle the cross-run sorted view in place — the one shape change
+    /// that needs no drain-and-rebuild. Turning it on builds the view
+    /// eagerly (the build's scan and anchors are charged to the tracker
+    /// exactly like a lazy rebuild); turning it off drops the anchors and
+    /// frees their MO. Run set and contents are untouched.
+    pub fn set_sorted_view(&mut self, on: bool) -> Result<()> {
+        self.config.sorted_view = on;
+        if on {
+            self.ensure_view()?;
+        } else {
+            self.invalidate_view();
+        }
+        Ok(())
     }
 
     /// Rebind this tree's cost charges to `tracker` (used by `retune`,

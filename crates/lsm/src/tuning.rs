@@ -11,13 +11,22 @@
 //! [`retune`] applies a new configuration to a live tree, performing a
 //! major compaction so the new shape takes effect immediately.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rum_core::autotune::{MigrationReceipt, Morphable, RetuneEstimate};
+use rum_core::trace::TraceSink;
+use rum_core::tracker::CostTracker;
+use rum_core::wizard::{Environment, Family};
 use rum_core::workload::OpMix;
-use rum_core::{AccessMethod, Record, Result};
+use rum_core::{
+    AccessMethod, Key, Record, Result, SpaceProfile, Value, RECORDS_PER_PAGE, RECORD_SIZE,
+};
 
 use crate::tree::{CompactionPolicy, LsmConfig, LsmTree};
 
 /// What the tuner should favor when the mix is ambiguous.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum TuningGoal {
     /// Minimize read overhead.
     Reads,
@@ -26,6 +35,7 @@ pub enum TuningGoal {
     /// Minimize space amplification.
     Space,
     /// Balance all three.
+    #[default]
     Balanced,
 }
 
@@ -67,8 +77,12 @@ pub fn advise(mix: &OpMix, goal: TuningGoal) -> LsmConfig {
                 cfg.size_ratio = 4;
                 cfg.bloom_bits_per_key = 8.0;
             } else {
+                // Mixed mixes are still read-majority in physical I/O:
+                // every read must probe, while writes amortize across
+                // merges. Keep the read-leaning ratio (fewer runs to
+                // probe and scan) and spend a mid-size filter budget.
                 cfg.policy = CompactionPolicy::Levelling;
-                cfg.size_ratio = 4;
+                cfg.size_ratio = 8;
                 cfg.bloom_bits_per_key = 10.0;
             }
         }
@@ -95,6 +109,351 @@ pub fn retune(tree: &mut LsmTree, config: LsmConfig) -> Result<()> {
     rebuilt.bulk_load_impl(&all)?;
     *tree = rebuilt;
     Ok(())
+}
+
+/// Expected pages per operation for `cfg` under `mix` — the Table 1 cost
+/// model specialized to the LSM knobs, used to decide whether a re-tune
+/// pays for itself. Deterministic and cheap: no tree is touched.
+///
+/// Shapes mirror the paper: levelling keeps one run per level (reads and
+/// space improve, each record is rewritten ~`T/2` times per level);
+/// tiering keeps up to `T` runs per level (writes improve, point reads
+/// probe more runs); Bloom bits suppress the per-run probes; a sorted
+/// view collapses range queries to one seek at an extra rebuild cost.
+pub fn expected_cost(cfg: &LsmConfig, mix: &OpMix, n: usize, m: usize) -> f64 {
+    let b = RECORDS_PER_PAGE as f64;
+    let t = cfg.size_ratio.max(2) as f64;
+    let fill = (n.max(1) as f64 / cfg.memtable_records.max(16) as f64).max(2.0);
+    let levels = fill.log(t).ceil().max(1.0);
+    let runs = levels
+        * match cfg.policy {
+            CompactionPolicy::Levelling => 1.0,
+            CompactionPolicy::Tiering => (t + 1.0) / 2.0,
+        };
+    // False-positive rate per filtered run; bits == 0 disables the filter
+    // (fp = 1). The same per-key budget drives either filter kind.
+    let fp = 0.6185f64.powf(cfg.bloom_bits_per_key.max(0.0));
+    let point = 1.0 + (runs - 1.0).max(0.0) * fp * 0.5;
+    let scan_pages = m as f64 / b;
+    // Without the view a range probes every run — but fence pointers
+    // prune runs whose key span misses the window, so on average only
+    // about half the extra runs cost a page. Pricing the full `runs`
+    // overstates what a view (or a shape with fewer runs) can save.
+    let range = if cfg.sorted_view {
+        1.0 + scan_pages
+    } else {
+        1.0 + (runs - 1.0).max(0.0) * 0.5 + scan_pages
+    };
+    // Amortized merge traffic per ingested record, in pages.
+    let write = match cfg.policy {
+        CompactionPolicy::Levelling => levels * (t / 2.0) / b,
+        CompactionPolicy::Tiering => levels / b,
+    } + 1.0 / b;
+    // Updates and deletes are blind writes in an LSM (the live-set check
+    // is in-memory): they cost the same amortized merge traffic as
+    // inserts, with no read-before-write.
+    let total = (mix.get + mix.insert + mix.update + mix.delete + mix.range).max(f64::EPSILON);
+    let mut cost =
+        (mix.get * point + mix.range * range + (mix.insert + mix.update + mix.delete) * write)
+            / total;
+    if cfg.sorted_view {
+        // The view is stranded by every flush and lazily rebuilt over the
+        // *whole* tree by the next view-enabled range query: one rebuild
+        // scans every run (`n/b` pages) and writes an anchor per live key
+        // (~1.5x the data again), and at most one happens per flush
+        // (every `memtable_records` ingested records) and per range
+        // query, whichever is rarer. This is the UO the view spends to
+        // buy its RO — underpricing it makes a mixed read/write mix look
+        // like it wants a view it would thrash.
+        let write_frac = (mix.insert + mix.update + mix.delete) / total;
+        let range_frac = mix.range / total;
+        let rebuilds_per_op = (write_frac / cfg.memtable_records.max(16) as f64).min(range_frac);
+        cost += rebuilds_per_op * 2.5 * (n.max(1) as f64 / b);
+    }
+    cost
+}
+
+/// Memoized [`advise`]: mixes are quantized to 1/64 buckets per
+/// dimension so nearby mixes share one cache entry, and the rule table
+/// runs at most once per (bucket, goal).
+#[derive(Clone, Debug, Default)]
+pub struct AdviceMemo {
+    cache: HashMap<([u16; 5], TuningGoal), LsmConfig>,
+    computes: u64,
+}
+
+impl AdviceMemo {
+    const BUCKETS: f64 = 64.0;
+
+    fn bucket(mix: &OpMix) -> [u16; 5] {
+        let m = rum_core::advisor::normalize_mix(mix);
+        [m.get, m.insert, m.update, m.delete, m.range]
+            .map(|f| (f * Self::BUCKETS).floor().min(Self::BUCKETS - 1.0) as u16)
+    }
+
+    /// Advice for `mix`, computed at the bucket centroid and cached.
+    pub fn advise(&mut self, mix: &OpMix, goal: TuningGoal) -> LsmConfig {
+        let key = (Self::bucket(mix), goal);
+        if let Some(cfg) = self.cache.get(&key) {
+            return *cfg;
+        }
+        self.computes += 1;
+        let [g, i, u, d, r] = key.0.map(|b| (f64::from(b) + 0.5) / Self::BUCKETS);
+        let centroid = OpMix {
+            get: g,
+            insert: i,
+            update: u,
+            delete: d,
+            range: r,
+        };
+        let cfg = advise(&centroid, goal);
+        self.cache.insert(key, cfg);
+        cfg
+    }
+
+    /// How many times the rule table actually ran (cache misses).
+    pub fn computes(&self) -> u64 {
+        self.computes
+    }
+}
+
+/// One-line shape description for receipts and trace events.
+pub fn describe(cfg: &LsmConfig) -> String {
+    format!(
+        "lsm({:?},T={},mem={},bloom={},view={})",
+        cfg.policy, cfg.size_ratio, cfg.memtable_records, cfg.bloom_bits_per_key, cfg.sorted_view
+    )
+}
+
+/// [`retune`], priced: returns a [`MigrationReceipt`] charging the drain
+/// and rebuild I/O (it lands on the tree's tracker like any
+/// reorganization, so the runner's phase accounting books it as UO) and
+/// the transient double-residency (old shape + drain buffer) as MO.
+pub fn retune_priced(tree: &mut LsmTree, config: LsmConfig) -> Result<MigrationReceipt> {
+    let from = describe(tree.config());
+    let old_resident = tree.space_profile().total_bytes();
+    let before = tree.tracker().snapshot();
+    tree.flush()?;
+    let all: Vec<Record> = tree.range_impl(0, u64::MAX)?;
+    let buffer_bytes = (all.len() * RECORD_SIZE) as u64;
+    let mut rebuilt = LsmTree::with_config(config);
+    rebuilt.adopt_tracker(Arc::clone(tree.tracker()));
+    rebuilt.bulk_load_impl(&all)?;
+    *tree = rebuilt;
+    let delta = tree.tracker().since(&before);
+    Ok(MigrationReceipt {
+        from,
+        to: describe(tree.config()),
+        bytes_read: delta.total_read_bytes(),
+        bytes_written: delta.total_write_bytes(),
+        peak_extra_bytes: old_resident + buffer_bytes,
+    })
+}
+
+/// Toggle only the sorted view, priced: the one re-tune that needs no
+/// drain. Turning the view on builds it eagerly (the build's scan and
+/// anchors land on the tracker as aux writes, so the runner books them
+/// as UO); turning it off drops the anchors for free and releases their
+/// MO. The receipt's transient residency is the anchors themselves.
+pub fn toggle_view_priced(tree: &mut LsmTree, on: bool) -> Result<MigrationReceipt> {
+    let from = describe(tree.config());
+    let before = tree.tracker().snapshot();
+    tree.set_sorted_view(on)?;
+    let delta = tree.tracker().since(&before);
+    Ok(MigrationReceipt {
+        from,
+        to: describe(tree.config()),
+        bytes_read: delta.total_read_bytes(),
+        bytes_written: delta.total_write_bytes(),
+        peak_extra_bytes: tree.view_bytes(),
+    })
+}
+
+/// An [`LsmTree`] that knows how to reshape itself: the [`Morphable`]
+/// face the [`AutoTuner`](rum_core::autotune::AutoTuner) drives. Knob
+/// advice is memoized per mix bucket so steady workloads never re-run
+/// the rule table.
+pub struct SelfTuningLsm {
+    tree: LsmTree,
+    advice: AdviceMemo,
+    goal: TuningGoal,
+}
+
+impl SelfTuningLsm {
+    /// Wrap a live tree with [`TuningGoal::Balanced`] advice.
+    pub fn new(tree: LsmTree) -> Self {
+        SelfTuningLsm {
+            tree,
+            advice: AdviceMemo::default(),
+            goal: TuningGoal::Balanced,
+        }
+    }
+
+    /// Wrap with an explicit goal.
+    pub fn with_goal(tree: LsmTree, goal: TuningGoal) -> Self {
+        SelfTuningLsm {
+            tree,
+            advice: AdviceMemo::default(),
+            goal,
+        }
+    }
+
+    /// The wrapped tree.
+    pub fn tree(&self) -> &LsmTree {
+        &self.tree
+    }
+
+    /// The advice cache (for inspecting memoization behavior).
+    pub fn advice(&self) -> &AdviceMemo {
+        &self.advice
+    }
+
+    /// The advised shape for `mix`, keeping the live memtable size:
+    /// `advise` tunes policy/ratio/filter/view, not the write buffer, so
+    /// a tree with a non-default memtable must not look perpetually
+    /// "mis-shaped" (that would make every drift flag a migration).
+    ///
+    /// The rule table's crude `range/total >= 0.5` view threshold is then
+    /// refined with the cost model at the *live* size: the view pays
+    /// exactly when its range savings beat its rebuild thrash, which
+    /// depends on how much data a rebuild rescans — something a
+    /// size-blind rule cannot weigh. (`m` cancels between the two arms,
+    /// so any value prices the comparison.)
+    fn advised_for(&mut self, mix: &OpMix) -> LsmConfig {
+        let mut cfg = LsmConfig {
+            memtable_records: self.tree.config().memtable_records,
+            ..self.advice.advise(mix, self.goal)
+        };
+        if self.goal != TuningGoal::Space {
+            let n = self.tree.len().max(1);
+            let with = LsmConfig {
+                sorted_view: true,
+                ..cfg
+            };
+            let without = LsmConfig {
+                sorted_view: false,
+                ..cfg
+            };
+            cfg.sorted_view =
+                expected_cost(&with, mix, n, 16) < expected_cost(&without, mix, n, 16);
+        }
+        cfg
+    }
+
+    /// The migration bill for moving to `advised`, in pages — `Some` only
+    /// when a cheap path exists (a view-only toggle skips the drain: on
+    /// costs one whole-tree scan plus the anchors, off is a free drop).
+    fn cheap_bill(&self, advised: &LsmConfig) -> Option<f64> {
+        let current = self.tree.config();
+        let view_only = LsmConfig {
+            sorted_view: current.sorted_view,
+            ..*advised
+        } == *current;
+        if !view_only {
+            return None;
+        }
+        Some(if advised.sorted_view {
+            2.5 * self.tree.len() as f64 / RECORDS_PER_PAGE as f64
+        } else {
+            0.0
+        })
+    }
+}
+
+impl AccessMethod for SelfTuningLsm {
+    fn name(&self) -> String {
+        self.tree.name()
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn tracker(&self) -> &Arc<CostTracker> {
+        self.tree.tracker()
+    }
+
+    fn space_profile(&self) -> SpaceProfile {
+        self.tree.space_profile()
+    }
+
+    fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+        self.tree.get_impl(key)
+    }
+
+    fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+        self.tree.range_impl(lo, hi)
+    }
+
+    fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+        self.tree.insert_impl(key, value)
+    }
+
+    fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+        self.tree.update_impl(key, value)
+    }
+
+    fn delete_impl(&mut self, key: Key) -> Result<bool> {
+        self.tree.delete_impl(key)
+    }
+
+    fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+        self.tree.bulk_load_impl(records)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.tree.flush()
+    }
+
+    fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.tree.set_trace_sink(sink);
+    }
+
+    fn try_heal(&mut self) -> Result<bool> {
+        self.tree.try_heal()
+    }
+}
+
+impl Morphable for SelfTuningLsm {
+    fn family(&self) -> Family {
+        Family::LsmTree
+    }
+
+    fn shape(&self) -> String {
+        describe(self.tree.config())
+    }
+
+    fn retune_gain(&mut self, mix: &OpMix, env: &Environment) -> Option<RetuneEstimate> {
+        let advised = self.advised_for(mix);
+        if advised == *self.tree.config() {
+            return None;
+        }
+        let current_cost = expected_cost(self.tree.config(), mix, env.n, env.m);
+        let advised_cost = expected_cost(&advised, mix, env.n, env.m);
+        if advised_cost >= current_cost {
+            return None;
+        }
+        Some(RetuneEstimate {
+            current_cost,
+            advised_cost,
+            advised_shape: describe(&advised),
+            bill_pages: self.cheap_bill(&advised),
+        })
+    }
+
+    fn morph_to(&mut self, family: Family, mix: &OpMix) -> Result<Option<MigrationReceipt>> {
+        if family != Family::LsmTree {
+            return Ok(None);
+        }
+        let advised = self.advised_for(mix);
+        if advised == *self.tree.config() {
+            return Ok(None);
+        }
+        if self.cheap_bill(&advised).is_some() {
+            return toggle_view_priced(&mut self.tree, advised.sorted_view).map(Some);
+        }
+        retune_priced(&mut self.tree, advised).map(Some)
+    }
 }
 
 #[cfg(test)]
@@ -205,5 +564,108 @@ mod tests {
             levelled_cost < tiered_cost,
             "levelled misses ({levelled_cost}) should beat tiered ({tiered_cost})"
         );
+    }
+
+    #[test]
+    fn expected_cost_orders_advised_shapes_correctly() {
+        let (n, m) = (1 << 20, 256);
+        let read_cfg = advise(&OpMix::READ_HEAVY, TuningGoal::Balanced);
+        let write_cfg = advise(&OpMix::WRITE_HEAVY, TuningGoal::Balanced);
+        let scan_cfg = advise(&OpMix::SCAN_HEAVY, TuningGoal::Balanced);
+        // Each advised shape should win (or tie) its own mix against the
+        // shapes advised for the opposite mixes.
+        let at = |cfg: &LsmConfig, mix: &OpMix| expected_cost(cfg, mix, n, m);
+        assert!(at(&write_cfg, &OpMix::WRITE_HEAVY) < at(&read_cfg, &OpMix::WRITE_HEAVY));
+        assert!(at(&write_cfg, &OpMix::WRITE_HEAVY) < at(&scan_cfg, &OpMix::WRITE_HEAVY));
+        assert!(at(&read_cfg, &OpMix::READ_HEAVY) < at(&write_cfg, &OpMix::READ_HEAVY));
+        assert!(at(&scan_cfg, &OpMix::SCAN_HEAVY) < at(&write_cfg, &OpMix::SCAN_HEAVY));
+        assert!(at(&scan_cfg, &OpMix::SCAN_HEAVY) < at(&read_cfg, &OpMix::SCAN_HEAVY));
+    }
+
+    #[test]
+    fn advice_memo_runs_the_rule_table_once_per_bucket() {
+        let mut memo = AdviceMemo::default();
+        let a = memo.advise(&OpMix::READ_HEAVY, TuningGoal::Balanced);
+        let b = memo.advise(&OpMix::READ_HEAVY, TuningGoal::Balanced);
+        assert_eq!(a, b);
+        assert_eq!(memo.computes(), 1, "repeat query must hit the cache");
+        // A tiny jitter stays in the same 1/64 bucket.
+        let mut jitter = OpMix::READ_HEAVY;
+        jitter.get += 0.003;
+        memo.advise(&jitter, TuningGoal::Balanced);
+        assert_eq!(memo.computes(), 1, "same-bucket jitter must hit the cache");
+        // A different mix or goal misses.
+        memo.advise(&OpMix::WRITE_HEAVY, TuningGoal::Balanced);
+        assert_eq!(memo.computes(), 2);
+        memo.advise(&OpMix::READ_HEAVY, TuningGoal::Space);
+        assert_eq!(memo.computes(), 3);
+    }
+
+    #[test]
+    fn retune_priced_charges_the_migration_and_keeps_contents() {
+        let mut t = LsmTree::with_config(LsmConfig {
+            memtable_records: 64,
+            size_ratio: 2,
+            policy: CompactionPolicy::Tiering,
+            ..Default::default()
+        });
+        for k in 0..3000u64 {
+            t.insert(k, k + 1).unwrap();
+        }
+        let receipt = retune_priced(
+            &mut t,
+            LsmConfig {
+                memtable_records: 256,
+                size_ratio: 8,
+                policy: CompactionPolicy::Levelling,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(receipt.bytes_read > 0, "drain must be priced");
+        assert!(receipt.bytes_written > 0, "rebuild must be priced");
+        assert!(
+            receipt.peak_extra_bytes as usize >= 3000 * rum_core::RECORD_SIZE,
+            "double residency must cover at least the drain buffer"
+        );
+        assert_ne!(receipt.from, receipt.to);
+        assert_eq!(t.len(), 3000);
+        assert_eq!(t.get(1234).unwrap(), Some(1235));
+    }
+
+    #[test]
+    fn self_tuning_lsm_retunes_only_when_the_advice_changes() {
+        let env = Environment {
+            n: 4096,
+            ..Default::default()
+        };
+        let balanced = advise(&OpMix::BALANCED, TuningGoal::Balanced);
+        let mut m = SelfTuningLsm::new(LsmTree::with_config(balanced));
+        for k in 0..4096u64 {
+            m.insert(k, k).unwrap();
+        }
+        // Already shaped for the mix it was advised for: no gain, no work.
+        assert!(m.retune_gain(&OpMix::BALANCED, &env).is_none());
+        assert!(m
+            .morph_to(Family::LsmTree, &OpMix::BALANCED)
+            .unwrap()
+            .is_none());
+        // A write-heavy mix advises tiering: positive gain, priced morph.
+        let est = m
+            .retune_gain(&OpMix::WRITE_HEAVY, &env)
+            .expect("mix flip should open a gain");
+        assert!(est.advised_cost < est.current_cost);
+        let receipt = m
+            .morph_to(Family::LsmTree, &OpMix::WRITE_HEAVY)
+            .unwrap()
+            .expect("morph should happen");
+        assert!(receipt.bytes_written > 0);
+        assert_eq!(m.tree().config().policy, CompactionPolicy::Tiering);
+        assert_eq!(m.len(), 4096);
+        // Foreign families are declined without touching the tree.
+        assert!(m
+            .morph_to(Family::BTree, &OpMix::WRITE_HEAVY)
+            .unwrap()
+            .is_none());
     }
 }

@@ -51,6 +51,8 @@
 //! | [`lsm`] | levelled & tiered LSM-tree with Bloom filters and dynamic tuning |
 //! | [`adaptive`] | database cracking (plain & stochastic), adaptive merging |
 
+pub mod selftune;
+
 pub use rum_adaptive as adaptive;
 pub use rum_bitmap as bitmap;
 pub use rum_btree as btree;
@@ -68,10 +70,15 @@ pub mod prelude {
     pub use rum_core::advisor::{
         MeasuredRanking, MeasuredRecommendation, MethodProfile, ProfilePoint, ProfileStore,
     };
+    pub use rum_core::autotune::{
+        AutoTuneConfig, AutoTuneSummary, AutoTuner, MigrationReceipt, Morphable, OpCounts,
+        RetuneEstimate, TuneKind, TunePlan,
+    };
     pub use rum_core::runner::{
-        measure_ops, parallel_map, run_stream, run_stream_sharded, run_stream_sharded_traced,
-        run_stream_traced, run_suite, run_suite_parallel, run_suite_stream, run_suite_with_threads,
-        run_workload, run_workload_traced, RumReport, DEFAULT_STREAM_BATCH,
+        measure_ops, parallel_map, run_stream, run_stream_autotuned, run_stream_sharded,
+        run_stream_sharded_traced, run_stream_traced, run_suite, run_suite_parallel,
+        run_suite_stream, run_suite_with_threads, run_workload, run_workload_traced, RumReport,
+        DEFAULT_STREAM_BATCH,
     };
     pub use rum_core::trace::{
         noop_sink, Event, EventKind, LatencyHistogram, MemorySink, NoopSink, TraceCollector,

@@ -1,0 +1,298 @@
+//! Cross-family self-tuning — the paper's §5 endgame: an access method
+//! that does not just re-tune its knobs but *changes family* when the
+//! workload drifts far enough, while its answers and its cost account
+//! stay continuous.
+//!
+//! [`FamilyMorph`] wraps any suite structure behind a stable facade
+//! [`CostTracker`]: every physical byte the inner structure charges is
+//! absorbed into the facade account, so a family swap (drain → build →
+//! bulk load) is just another priced reorganization — its I/O lands in
+//! UO and its transient double-residency is reported as MO in the
+//! [`MigrationReceipt`]. The [`AutoTuner`](rum_core::autotune::AutoTuner)
+//! drives swaps through the [`Morphable`] face using the calibrated
+//! advisor's family ranking.
+
+use std::sync::Arc;
+
+use rum_core::autotune::{MigrationReceipt, Morphable, RetuneEstimate};
+use rum_core::trace::TraceSink;
+use rum_core::wizard::{Environment, Family};
+use rum_core::workload::OpMix;
+use rum_core::{
+    AccessMethod, CostSnapshot, CostTracker, Key, Record, Result, SpaceProfile, Value, RECORD_SIZE,
+};
+
+/// Build a fresh, empty representative of `family`, or `None` for
+/// families that cannot serve the full range contract (hash indexes).
+///
+/// The LSM memtable matches [`standard_suite`](crate::standard_suite)'s
+/// sizing so drift-scale write streams actually flush and compact.
+pub fn build_family(family: Family) -> Option<Box<dyn AccessMethod>> {
+    match family {
+        Family::BTree => Some(Box::new(crate::btree::BTree::new())),
+        Family::HashIndex => None,
+        Family::ZoneMap => Some(Box::new(crate::sparse::ZoneMappedColumn::new())),
+        Family::LsmTree => Some(Box::new(crate::lsm::LsmTree::with_config(
+            crate::lsm::LsmConfig {
+                memtable_records: 256,
+                ..Default::default()
+            },
+        ))),
+        Family::SortedColumn => Some(Box::new(crate::columns::SortedColumn::new())),
+        Family::UnsortedColumn => Some(Box::new(crate::columns::UnsortedColumn::new())),
+        Family::CrackedColumn => Some(Box::new(crate::adaptive::CrackedColumn::new())),
+    }
+}
+
+/// An access method that can swap its entire family under the
+/// [`AutoTuner`](rum_core::autotune::AutoTuner)'s direction.
+pub struct FamilyMorph {
+    inner: Box<dyn AccessMethod>,
+    family: Family,
+    /// The stable facade account: survives swaps, so RO/UO/MO accumulate
+    /// across the structure's whole life regardless of its current shape.
+    tracker: Arc<CostTracker>,
+    /// Where the inner tracker stood at the last absorption.
+    inner_mark: CostSnapshot,
+    sink: Arc<dyn TraceSink>,
+    swaps: u64,
+}
+
+impl FamilyMorph {
+    /// Wrap a fresh representative of `family`. `None` only for
+    /// [`Family::HashIndex`] (no range contract, so it cannot be drained
+    /// into — or out of — by a swap).
+    pub fn new(family: Family) -> Option<Self> {
+        let inner = build_family(family)?;
+        let inner_mark = inner.tracker().snapshot();
+        Some(FamilyMorph {
+            inner,
+            family,
+            tracker: CostTracker::new(),
+            inner_mark,
+            sink: rum_core::trace::noop_sink(),
+            swaps: 0,
+        })
+    }
+
+    /// The family currently resident.
+    pub fn current_family(&self) -> Family {
+        self.family
+    }
+
+    /// Family swaps performed so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Pull everything the inner structure charged since the last sync
+    /// into the facade account.
+    fn sync(&mut self) {
+        let now = self.inner.tracker().snapshot();
+        self.tracker.absorb(&now.delta(&self.inner_mark));
+        self.inner_mark = now;
+    }
+}
+
+impl AccessMethod for FamilyMorph {
+    fn name(&self) -> String {
+        format!("family-morph[{}]", self.inner.name())
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn tracker(&self) -> &Arc<CostTracker> {
+        &self.tracker
+    }
+
+    fn space_profile(&self) -> SpaceProfile {
+        self.inner.space_profile()
+    }
+
+    fn get_impl(&mut self, key: Key) -> Result<Option<Value>> {
+        let r = self.inner.get_impl(key);
+        self.sync();
+        r
+    }
+
+    fn range_impl(&mut self, lo: Key, hi: Key) -> Result<Vec<Record>> {
+        let r = self.inner.range_impl(lo, hi);
+        self.sync();
+        r
+    }
+
+    fn insert_impl(&mut self, key: Key, value: Value) -> Result<()> {
+        let r = self.inner.insert_impl(key, value);
+        self.sync();
+        r
+    }
+
+    fn update_impl(&mut self, key: Key, value: Value) -> Result<bool> {
+        let r = self.inner.update_impl(key, value);
+        self.sync();
+        r
+    }
+
+    fn delete_impl(&mut self, key: Key) -> Result<bool> {
+        let r = self.inner.delete_impl(key);
+        self.sync();
+        r
+    }
+
+    fn bulk_load_impl(&mut self, records: &[Record]) -> Result<()> {
+        let r = self.inner.bulk_load_impl(records);
+        self.sync();
+        r
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        let r = self.inner.flush();
+        self.sync();
+        r
+    }
+
+    fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Arc::clone(&sink);
+        self.inner.set_trace_sink(sink);
+    }
+
+    fn try_heal(&mut self) -> Result<bool> {
+        let r = self.inner.try_heal();
+        self.sync();
+        r
+    }
+}
+
+impl Morphable for FamilyMorph {
+    fn family(&self) -> Family {
+        self.family
+    }
+
+    fn shape(&self) -> String {
+        format!("{:?}", self.family)
+    }
+
+    fn retune_gain(&mut self, _mix: &OpMix, _env: &Environment) -> Option<RetuneEstimate> {
+        // The facade has no knobs of its own; in-place advice belongs to
+        // knob-aware wrappers like `rum_lsm::tuning::SelfTuningLsm`. The
+        // tuner's family-swap path (calibrated advisor ranking) is how
+        // this structure adapts.
+        None
+    }
+
+    fn morph_to(&mut self, family: Family, _mix: &OpMix) -> Result<Option<MigrationReceipt>> {
+        if family == self.family {
+            return Ok(None);
+        }
+        let Some(mut fresh) = build_family(family) else {
+            return Ok(None);
+        };
+        let from = self.shape();
+        let old_resident = self.inner.space_profile().total_bytes();
+        let mark = self.tracker.snapshot();
+        // Drain through the priced read path: the old shape's RO is the
+        // first half of the migration bill.
+        let all = self.inner.range_impl(0, u64::MAX)?;
+        self.sync();
+        fresh.set_trace_sink(Arc::clone(&self.sink));
+        fresh.bulk_load_impl(&all)?;
+        // Adopt the new shape; fold its construction cost (counted from
+        // zero on its fresh tracker) into the facade account.
+        self.inner = fresh;
+        self.inner_mark = CostSnapshot::default();
+        self.sync();
+        self.family = family;
+        self.swaps += 1;
+        let delta = self.tracker.since(&mark);
+        Ok(Some(MigrationReceipt {
+            from,
+            to: self.shape(),
+            bytes_read: delta.total_read_bytes(),
+            bytes_written: delta.total_write_bytes(),
+            peak_extra_bytes: old_resident + (all.len() * RECORD_SIZE) as u64,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rum_core::AccessMethod;
+
+    #[test]
+    fn every_range_capable_family_builds() {
+        for family in Family::ALL {
+            let built = build_family(family);
+            assert_eq!(
+                built.is_some(),
+                family != Family::HashIndex,
+                "{family:?} availability"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_preserves_contents_answers_and_tracker_identity() {
+        let mut m = FamilyMorph::new(Family::BTree).unwrap();
+        for k in 0..2000u64 {
+            m.insert(k * 3, k).unwrap();
+        }
+        m.delete(30).unwrap();
+        let tracker = Arc::clone(m.tracker());
+        let before_answers = m.range(0, 600).unwrap();
+
+        let receipt = m
+            .morph_to(Family::LsmTree, &OpMix::WRITE_HEAVY)
+            .unwrap()
+            .expect("cross-family morph must run");
+        assert_eq!(m.current_family(), Family::LsmTree);
+        assert_eq!(m.swaps(), 1);
+        assert!(receipt.bytes_read > 0, "drain must be priced");
+        assert!(receipt.bytes_written > 0, "rebuild must be priced");
+        assert!(
+            receipt.peak_extra_bytes as usize >= 1999 * RECORD_SIZE,
+            "double residency must cover the drain buffer"
+        );
+        assert!(Arc::ptr_eq(&tracker, m.tracker()), "account must survive");
+        assert_eq!(m.len(), 1999);
+        assert_eq!(m.range(0, 600).unwrap(), before_answers);
+        assert_eq!(m.get(30).unwrap(), None);
+        assert_eq!(m.get(33).unwrap(), Some(11));
+    }
+
+    #[test]
+    fn migration_io_lands_on_the_facade_account() {
+        let mut m = FamilyMorph::new(Family::SortedColumn).unwrap();
+        for k in 0..500u64 {
+            m.insert(k, k).unwrap();
+        }
+        let before = m.tracker().snapshot();
+        m.morph_to(Family::CrackedColumn, &OpMix::BALANCED)
+            .unwrap()
+            .unwrap();
+        let delta = m.tracker().since(&before);
+        assert!(delta.total_read_bytes() > 0 && delta.total_write_bytes() > 0);
+        // Post-swap traffic keeps flowing into the same account.
+        let mark = m.tracker().snapshot();
+        m.get(250).unwrap();
+        assert!(m.tracker().since(&mark).total_read_bytes() > 0);
+    }
+
+    #[test]
+    fn unsupported_or_identity_swaps_are_declined() {
+        let mut m = FamilyMorph::new(Family::BTree).unwrap();
+        m.insert(1, 1).unwrap();
+        assert!(m
+            .morph_to(Family::BTree, &OpMix::BALANCED)
+            .unwrap()
+            .is_none());
+        assert!(m
+            .morph_to(Family::HashIndex, &OpMix::BALANCED)
+            .unwrap()
+            .is_none());
+        assert_eq!(m.current_family(), Family::BTree);
+        assert_eq!(m.swaps(), 0);
+    }
+}
