@@ -14,7 +14,7 @@
 //! `UPDATE_ARTIFACTS=1 cargo run --release -p rum-bench --bin artifact_gate`
 //! and commit the rewritten `results/smoke/*.csv`.
 
-use crate::{advisor, crash, drift_sweep, fault_storm, range_sweep, scale};
+use crate::{advisor, crash, drift_sweep, fault_storm, obs, range_sweep, scale};
 
 /// Columns measured from the host clock, not the cost model. These are
 /// the only nondeterministic values any module emits; everything else
@@ -106,6 +106,10 @@ pub fn regenerate() -> Vec<Artifact> {
             csv: strip_wall_clock(&drift_sweep::to_csv(&drift_sweep::run(
                 &drift_sweep::DriftSweepConfig::smoke(),
             ))),
+        },
+        Artifact {
+            name: "obs_debt",
+            csv: strip_wall_clock(&obs::to_csv(&obs::run(&obs::ObsConfig::smoke()))),
         },
     ]
 }

@@ -20,6 +20,7 @@
 //! | `fault_storm` | corruption resilience: methods × seeded fault profiles × retry policies, differential vs a fault-free twin |
 //! | `drift_sweep` | drifting workloads: the online AutoTuner vs every static configuration, priced migrations, bit-identical replay |
 //! | `artifact_gate` | CI artifact freshness: regenerates every committed smoke CSV and fails if the checked-in copy drifted |
+//! | `rum_top` | live terminal dashboard over the `rum-obs` exporter: per-op-class amortized RUM, debt table, sparklines; `--smoke` validates the exporter + conservation + metrics-on ≡ metrics-off |
 //!
 //! This library holds the measurement machinery those binaries (and the
 //! criterion benches) share, so experiments are reproducible from tests
@@ -41,6 +42,7 @@ pub mod fault_storm;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
+pub mod obs;
 pub mod props;
 pub mod range_sweep;
 pub mod scale;

@@ -41,11 +41,17 @@
 //!   log-bucketed latency histograms, and structured component events
 //!   ([`trace::TraceSink`]), strictly opt-in with a
 //!   zero-observer-effect guarantee.
+//! * [`metrics`] — the live metrics plane: a zero-dependency registry of
+//!   counters/gauges/histograms mirroring the event stream, and the
+//!   [`DebtLedger`] attributing every background
+//!   byte to the op class that causally incurred it, with byte-exact
+//!   conservation against the tracker.
 
 pub mod access;
 pub mod advisor;
 pub mod autotune;
 pub mod error;
+pub mod metrics;
 pub mod runner;
 pub mod shard;
 pub mod trace;
@@ -61,6 +67,10 @@ pub use autotune::{
     RetuneEstimate, TuneKind, TunePlan,
 };
 pub use error::{panic_payload_message, Result, RumError};
+pub use metrics::{
+    ClassAttribution, DebtLedger, DebtSnapshot, MetricKey, MetricsPlane, MetricsRegistry,
+    MetricsSink, MetricsSnapshot, OpClass,
+};
 pub use shard::ShardedMethod;
 pub use trace::{
     noop_sink, Event, EventKind, LatencyHistogram, MemorySink, NoopSink, TraceCollector, TraceSink,

@@ -14,6 +14,7 @@ use std::time::Instant;
 use crate::access::AccessMethod;
 use crate::autotune::{AutoTuneSummary, AutoTuner, Morphable, OpCounts};
 use crate::error::{panic_payload_message, Result, RumError};
+use crate::metrics::{MetricsPlane, OpClass};
 use crate::shard::ShardedMethod;
 use crate::trace::TraceCollector;
 use crate::tracker::CostSnapshot;
@@ -176,17 +177,26 @@ impl OpPhase {
     }
 
     /// Fold the traffic since the previous settle point into the running
-    /// class, then switch the running class to `next`.
-    fn settle(&mut self, tracker: &crate::tracker::CostTracker, next: Option<bool>) {
+    /// class, then switch the running class to `next`. Returns the class
+    /// the delta was folded into (`None` right after the phase started)
+    /// and the delta itself, so metered runners can mirror the exact same
+    /// attribution into a [`DebtLedger`](crate::metrics::DebtLedger).
+    fn settle(
+        &mut self,
+        tracker: &crate::tracker::CostTracker,
+        next: Option<bool>,
+    ) -> (Option<bool>, CostSnapshot) {
         let now = tracker.snapshot();
         let d = now.delta(&self.mark);
         self.mark = now;
-        match self.batch_is_read {
+        let prev = self.batch_is_read;
+        match prev {
             Some(true) => self.totals.read_costs = self.totals.read_costs.add(&d),
             Some(false) => self.totals.write_costs = self.totals.write_costs.add(&d),
             None => {} // nothing ran since the phase started
         }
         self.batch_is_read = next;
+        (prev, d)
     }
 
     /// Note `count` ops of the running class having executed. Only counts;
@@ -415,6 +425,90 @@ pub fn run_stream_traced(
     }
     let totals = phase.finish(&tracker);
     trace.finish(&tracker, method);
+    let mut report = assemble_report(method, load_costs, load_wall_ns, totals);
+    let overall = trace.overall_latency();
+    report.p50_ns = overall.p50();
+    report.p99_ns = overall.p99();
+    Ok(report)
+}
+
+/// [`run_stream_traced`] with a live [`MetricsPlane`] attached: the
+/// plane's [`DebtLedger`](crate::metrics::DebtLedger) receives exactly
+/// the per-class tracker deltas the report is assembled from (the same
+/// settle points, the same snapshots), per-op latencies are mirrored
+/// into `rum_op_latency_ns{class}` histograms, and the live gauge set is
+/// republished at every trajectory-window close — so an exporter
+/// scraping the plane's registry sees per-op-class amortized RO/UO/MO
+/// evolve while the run is still going.
+///
+/// To feed the ledger's causal re-attribution, install a sink from the
+/// same plane on the method first
+/// (`method.set_trace_sink(plane.sink())`, or
+/// [`sink_with_forward`](MetricsPlane::sink_with_forward) to also keep a
+/// [`MemorySink`](crate::trace::MemorySink) trace). Without a sink the
+/// ledger still conserves — it just has no background events to move.
+///
+/// The plane, like the collector, is a pure observer of the tracker:
+/// every counted measurement in the returned report (op counts, all
+/// three [`CostSnapshot`]s, RO/UO/MO bits) is identical to an untraced
+/// [`run_stream`] of the same stream. At the end of the run
+/// [`MetricsPlane::publish_final`] records the tracker totals and the
+/// conservation verdict (`rum_conservation_ok`), which holds byte-exactly
+/// because the ledger was charged every delta the tracker accrued.
+pub fn run_stream_metered(
+    method: &mut dyn AccessMethod,
+    mut stream: OpStream,
+    trace: &mut TraceCollector,
+    plane: &MetricsPlane,
+) -> Result<RumReport> {
+    let initial = stream.take_initial();
+    plane.ledger().begin_class(OpClass::Load);
+    let (load_costs, load_wall_ns) = load_phase(method, &initial)?;
+    drop(initial);
+    plane.ledger().charge(OpClass::Load, &load_costs);
+    let tracker = std::sync::Arc::clone(method.tracker());
+    trace.begin(&tracker);
+
+    let mut phase = OpPhase::start(&tracker);
+    let mut windows_seen = 0usize;
+    for op in stream {
+        let is_read = op.is_read();
+        if phase.batch_is_read != Some(is_read) {
+            let (prev, delta) = phase.settle(&tracker, Some(is_read));
+            if let Some(prev_is_read) = prev {
+                plane
+                    .ledger()
+                    .charge(OpClass::of_read(prev_is_read), &delta);
+            }
+            plane.ledger().begin_class(OpClass::of_read(is_read));
+        }
+        let op_started = Instant::now();
+        execute_op(method, op)?;
+        let latency_ns = op_started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        phase.count(is_read, 1);
+        trace.note_op(is_read, latency_ns, &tracker, method);
+        plane.observe_op(is_read, latency_ns);
+        if trace.windows().len() > windows_seen {
+            windows_seen = trace.windows().len();
+            plane.refresh_live(
+                method.space_profile().space_amplification(),
+                method.len() as u64,
+            );
+        }
+    }
+    let (prev, delta) = phase.settle(&tracker, None);
+    if let Some(prev_is_read) = prev {
+        plane
+            .ledger()
+            .charge(OpClass::of_read(prev_is_read), &delta);
+    }
+    let totals = phase.finish(&tracker);
+    trace.finish(&tracker, method);
+    plane.publish_final(
+        &tracker.snapshot(),
+        method.space_profile().space_amplification(),
+        method.len() as u64,
+    );
     let mut report = assemble_report(method, load_costs, load_wall_ns, totals);
     let overall = trace.overall_latency();
     report.p50_ns = overall.p50();

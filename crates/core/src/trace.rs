@@ -170,18 +170,36 @@ pub struct Event {
     pub detail: Vec<(&'static str, u64)>,
 }
 
+/// The value of the named field in a flat detail list, if present.
+pub fn detail_field(detail: &[(&'static str, u64)], name: &str) -> Option<u64> {
+    detail.iter().find(|(k, _)| *k == name).map(|&(_, v)| v)
+}
+
+/// Physical bytes a detail list says its event moved: the `bytes` field
+/// when present, otherwise `bytes_read + bytes_written` (migration
+/// receipts split direction instead of reporting one total), else 0.
+pub fn detail_byte_weight(detail: &[(&'static str, u64)]) -> u64 {
+    detail_field(detail, "bytes").unwrap_or_else(|| {
+        detail_field(detail, "bytes_read").unwrap_or(0)
+            + detail_field(detail, "bytes_written").unwrap_or(0)
+    })
+}
+
 impl Event {
     /// The value of the named detail field, if present.
     pub fn field(&self, name: &str) -> Option<u64> {
-        self.detail
-            .iter()
-            .find(|(k, _)| *k == name)
-            .map(|&(_, v)| v)
+        detail_field(&self.detail, name)
     }
 
     /// Physical bytes this event moved (the `bytes` field, 0 if absent).
     pub fn bytes(&self) -> u64 {
         self.field("bytes").unwrap_or(0)
+    }
+
+    /// Physical bytes this event moved under either detail convention
+    /// ([`detail_byte_weight`]): `bytes`, or `bytes_read + bytes_written`.
+    pub fn byte_weight(&self) -> u64 {
+        detail_byte_weight(&self.detail)
     }
 
     /// One JSON object on one line:
@@ -210,21 +228,35 @@ pub fn events_to_jsonl(events: &[Event]) -> String {
 /// one `rum;<component>;<kind>[;L<level>] <bytes>` line per distinct
 /// stack, sorted for determinism. Feed to `flamegraph.pl` or `inferno`.
 pub fn fold_events(events: &[Event]) -> String {
+    fold_by(events, |e| e.byte_weight())
+}
+
+/// Folded stacks of event **counts** rather than bytes: one
+/// `rum;<component>;<kind>[;L<level>] <count>` line per stack, covering
+/// every event — including the byte-free kinds (retries, corruption
+/// detections, repair completions, drift episodes, tune decisions) that
+/// [`fold_events`] cannot weigh. Together the two exports make the
+/// `rum;component;kind` stack set complete.
+pub fn fold_event_counts(events: &[Event]) -> String {
+    fold_by(events, |_| 1)
+}
+
+fn fold_by(events: &[Event], weight: impl Fn(&Event) -> u64) -> String {
     let mut stacks: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
     for e in events {
-        let bytes = e.bytes();
-        if bytes == 0 {
+        let w = weight(e);
+        if w == 0 {
             continue;
         }
         let mut stack = format!("rum;{};{}", e.kind.component(), e.kind.as_str());
         if let Some(level) = e.field("level") {
             stack.push_str(&format!(";L{level}"));
         }
-        *stacks.entry(stack).or_insert(0) += bytes;
+        *stacks.entry(stack).or_insert(0) += w;
     }
     let mut out = String::new();
-    for (stack, bytes) in stacks {
-        out.push_str(&format!("{stack} {bytes}\n"));
+    for (stack, w) in stacks {
+        out.push_str(&format!("{stack} {w}\n"));
     }
     out
 }
@@ -259,19 +291,49 @@ pub fn noop_sink() -> Arc<dyn TraceSink> {
     Arc::new(NoopSink)
 }
 
+/// Default [`MemorySink`] capacity: ~1M events (tens of MB at typical
+/// detail widths) — far above any smoke run, low enough that a
+/// long-running traced process cannot grow without bound.
+pub const DEFAULT_MEMORY_SINK_CAP: usize = 1 << 20;
+
 /// An in-memory sink collecting every event with a process-order sequence
 /// number. Shareable across shard worker threads (emission is serialized
 /// on a mutex; `seq` reflects arrival order).
-#[derive(Debug, Default)]
+///
+/// Storage is **bounded**: once `cap` events are held, further emits are
+/// counted in [`dropped`](Self::dropped) instead of stored, so a
+/// long-running traced process keeps its earliest `cap` events and an
+/// honest tally of what it shed rather than growing without limit.
+#[derive(Debug)]
 pub struct MemorySink {
     seq: AtomicU64,
+    dropped: AtomicU64,
+    cap: usize,
     events: Mutex<Vec<Event>>,
 }
 
+impl Default for MemorySink {
+    fn default() -> Self {
+        Self::bounded(DEFAULT_MEMORY_SINK_CAP)
+    }
+}
+
 impl MemorySink {
-    /// A fresh sink behind an [`Arc`] ready to hand to components.
+    /// A fresh sink behind an [`Arc`] ready to hand to components, with
+    /// the [`DEFAULT_MEMORY_SINK_CAP`] bound.
     pub fn shared() -> Arc<MemorySink> {
         Arc::new(MemorySink::default())
+    }
+
+    /// A sink storing at most `cap` events (min 1); later emits only
+    /// bump the drop counter.
+    pub fn bounded(cap: usize) -> MemorySink {
+        MemorySink {
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            cap: cap.max(1),
+            events: Mutex::new(Vec::new()),
+        }
     }
 
     /// Snapshot of all events recorded so far, in emit order.
@@ -288,6 +350,18 @@ impl MemorySink {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Events shed after the sink filled to its capacity. They still
+    /// consumed sequence numbers, so `seq` gaps never appear — the
+    /// stored stream simply ends early.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Maximum number of events this sink stores.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
 }
 
 impl TraceSink for MemorySink {
@@ -298,6 +372,10 @@ impl TraceSink for MemorySink {
     fn emit(&self, kind: EventKind, detail: &[(&'static str, u64)]) {
         let mut events = self.events.lock().expect("sink poisoned");
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if events.len() >= self.cap {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         events.push(Event {
             seq,
             kind,
@@ -466,6 +544,31 @@ impl LatencyHistogram {
 
     pub fn p999(&self) -> u64 {
         self.quantile(0.999)
+    }
+
+    /// Sum of all recorded values (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The non-empty buckets as `(inclusive_upper_bound, count)` pairs in
+    /// ascending bound order — exactly what a Prometheus-style cumulative
+    /// `_bucket{le=…}` exposition needs. The last representable bucket's
+    /// bound is `u64::MAX`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let upper = if i + 1 < BUCKETS {
+                    Self::bucket_low(i + 1) - 1
+                } else {
+                    u64::MAX
+                };
+                (upper, c)
+            })
+            .collect()
     }
 
     /// One-line summary: `n=… p50=… p90=… p99=… p999=… max=…` (ns).
@@ -816,15 +919,75 @@ mod tests {
 
     #[test]
     fn env_trace_window_parses_and_falls_back() {
+        // Every RUM_TRACE_WINDOW assertion lives in this one test: env
+        // vars are process-global, so splitting them across tests would
+        // race under the parallel test runner.
         std::env::set_var("RUM_TRACE_WINDOW", "128");
         assert_eq!(env_trace_window(), 128);
+        assert_eq!(
+            TraceCollector::from_env(noop_sink()).window_ops(),
+            128,
+            "from_env honors the variable"
+        );
         std::env::set_var("RUM_TRACE_WINDOW", " 64 ");
         assert_eq!(env_trace_window(), 64, "whitespace is trimmed");
-        for junk in ["0", "", "-5", "many"] {
+        for junk in ["0", "", "-5", "many", "18446744073709551616"] {
             std::env::set_var("RUM_TRACE_WINDOW", junk);
             assert_eq!(env_trace_window(), DEFAULT_TRACE_WINDOW, "junk {junk:?}");
+            assert_eq!(
+                TraceCollector::from_env(noop_sink()).window_ops(),
+                DEFAULT_TRACE_WINDOW as u64,
+                "from_env falls back to the default on junk {junk:?}"
+            );
         }
         std::env::remove_var("RUM_TRACE_WINDOW");
         assert_eq!(env_trace_window(), DEFAULT_TRACE_WINDOW);
+        assert_eq!(
+            TraceCollector::from_env(noop_sink()).window_ops(),
+            DEFAULT_TRACE_WINDOW as u64
+        );
+    }
+
+    #[test]
+    fn memory_sink_bounds_storage_and_counts_drops() {
+        let sink = MemorySink::bounded(3);
+        for i in 0..5 {
+            sink.emit(EventKind::WalSync, &[("bytes", i)]);
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.capacity(), 3);
+        let events = sink.events();
+        assert_eq!(events[2].seq, 2, "stored prefix keeps its seq numbers");
+        assert_eq!(MemorySink::default().capacity(), DEFAULT_MEMORY_SINK_CAP);
+        // A zero capacity is clamped up so the sink stays usable.
+        assert_eq!(MemorySink::bounded(0).capacity(), 1);
+    }
+
+    #[test]
+    fn byte_weight_covers_split_direction_events_and_counts_fold_everything() {
+        let sink = MemorySink::shared();
+        sink.emit(EventKind::RetryAttempt, &[("page", 1), ("bytes", 4096)]);
+        sink.emit(
+            EventKind::MigrationComplete,
+            &[("bytes_read", 100), ("bytes_written", 50)],
+        );
+        sink.emit(EventKind::DriftDetected, &[("window", 2)]); // byte-free
+        sink.emit(EventKind::TuneDecision, &[("window", 2)]);
+        let events = sink.events();
+        assert_eq!(events[0].byte_weight(), 4096);
+        assert_eq!(events[1].byte_weight(), 150, "bytes_read + bytes_written");
+        assert_eq!(events[2].byte_weight(), 0);
+        let folded = fold_events(&events);
+        assert_eq!(
+            folded,
+            "rum;autotune;migration_complete 150\nrum;fault;retry_attempt 4096\n"
+        );
+        let counts = fold_event_counts(&events);
+        assert_eq!(
+            counts,
+            "rum;autotune;drift_detected 1\nrum;autotune;migration_complete 1\n\
+             rum;autotune;tune_decision 1\nrum;fault;retry_attempt 1\n"
+        );
     }
 }

@@ -240,6 +240,7 @@ impl<M: AccessMethod> Durable<M> {
     /// and completes the job.
     pub fn recover_prefix(&mut self, max_ops: usize) -> Result<RecoveryReport> {
         let replay = self.wal.replay();
+        let before = self.inner.tracker().snapshot();
         let mut fresh = (self.factory)();
         // Accounting continuity: the reborn structure inherits the history
         // of charges, then pays for its own recovery I/O on top.
@@ -262,6 +263,11 @@ impl<M: AccessMethod> Durable<M> {
             self.dirty = !replay.committed.is_empty();
         }
         if self.sink.enabled() {
+            // The reborn tracker = inherited history + recovery I/O, so
+            // the delta against the pre-recovery snapshot is exactly what
+            // the rebuild cost — the bytes a debt ledger should charge
+            // back to the writes being replayed.
+            let d = self.inner.tracker().snapshot().delta(&before);
             self.sink.emit(
                 EventKind::WalRecovery,
                 &[
@@ -269,6 +275,8 @@ impl<M: AccessMethod> Durable<M> {
                     ("torn", u64::from(replay.torn_tail)),
                     ("discarded", replay.uncommitted as u64),
                     ("complete", u64::from(complete)),
+                    ("bytes", d.total_write_bytes()),
+                    ("read_bytes", d.total_read_bytes()),
                 ],
             );
         }

@@ -179,6 +179,9 @@ impl<D: BlockDevice> Pager<D> {
                             ("page", id.0),
                             ("stored", u64::from(*stored)),
                             ("computed", u64::from(*computed)),
+                            // The checksum-failed attempt touched (and
+                            // charged) one full page.
+                            ("bytes", PAGE_SIZE as u64),
                         ],
                     );
                 }
@@ -197,6 +200,9 @@ impl<D: BlockDevice> Pager<D> {
                     ("page", id.0),
                     ("attempt", u64::from(*attempt)),
                     ("backoff_ns", delay),
+                    // The wasted attempt being retried cost one page of
+                    // device traffic.
+                    ("bytes", PAGE_SIZE as u64),
                 ],
             );
         }

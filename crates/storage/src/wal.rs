@@ -304,7 +304,13 @@ impl Wal {
                     if self.sink.enabled() {
                         self.sink.emit(
                             EventKind::RetryAttempt,
-                            &[("attempt", u64::from(attempt)), ("backoff_ns", delay)],
+                            &[
+                                ("attempt", u64::from(attempt)),
+                                ("backoff_ns", delay),
+                                // Pending bytes the failed attempt tried
+                                // (and the retry will try again) to land.
+                                ("bytes", self.pending.len() as u64),
+                            ],
                         );
                     }
                     attempt += 1;

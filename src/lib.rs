@@ -74,11 +74,15 @@ pub mod prelude {
         AutoTuneConfig, AutoTuneSummary, AutoTuner, MigrationReceipt, Morphable, OpCounts,
         RetuneEstimate, TuneKind, TunePlan,
     };
+    pub use rum_core::metrics::{
+        ClassAttribution, DebtLedger, DebtSnapshot, MetricsPlane, MetricsRegistry, MetricsSink,
+        MetricsSnapshot, OpClass,
+    };
     pub use rum_core::runner::{
-        measure_ops, parallel_map, run_stream, run_stream_autotuned, run_stream_sharded,
-        run_stream_sharded_traced, run_stream_traced, run_suite, run_suite_parallel,
-        run_suite_stream, run_suite_with_threads, run_workload, run_workload_traced, RumReport,
-        DEFAULT_STREAM_BATCH,
+        measure_ops, parallel_map, run_stream, run_stream_autotuned, run_stream_metered,
+        run_stream_sharded, run_stream_sharded_traced, run_stream_traced, run_suite,
+        run_suite_parallel, run_suite_stream, run_suite_with_threads, run_workload,
+        run_workload_traced, RumReport, DEFAULT_STREAM_BATCH,
     };
     pub use rum_core::trace::{
         noop_sink, Event, EventKind, LatencyHistogram, MemorySink, NoopSink, TraceCollector,
